@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavyweight
+inputs (the trained dynamic DNN and the calibrated energy model) are session
+scoped so the benchmark timings measure the experiment itself, not setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn.training import IncrementalTrainer
+from repro.dnn.zoo import cifar_group_cnn, make_dynamic_cifar_dnn
+from repro.perfmodel.calibrated import CalibratedLatencyModel
+from repro.perfmodel.energy import EnergyModel
+
+
+@pytest.fixture(scope="session")
+def trained_dnn():
+    """The trained four-increment case-study dynamic DNN."""
+    return IncrementalTrainer().train(make_dynamic_cifar_dnn())
+
+
+@pytest.fixture(scope="session")
+def reference_network():
+    """The full (100 %) case-study network."""
+    return cifar_group_cnn()
+
+
+@pytest.fixture(scope="session")
+def energy_model():
+    """Table-I-calibrated latency model combined with the platform power model."""
+    return EnergyModel(CalibratedLatencyModel())

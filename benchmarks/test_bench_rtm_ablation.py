@@ -1,0 +1,97 @@
+"""Experiment F5/ablation — knob ablation of the runtime manager.
+
+Fig 5 argues that the RTM must control *both* application knobs (dynamic DNN)
+and device knobs (task mapping, DVFS) at the same time.  This benchmark
+ablates the manager's knobs on the Fig 2 scenario:
+
+* full RTM (all knobs),
+* no dynamic-DNN scaling (device knobs only),
+* no DVFS (application knob + mapping),
+* no task mapping (application knob + DVFS),
+* governor-only baseline (no application awareness at all).
+
+The reproduction criterion is that the full RTM has the lowest violation rate
+and that removing the application knob (no scaling) or removing mapping hurts
+substantially, supporting the paper's argument for managing both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GovernorOnlyManager
+from repro.rtm import MinEnergyUnderConstraints, RTMConfig, RuntimeManager
+from repro.sim import simulate_scenario
+from repro.workloads import fig2_scenario
+
+ABLATIONS = {
+    "full_rtm": RTMConfig(),
+    "no_dnn_scaling": RTMConfig(enable_dnn_scaling=False),
+    "no_dvfs": RTMConfig(enable_dvfs=False),
+    "no_task_mapping": RTMConfig(enable_task_mapping=False),
+}
+
+
+def run_ablation(trained_dnn):
+    """Run the Fig 2 scenario under each ablated manager configuration."""
+    factory = lambda: trained_dnn  # noqa: E731 - shared trained model
+    results = {}
+    for name, config in ABLATIONS.items():
+        manager = RuntimeManager(
+            config=config,
+            policy_overrides={"dnn2": MinEnergyUnderConstraints()},
+        )
+        trace = simulate_scenario(fig2_scenario(trained_factory=factory), manager)
+        results[name] = {
+            "violation_rate": trace.violation_rate(),
+            "mean_accuracy": trace.mean_accuracy_percent(),
+            "total_energy_mj": trace.total_energy_mj(),
+            "mean_configuration": trace.mean_configuration(),
+        }
+    trace = simulate_scenario(fig2_scenario(trained_factory=factory), GovernorOnlyManager())
+    results["governor_only"] = {
+        "violation_rate": trace.violation_rate(),
+        "mean_accuracy": trace.mean_accuracy_percent(),
+        "total_energy_mj": trace.total_energy_mj(),
+        "mean_configuration": trace.mean_configuration(),
+    }
+    return results
+
+
+def print_ablation(results) -> None:
+    print()
+    print("RTM knob ablation on the Fig 2 scenario")
+    print(f"{'configuration':<18} {'violation rate':>15} {'mean top-1':>11} {'energy (J)':>11} {'mean width':>11}")
+    for name, entry in results.items():
+        print(
+            f"{name:<18} {entry['violation_rate']:>15.3f} {entry['mean_accuracy']:>10.1f}% "
+            f"{entry['total_energy_mj'] / 1000.0:>11.1f} {entry['mean_configuration']:>11.2f}"
+        )
+
+
+def test_bench_rtm_ablation(benchmark, trained_dnn):
+    results = benchmark.pedantic(run_ablation, args=(trained_dnn,), rounds=1, iterations=1)
+    print_ablation(results)
+
+    full = results["full_rtm"]["violation_rate"]
+
+    # The full RTM is the best configuration up to noise (a couple of jobs out
+    # of ~900 can violate transiently around migrations in any variant).
+    for name, entry in results.items():
+        assert full <= entry["violation_rate"] + 0.01, name
+
+    # Removing the application knob (no dynamic-DNN scaling) hurts clearly:
+    # the full model cannot meet DNN1's energy budget on the CPU clusters.
+    assert results["no_dnn_scaling"]["violation_rate"] > full + 0.1
+
+    # Removing task mapping is crippling in this scenario: the DNNs cannot
+    # leave the accelerator when the AR/VR application takes it away.
+    assert results["no_task_mapping"]["violation_rate"] > full + 0.2
+
+    # The hardware-only baseline is far worse than any RTM variant that keeps
+    # application awareness of requirements.
+    assert results["governor_only"]["violation_rate"] > full + 0.3
+
+    # Ablations that keep the application knob still use it.
+    assert results["no_dvfs"]["mean_configuration"] <= 1.0
+    assert results["full_rtm"]["mean_configuration"] < 1.0

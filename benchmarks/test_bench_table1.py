@@ -1,0 +1,107 @@
+"""Experiment T1 — regenerate Table I.
+
+Table I of the paper reports execution time, power, energy and top-1 accuracy
+of the same DNN on the Jetson Nano (GPU, A57) and Odroid XU3 (A15, A7) at
+several DVFS settings.  This benchmark regenerates every row from the
+calibrated platform models and checks the reproduction quality:
+
+* latency within 10 % of the paper's measurement on every row;
+* power and energy within 25 %;
+* the qualitative orderings the paper draws from the table (GPU fastest,
+  A7 lowest power, accuracy identical everywhere) hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.measurements import TABLE1_ROWS
+from repro.dnn.accuracy import AccuracyModel
+from repro.platforms.presets import jetson_nano, odroid_xu3
+
+
+def regenerate_table1(reference_network, energy_model):
+    """Compute the reproduced Table I rows.
+
+    Returns a list of dicts with the paper value and the model prediction for
+    each platform-dependent metric.
+    """
+    socs = {"odroid_xu3": odroid_xu3(), "jetson_nano": jetson_nano()}
+    accuracy_model = AccuracyModel()
+    rows = []
+    for row in TABLE1_ROWS:
+        soc = socs[row.platform]
+        cluster = soc.cluster(row.cluster)
+        frequency = (
+            row.frequency_mhz
+            if cluster.opp_table.contains_frequency(row.frequency_mhz)
+            else cluster.opp_table.nearest(row.frequency_mhz).frequency_mhz
+        )
+        cost = energy_model.cost(
+            reference_network,
+            cluster,
+            frequency_mhz=frequency,
+            cores_used=1,
+            soc_name=row.platform,
+        )
+        rows.append(
+            {
+                "platform": row.platform,
+                "cores": row.cores,
+                "paper_time_ms": row.execution_time_ms,
+                "model_time_ms": cost.latency_ms,
+                "paper_power_mw": row.power_mw,
+                "model_power_mw": cost.power_mw,
+                "paper_energy_mj": row.energy_mj,
+                "model_energy_mj": cost.energy_mj,
+                "paper_top1": row.top1_accuracy,
+                "model_top1": accuracy_model.top1(1.0),
+            }
+        )
+    return rows
+
+
+def print_table1(rows) -> None:
+    header = (
+        f"{'platform':<12} {'cores':<34} {'t paper':>9} {'t model':>9} "
+        f"{'P paper':>9} {'P model':>9} {'E paper':>9} {'E model':>9} {'top1':>6}"
+    )
+    print()
+    print("Table I reproduction (paper vs calibrated model)")
+    print(header)
+    for row in rows:
+        print(
+            f"{row['platform']:<12} {row['cores']:<34} "
+            f"{row['paper_time_ms']:>9.1f} {row['model_time_ms']:>9.1f} "
+            f"{row['paper_power_mw']:>9.0f} {row['model_power_mw']:>9.0f} "
+            f"{row['paper_energy_mj']:>9.1f} {row['model_energy_mj']:>9.1f} "
+            f"{row['model_top1']:>6.1f}"
+        )
+
+
+def test_bench_table1(benchmark, reference_network, energy_model):
+    rows = benchmark(regenerate_table1, reference_network, energy_model)
+    print_table1(rows)
+
+    assert len(rows) == 10
+    for row in rows:
+        assert row["model_time_ms"] == pytest.approx(row["paper_time_ms"], rel=0.10)
+        assert row["model_power_mw"] == pytest.approx(row["paper_power_mw"], rel=0.25)
+        assert row["model_energy_mj"] == pytest.approx(row["paper_energy_mj"], rel=0.25)
+        # Platform-independent metric: identical accuracy on every platform.
+        assert row["model_top1"] == pytest.approx(71.2)
+
+    by_cores = {row["cores"]: row for row in rows}
+    # GPU rows are the fastest on the Jetson Nano.
+    assert (
+        by_cores["GPU (921MHz) + A57 CPU (1.43GHz)"]["model_time_ms"]
+        < by_cores["A57 CPU (1.43GHz)"]["model_time_ms"]
+    )
+    # The A7 at 200 MHz is the lowest-power row of the whole table.
+    lowest_power = min(rows, key=lambda row: row["model_power_mw"])
+    assert lowest_power["cores"] == "A7 CPU (200MHz)"
+    # The A15 at 1.8 GHz draws more power than the A7 at any frequency.
+    a15_max = by_cores["A15 CPU (1.8GHz)"]["model_power_mw"]
+    assert all(
+        a15_max > row["model_power_mw"] for row in rows if row["cores"].startswith("A7")
+    )

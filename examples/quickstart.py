@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build the dynamic DNN, pick an operating point for a budget.
+
+This walks the core workflow of the library in a few steps:
+
+1. build the paper's group-convolution CIFAR-10 network and wrap it into a
+   four-increment dynamic DNN (25/50/75/100 % configurations);
+2. run the (simulated) incremental-training procedure to obtain accuracy and
+   confidence per configuration;
+3. load the calibrated Odroid XU3 platform model;
+4. ask the runtime manager for the best operating point under a latency and
+   energy budget — the Section IV case-study query.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.dnn import IncrementalTrainer, make_dynamic_cifar_dnn
+from repro.platforms import odroid_xu3
+from repro.rtm import RuntimeManager
+from repro.workloads import Requirements
+
+
+def main() -> None:
+    # 1. The dynamic DNN: one model, four runtime-selectable widths.
+    dynamic_dnn = make_dynamic_cifar_dnn(num_increments=4)
+    print("Dynamic DNN configurations (width, MACs, parameters):")
+    for percent, macs, params in dynamic_dnn.summary():
+        print(f"  {percent:>4}%  {macs / 1e6:6.1f} M MACs   {params / 1e6:5.2f} M params")
+    print(f"Stored once, footprint {dynamic_dnn.memory_footprint_mb():.1f} MB\n")
+
+    # 2. Simulated incremental training attaches the Fig 4(b) accuracy profile.
+    trained = IncrementalTrainer().train(dynamic_dnn)
+    print("Accuracy per configuration (calibrated to the paper's Fig 4b):")
+    for percent, accuracy in sorted(trained.accuracy_table().items()):
+        print(f"  {percent:>4}%  top-1 {accuracy:.1f} %")
+    print()
+
+    # 3. The calibrated platform the paper measures (Odroid XU3).
+    platform = odroid_xu3()
+    print(f"Platform: {platform.name} with clusters {platform.cluster_names}\n")
+
+    # 4. Budget-driven operating-point selection (the case-study query).
+    manager = RuntimeManager()
+    for latency_ms, energy_mj in ((400.0, 100.0), (200.0, 150.0)):
+        requirements = Requirements(max_latency_ms=latency_ms, max_energy_mj=energy_mj)
+        point = manager.select_operating_point(
+            trained, platform, requirements, clusters=["a15", "a7"], core_counts=[1]
+        )
+        print(f"Budget ({latency_ms:.0f} ms, {energy_mj:.0f} mJ) -> {point.describe()}")
+
+
+if __name__ == "__main__":
+    main()

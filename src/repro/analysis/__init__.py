@@ -1,0 +1,39 @@
+"""Analysis and reporting utilities for simulation traces and sweeps."""
+
+from repro.analysis.report import (
+    OPERATING_POINT_HEADERS,
+    TRACE_COMPARISON_HEADERS,
+    format_markdown_table,
+    format_operating_points,
+    format_table,
+    format_trace_comparison,
+    operating_point_rows,
+    trace_comparison_rows,
+)
+from repro.analysis.sweep import SweepResult, run_manager_sweep, run_seed_sweep
+from repro.analysis.timeline import (
+    AdaptationEvent,
+    PhaseSummary,
+    adaptation_events,
+    application_timeline,
+    phase_boundaries_from_scenario,
+)
+
+__all__ = [
+    "OPERATING_POINT_HEADERS",
+    "TRACE_COMPARISON_HEADERS",
+    "format_markdown_table",
+    "format_operating_points",
+    "format_table",
+    "format_trace_comparison",
+    "operating_point_rows",
+    "trace_comparison_rows",
+    "SweepResult",
+    "run_manager_sweep",
+    "run_seed_sweep",
+    "AdaptationEvent",
+    "PhaseSummary",
+    "adaptation_events",
+    "application_timeline",
+    "phase_boundaries_from_scenario",
+]

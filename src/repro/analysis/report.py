@@ -1,0 +1,152 @@
+"""Text and Markdown reporting helpers.
+
+The benchmark harness, the examples and EXPERIMENTS.md all need the same kind
+of small tables: trace summaries, manager comparisons, operating-point lists.
+These helpers render them consistently so reports stay readable and diffs
+stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.rtm.operating_points import OperatingPoint
+from repro.sim.trace import SimulationTrace
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "trace_comparison_rows",
+    "format_trace_comparison",
+    "operating_point_rows",
+    "format_operating_points",
+]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def trace_comparison_rows(traces: Dict[str, SimulationTrace]) -> List[List[object]]:
+    """One comparison row per manager: violations, accuracy, energy, thermal."""
+    rows: List[List[object]] = []
+    for name, trace in traces.items():
+        rows.append(
+            [
+                name,
+                round(trace.violation_rate(), 4),
+                round(trace.mean_accuracy_percent(), 1),
+                round(trace.mean_configuration(), 2),
+                round(trace.total_energy_mj() / 1000.0, 2),
+                round(trace.mean_power_mw(), 0),
+                round(trace.peak_temperature_c(), 1),
+                round(trace.throttling_fraction(), 3),
+            ]
+        )
+    return rows
+
+
+#: Column headers matching :func:`trace_comparison_rows`.
+TRACE_COMPARISON_HEADERS = (
+    "manager",
+    "violation rate",
+    "mean top-1 (%)",
+    "mean width",
+    "energy (J)",
+    "mean power (mW)",
+    "peak T (C)",
+    "throttled",
+)
+
+
+def format_trace_comparison(traces: Dict[str, SimulationTrace], markdown: bool = False) -> str:
+    """Render a manager-comparison table for a set of traces."""
+    rows = trace_comparison_rows(traces)
+    if markdown:
+        return format_markdown_table(TRACE_COMPARISON_HEADERS, rows)
+    return format_table(TRACE_COMPARISON_HEADERS, rows)
+
+
+def operating_point_rows(points: Iterable[OperatingPoint]) -> List[List[object]]:
+    """Rows describing operating points (one per point)."""
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.cluster_name,
+                round(point.configuration * 100),
+                point.cores,
+                round(point.frequency_mhz),
+                round(point.latency_ms, 1),
+                round(point.energy_mj, 1),
+                round(point.power_mw),
+                round(point.accuracy_percent, 1),
+            ]
+        )
+    return rows
+
+
+#: Column headers matching :func:`operating_point_rows`.
+OPERATING_POINT_HEADERS = (
+    "cluster",
+    "width (%)",
+    "cores",
+    "f (MHz)",
+    "t (ms)",
+    "E (mJ)",
+    "P (mW)",
+    "top-1 (%)",
+)
+
+
+def format_operating_points(
+    points: Iterable[OperatingPoint],
+    markdown: bool = False,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a table of operating points (optionally truncated to ``limit``)."""
+    selected = list(points)
+    if limit is not None:
+        selected = selected[:limit]
+    rows = operating_point_rows(selected)
+    if markdown:
+        return format_markdown_table(OPERATING_POINT_HEADERS, rows)
+    return format_table(OPERATING_POINT_HEADERS, rows)

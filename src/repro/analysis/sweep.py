@@ -1,0 +1,112 @@
+"""Parameter sweeps over scenarios, managers and platforms.
+
+The ablation study and the robustness checks need the same loop: run a family
+of (scenario, manager) combinations, collect the headline statistics of every
+run, and aggregate across seeds.  This module provides that loop in one place
+so benchmarks and examples do not re-implement it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
+from repro.sim.trace import SimulationTrace
+from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["SweepResult", "run_manager_sweep", "run_seed_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Results of one sweep: per-case traces plus aggregate statistics."""
+
+    traces: Dict[str, SimulationTrace] = field(default_factory=dict)
+
+    def violation_rates(self) -> Dict[str, float]:
+        """Violation rate per case."""
+        return {name: trace.violation_rate() for name, trace in self.traces.items()}
+
+    def energies_mj(self) -> Dict[str, float]:
+        """Total inference energy per case."""
+        return {name: trace.total_energy_mj() for name, trace in self.traces.items()}
+
+    def mean_accuracies(self) -> Dict[str, float]:
+        """Mean delivered accuracy per case."""
+        return {name: trace.mean_accuracy_percent() for name, trace in self.traces.items()}
+
+    def best_case(self) -> str:
+        """Case with the lowest violation rate (ties broken by energy)."""
+        if not self.traces:
+            raise ValueError("the sweep produced no traces")
+        return min(
+            self.traces,
+            key=lambda name: (
+                self.traces[name].violation_rate(),
+                self.traces[name].total_energy_mj(),
+            ),
+        )
+
+
+def run_manager_sweep(
+    scenario_factory: Callable[[], Scenario],
+    managers: Dict[str, Callable[[], ManagerProtocol]],
+    simulator_config: Optional[SimulatorConfig] = None,
+) -> SweepResult:
+    """Replay the same scenario under several managers.
+
+    Parameters
+    ----------
+    scenario_factory:
+        Builds a fresh scenario per run (scenarios carry mutable application
+        state, so each manager gets its own copy).
+    managers:
+        Mapping of case name to a factory producing the manager for that case.
+    simulator_config:
+        Optional simulator tunables shared by every run.
+    """
+    result = SweepResult()
+    for name, manager_factory in managers.items():
+        trace = simulate_scenario(
+            scenario_factory(), manager_factory(), config=simulator_config
+        )
+        result.traces[name] = trace
+    return result
+
+
+def run_seed_sweep(
+    manager_factory: Callable[[], ManagerProtocol],
+    seeds: Sequence[int],
+    generator_config: Optional[WorkloadGeneratorConfig] = None,
+    platform_name: str = "odroid_xu3",
+    simulator_config: Optional[SimulatorConfig] = None,
+) -> Dict[str, object]:
+    """Run randomly generated scenarios across seeds under one manager.
+
+    Returns aggregate statistics (mean / worst violation rate, mean energy)
+    plus the per-seed values, so robustness claims can be checked rather than
+    asserted from a single draw.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    per_seed: Dict[int, SimulationTrace] = {}
+    for seed in seeds:
+        generator = WorkloadGenerator(generator_config, seed=seed)
+        scenario = generator.generate(platform_name=platform_name)
+        per_seed[seed] = simulate_scenario(
+            scenario, manager_factory(), config=simulator_config
+        )
+    violation_rates = [trace.violation_rate() for trace in per_seed.values()]
+    energies = [trace.total_energy_mj() for trace in per_seed.values()]
+    return {
+        "seeds": list(seeds),
+        "violation_rates": {seed: trace.violation_rate() for seed, trace in per_seed.items()},
+        "mean_violation_rate": float(np.mean(violation_rates)),
+        "worst_violation_rate": float(np.max(violation_rates)),
+        "mean_energy_mj": float(np.mean(energies)),
+        "traces": per_seed,
+    }

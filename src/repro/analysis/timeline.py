@@ -1,0 +1,189 @@
+"""Timeline analysis of simulation traces.
+
+The Fig 2 narrative is a story about *what changed when*: which cluster each
+DNN ran on, which configuration it used, and how those choices moved as other
+applications arrived and requirements changed.  This module extracts that
+story from a :class:`~repro.sim.trace.SimulationTrace`:
+
+* :func:`application_timeline` — per-phase summary (cluster, configuration,
+  latency, energy) for one application;
+* :func:`adaptation_events` — the points in time where the manager changed an
+  application's cluster or configuration;
+* :func:`phase_boundaries_from_scenario` — derive the natural phases of a
+  scenario from its arrival / departure / requirement-change events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.trace import JobRecord, SimulationTrace
+from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "PhaseSummary",
+    "AdaptationEvent",
+    "phase_boundaries_from_scenario",
+    "application_timeline",
+    "adaptation_events",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Summary of one application over one time window.
+
+    Attributes
+    ----------
+    label:
+        Human-readable phase label (e.g. ``"t=5.0s..15.0s"``).
+    start_ms / end_ms:
+        Window boundaries.
+    jobs / dropped:
+        Completed and dropped job counts in the window.
+    clusters:
+        Clusters used (usually one, more during a migration window).
+    mean_configuration / mean_latency_ms / mean_energy_mj / mean_accuracy:
+        Averages over the completed jobs of the window (0 when none).
+    violation_rate:
+        Fraction of the window's jobs that violated a requirement or were
+        dropped.
+    """
+
+    label: str
+    start_ms: float
+    end_ms: float
+    jobs: int
+    dropped: int
+    clusters: Tuple[str, ...]
+    mean_configuration: float
+    mean_latency_ms: float
+    mean_energy_mj: float
+    mean_accuracy: float
+    violation_rate: float
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """A change of cluster or configuration between consecutive jobs."""
+
+    time_ms: float
+    app_id: str
+    kind: str  # "cluster" or "configuration"
+    before: object
+    after: object
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time_ms / 1000.0:.1f}s {self.app_id}: "
+            f"{self.kind} {self.before} -> {self.after}"
+        )
+
+
+def phase_boundaries_from_scenario(scenario: Scenario) -> List[float]:
+    """The natural phase boundaries of a scenario.
+
+    Boundaries are the scenario start, every distinct event time (arrival,
+    departure, requirement change) and the scenario end.
+    """
+    times = {0.0, scenario.duration_ms}
+    for event in scenario.events():
+        times.add(event.time_ms)
+    return sorted(times)
+
+
+def _window_summary(
+    label: str, start_ms: float, end_ms: float, jobs: Sequence[JobRecord]
+) -> PhaseSummary:
+    completed = [job for job in jobs if not job.dropped]
+    dropped = [job for job in jobs if job.dropped]
+    violations = sum(1 for job in jobs if not job.met_requirements)
+
+    def mean(values: List[float]) -> float:
+        return float(np.mean(values)) if values else 0.0
+
+    return PhaseSummary(
+        label=label,
+        start_ms=start_ms,
+        end_ms=end_ms,
+        jobs=len(completed),
+        dropped=len(dropped),
+        clusters=tuple(sorted({job.cluster for job in completed})),
+        mean_configuration=mean([job.configuration for job in completed]),
+        mean_latency_ms=mean([job.latency_ms for job in completed]),
+        mean_energy_mj=mean([job.energy_mj for job in completed]),
+        mean_accuracy=mean([job.accuracy_percent for job in completed]),
+        violation_rate=(violations / len(jobs)) if jobs else 0.0,
+    )
+
+
+def application_timeline(
+    trace: SimulationTrace,
+    app_id: str,
+    boundaries: Optional[Sequence[float]] = None,
+    scenario: Optional[Scenario] = None,
+) -> List[PhaseSummary]:
+    """Phase-by-phase summary of one application.
+
+    Parameters
+    ----------
+    trace:
+        The simulation trace.
+    app_id:
+        Application to summarise.
+    boundaries:
+        Explicit phase boundaries in milliseconds.  When omitted they are
+        derived from ``scenario`` (if given) or a default of four equal
+        windows over the trace duration.
+    scenario:
+        Scenario used to derive boundaries when ``boundaries`` is omitted.
+    """
+    if boundaries is None:
+        if scenario is not None:
+            boundaries = phase_boundaries_from_scenario(scenario)
+        else:
+            quarter = trace.duration_ms / 4.0
+            boundaries = [0.0, quarter, 2 * quarter, 3 * quarter, trace.duration_ms]
+    boundaries = sorted(set(float(b) for b in boundaries))
+    if len(boundaries) < 2:
+        raise ValueError("at least two phase boundaries are required")
+    jobs = trace.jobs_for(app_id)
+    phases = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        window_jobs = [job for job in jobs if start <= job.release_ms < end]
+        label = f"t={start / 1000.0:.1f}s..{end / 1000.0:.1f}s"
+        phases.append(_window_summary(label, start, end, window_jobs))
+    return phases
+
+
+def adaptation_events(trace: SimulationTrace, app_id: Optional[str] = None) -> List[AdaptationEvent]:
+    """Cluster and configuration changes between consecutive completed jobs."""
+    events: List[AdaptationEvent] = []
+    app_ids = [app_id] if app_id is not None else trace.app_ids()
+    for current_app in app_ids:
+        jobs = trace.completed_jobs(current_app)
+        for previous, current in zip(jobs, jobs[1:]):
+            if previous.cluster != current.cluster:
+                events.append(
+                    AdaptationEvent(
+                        time_ms=current.start_ms,
+                        app_id=current_app,
+                        kind="cluster",
+                        before=previous.cluster,
+                        after=current.cluster,
+                    )
+                )
+            if abs(previous.configuration - current.configuration) > 1e-9:
+                events.append(
+                    AdaptationEvent(
+                        time_ms=current.start_ms,
+                        app_id=current_app,
+                        kind="configuration",
+                        before=previous.configuration,
+                        after=current.configuration,
+                    )
+                )
+    return sorted(events, key=lambda event: (event.time_ms, event.app_id, event.kind))

@@ -1,0 +1,29 @@
+"""Baseline management schemes the paper's approach is compared against.
+
+* :class:`StaticDeploymentManager` / :func:`design_time_deployment` — the
+  static-pruning design-time flow (Section III-B, Fig 1): one fixed model per
+  assumed hardware setting, no runtime adaptation.
+* :class:`GovernorOnlyManager` — hardware-only runtime management (Section V):
+  OS-style placement plus a cpufreq governor, no application knobs.
+
+The application-aware runtime manager itself
+(:class:`repro.rtm.RuntimeManager`) doubles as the "oracle" configuration of
+the ablation benchmark when all of its knobs are enabled, since it already
+searches the full operating-point space at every decision.
+"""
+
+from repro.baselines.governor_only import GovernorOnlyManager
+from repro.baselines.static import (
+    StaticDeploymentManager,
+    StaticDeploymentPlan,
+    StaticVariant,
+    design_time_deployment,
+)
+
+__all__ = [
+    "GovernorOnlyManager",
+    "StaticDeploymentManager",
+    "StaticDeploymentPlan",
+    "StaticVariant",
+    "design_time_deployment",
+]

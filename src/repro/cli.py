@@ -1,0 +1,233 @@
+"""Command-line interface for the reproduction experiments.
+
+Provides a small ``repro-experiments`` tool (also runnable as
+``python -m repro.cli``) that regenerates the paper's artefacts from the
+terminal without going through pytest:
+
+* ``table1``     — reproduce Table I;
+* ``fig4a``      — print the Fig 4(a) operating-point series;
+* ``fig4b``      — print the Fig 4(b) accuracy table;
+* ``case-study`` — run the Section IV budget queries;
+* ``scenario``   — replay a runtime scenario under a chosen manager and print
+  the phase timeline and comparison tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import (
+    adaptation_events,
+    application_timeline,
+    format_operating_points,
+    format_table,
+    format_trace_comparison,
+    run_manager_sweep,
+)
+from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
+from repro.data.cifar import make_validation_set
+from repro.data.measurements import CASE_STUDY_BUDGETS, TABLE1_ROWS
+from repro.dnn import IncrementalTrainer, make_dynamic_cifar_dnn
+from repro.dnn.zoo import cifar_group_cnn
+from repro.perfmodel import CalibratedLatencyModel, EnergyModel
+from repro.platforms import build_preset, jetson_nano, odroid_xu3
+from repro.rtm import (
+    MinEnergyUnderConstraints,
+    OperatingPointSpace,
+    RuntimeManager,
+    make_policy,
+)
+from repro.sim import simulate_scenario
+from repro.workloads import SCENARIO_BUILDERS, Requirements
+
+__all__ = ["main", "build_parser"]
+
+
+def _energy_model() -> EnergyModel:
+    return EnergyModel(CalibratedLatencyModel())
+
+
+def _trained_dnn():
+    return IncrementalTrainer().train(make_dynamic_cifar_dnn())
+
+
+# ------------------------------------------------------------------ commands
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Reproduce Table I and print paper vs model for every row."""
+    energy_model = _energy_model()
+    network = cifar_group_cnn()
+    socs = {"odroid_xu3": odroid_xu3(), "jetson_nano": jetson_nano()}
+    rows = []
+    for row in TABLE1_ROWS:
+        cluster = socs[row.platform].cluster(row.cluster)
+        frequency = (
+            row.frequency_mhz
+            if cluster.opp_table.contains_frequency(row.frequency_mhz)
+            else cluster.opp_table.nearest(row.frequency_mhz).frequency_mhz
+        )
+        cost = energy_model.cost(
+            network, cluster, frequency_mhz=frequency, cores_used=1, soc_name=row.platform
+        )
+        rows.append(
+            [
+                row.platform,
+                row.cores,
+                row.execution_time_ms,
+                round(cost.latency_ms, 1),
+                row.power_mw,
+                round(cost.power_mw),
+                row.energy_mj,
+                round(cost.energy_mj, 1),
+            ]
+        )
+    headers = ["platform", "cores", "t paper", "t model", "P paper", "P model", "E paper", "E model"]
+    print(format_table(headers, rows, precision=1))
+    return 0
+
+
+def cmd_fig4a(args: argparse.Namespace) -> int:
+    """Print the Fig 4(a) operating-point sweep (optionally only the Pareto front)."""
+    from repro.rtm import pareto_front
+
+    trained = _trained_dnn()
+    space = OperatingPointSpace(trained, odroid_xu3(), _energy_model())
+    points = space.fig4a_points()
+    if args.pareto:
+        points = pareto_front(points)
+        print(f"Pareto-optimal operating points ({len(points)}):")
+    else:
+        print(f"Fig 4(a) operating points ({len(points)}):")
+    points = sorted(points, key=lambda p: (p.cluster_name, p.configuration, p.frequency_mhz))
+    print(format_operating_points(points, limit=args.limit))
+    return 0
+
+
+def cmd_fig4b(args: argparse.Namespace) -> int:
+    """Print the Fig 4(b) accuracy table with per-class spread."""
+    trained = _trained_dnn()
+    dataset = make_validation_set()
+    rows = []
+    for fraction in trained.configurations:
+        per_class = trained.accuracy_model.per_class(fraction, dataset)
+        rows.append(
+            [f"{round(fraction * 100)}%", round(per_class.mean_top1, 1), round(per_class.stddev, 1)]
+        )
+    print(format_table(["configuration", "top-1 (%)", "class stddev (pp)"], rows, precision=1))
+    return 0
+
+
+def cmd_case_study(args: argparse.Namespace) -> int:
+    """Run the Section IV budget queries (or a custom budget)."""
+    trained = _trained_dnn()
+    platform = build_preset(args.platform)
+    manager = RuntimeManager(policy=make_policy(args.policy))
+    budgets = list(CASE_STUDY_BUDGETS)
+    if args.latency_ms is not None and args.energy_mj is not None:
+        budgets = [(args.latency_ms, args.energy_mj)]
+    for latency_ms, energy_mj in budgets:
+        point = manager.select_operating_point(
+            trained,
+            platform,
+            Requirements(max_latency_ms=latency_ms, max_energy_mj=energy_mj),
+            clusters=args.clusters,
+            core_counts=[1],
+        )
+        print(f"budget ({latency_ms:.0f} ms, {energy_mj:.0f} mJ) -> {point.describe()}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Replay a scenario under the RTM and (optionally) the baselines."""
+    try:
+        scenario_builder = SCENARIO_BUILDERS[args.name]
+    except KeyError:
+        print(f"unknown scenario {args.name!r}; available: {sorted(SCENARIO_BUILDERS)}", file=sys.stderr)
+        return 2
+
+    def managers() -> Dict[str, Callable[[], object]]:
+        cases: Dict[str, Callable[[], object]] = {
+            "rtm": lambda: RuntimeManager(
+                policy_overrides={"dnn2": MinEnergyUnderConstraints()}
+            )
+        }
+        if args.baselines:
+            cases["governor_only"] = GovernorOnlyManager
+            cases["static_deployment"] = StaticDeploymentManager
+        return cases
+
+    sweep = run_manager_sweep(scenario_builder, managers())
+    print(format_trace_comparison(sweep.traces))
+
+    rtm_trace = sweep.traces["rtm"]
+    scenario = scenario_builder()
+    for app in scenario.dnn_applications:
+        print(f"\nTimeline of {app.app_id} under the RTM:")
+        for phase in application_timeline(rtm_trace, app.app_id, scenario=scenario):
+            clusters = "/".join(phase.clusters) if phase.clusters else "-"
+            print(
+                f"  {phase.label:<18} jobs={phase.jobs:<4} width={phase.mean_configuration:4.2f} "
+                f"on {clusters:<12} t={phase.mean_latency_ms:7.1f} ms "
+                f"viol={phase.violation_rate:5.2f}"
+            )
+    if args.events:
+        print("\nAdaptation events:")
+        for event in adaptation_events(rtm_trace):
+            print(f"  {event}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the experiments of 'Optimising Resource Management "
+        "for Embedded Machine Learning' (DATE 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table I")
+    table1.set_defaults(func=cmd_table1)
+
+    fig4a = subparsers.add_parser("fig4a", help="print the Fig 4(a) operating-point sweep")
+    fig4a.add_argument("--pareto", action="store_true", help="only print the Pareto front")
+    fig4a.add_argument("--limit", type=int, default=None, help="print at most N points")
+    fig4a.set_defaults(func=cmd_fig4a)
+
+    fig4b = subparsers.add_parser("fig4b", help="print the Fig 4(b) accuracy table")
+    fig4b.set_defaults(func=cmd_fig4b)
+
+    case_study = subparsers.add_parser("case-study", help="run the Section IV budget queries")
+    case_study.add_argument("--platform", default="odroid_xu3")
+    case_study.add_argument("--policy", default="max_accuracy")
+    case_study.add_argument("--clusters", nargs="+", default=["a15", "a7"])
+    case_study.add_argument("--latency-ms", type=float, default=None)
+    case_study.add_argument("--energy-mj", type=float, default=None)
+    case_study.set_defaults(func=cmd_case_study)
+
+    scenario = subparsers.add_parser("scenario", help="replay a runtime scenario")
+    scenario.add_argument("--name", default="fig2", help="scenario name (fig2, single_dnn, ...)")
+    scenario.add_argument(
+        "--baselines", action="store_true", help="also run the governor-only and static baselines"
+    )
+    scenario.add_argument("--events", action="store_true", help="print adaptation events")
+    scenario.set_defaults(func=cmd_scenario)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-experiments`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct module execution
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Published measurement data from the paper.
+
+This subpackage holds, verbatim, the numbers published in the paper (Table I,
+Fig 4(a) frequency grids and Fig 4(b) accuracies) plus a synthetic stand-in for
+the CIFAR-10 validation set used by the accuracy experiments.  Everything else
+in :mod:`repro` is calibrated against these values, so they live in one place.
+"""
+
+from repro.data.measurements import (
+    FIG4A_A15_FREQUENCIES_MHZ,
+    FIG4A_A7_FREQUENCIES_MHZ,
+    FIG4B_ACCURACY_BY_CONFIGURATION,
+    TABLE1_ROWS,
+    Table1Row,
+    table1_by_platform,
+)
+from repro.data.cifar import CIFAR10_CLASSES, SyntheticCifar10, make_validation_set
+
+__all__ = [
+    "FIG4A_A15_FREQUENCIES_MHZ",
+    "FIG4A_A7_FREQUENCIES_MHZ",
+    "FIG4B_ACCURACY_BY_CONFIGURATION",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "table1_by_platform",
+    "CIFAR10_CLASSES",
+    "SyntheticCifar10",
+    "make_validation_set",
+]

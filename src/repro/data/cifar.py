@@ -1,0 +1,128 @@
+"""Synthetic stand-in for the CIFAR-10 validation set.
+
+The paper evaluates the dynamic DNN's accuracy on the 10,000-image CIFAR-10
+validation set (Fig 4(b)), reporting the mean top-1 accuracy per configuration
+and the variance across the ten classes.  We do not train a real network, so
+we model the dataset structurally: ten classes, one thousand validation images
+per class, and a deterministic pseudo-label stream that the accuracy model in
+:mod:`repro.dnn.accuracy` uses to produce per-class accuracies whose mean and
+spread match Fig 4(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CIFAR10_CLASSES", "SyntheticCifar10", "make_validation_set"]
+
+#: The ten CIFAR-10 class labels in canonical order.
+CIFAR10_CLASSES: Tuple[str, ...] = (
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+)
+
+
+@dataclass
+class SyntheticCifar10:
+    """A structural model of the CIFAR-10 validation split.
+
+    The object stores, per class, the number of validation images and a
+    per-class "difficulty" score in ``[0, 1]``.  Difficulty is sampled once
+    from a seeded generator; harder classes lose more accuracy when the
+    dynamic DNN is pruned, which reproduces the growing error bars of
+    Fig 4(b) at smaller configurations.
+
+    Attributes
+    ----------
+    images_per_class:
+        Number of validation images per class (1,000 for CIFAR-10).
+    class_names:
+        Class labels.
+    difficulty:
+        Mapping of class name to difficulty in ``[0, 1]``.
+    seed:
+        Seed used to derive difficulties and the synthetic label stream.
+    """
+
+    images_per_class: int = 1000
+    class_names: Tuple[str, ...] = CIFAR10_CLASSES
+    seed: int = 2020
+    difficulty: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.images_per_class <= 0:
+            raise ValueError("images_per_class must be positive")
+        if not self.class_names:
+            raise ValueError("at least one class is required")
+        if not self.difficulty:
+            rng = np.random.default_rng(self.seed)
+            # Difficulties roughly uniform in [0.2, 0.8]: every class is
+            # learnable but none is trivial.  Deterministic for a given seed.
+            raw = rng.uniform(0.2, 0.8, size=len(self.class_names))
+            self.difficulty = {
+                name: float(value) for name, value in zip(self.class_names, raw)
+            }
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes in the dataset."""
+        return len(self.class_names)
+
+    @property
+    def num_images(self) -> int:
+        """Total number of validation images."""
+        return self.images_per_class * self.num_classes
+
+    def class_difficulties(self) -> List[float]:
+        """Difficulty scores in class order."""
+        return [self.difficulty[name] for name in self.class_names]
+
+    def labels(self) -> np.ndarray:
+        """Ground-truth label array of shape ``(num_images,)``.
+
+        Labels are grouped by class (all images of class 0 first), which is
+        how per-class accuracy is computed in the benchmarks.
+        """
+        return np.repeat(np.arange(self.num_classes), self.images_per_class)
+
+    def class_slices(self) -> Dict[str, slice]:
+        """Mapping of class name to the slice of its images in :meth:`labels`."""
+        out: Dict[str, slice] = {}
+        for index, name in enumerate(self.class_names):
+            start = index * self.images_per_class
+            out[name] = slice(start, start + self.images_per_class)
+        return out
+
+
+def make_validation_set(
+    images_per_class: int = 1000,
+    class_names: Sequence[str] = CIFAR10_CLASSES,
+    seed: int = 2020,
+) -> SyntheticCifar10:
+    """Create a synthetic CIFAR-10-like validation set.
+
+    Parameters
+    ----------
+    images_per_class:
+        Validation images per class; the paper uses 1,000.
+    class_names:
+        Class labels; defaults to the CIFAR-10 classes.
+    seed:
+        Seed for the per-class difficulty draw.
+    """
+    return SyntheticCifar10(
+        images_per_class=images_per_class,
+        class_names=tuple(class_names),
+        seed=seed,
+    )

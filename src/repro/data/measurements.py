@@ -1,0 +1,141 @@
+"""Measurement data published in the paper.
+
+Table I of the paper reports platform-dependent metrics (execution time, power,
+energy) and the platform-independent metric (top-1 accuracy) for the same DNN
+deployed on two physical platforms:
+
+* NVIDIA Jetson Nano — Maxwell GPU + quad Cortex-A57, two DVFS settings each.
+* Hardkernel Odroid XU3 — Exynos 5422 with a Cortex-A15 (big) and Cortex-A7
+  (LITTLE) cluster, three DVFS settings each.
+
+Fig 4(a) sweeps the dynamic DNN (25/50/75/100 % configurations) over the Odroid
+XU3's A15 cluster at 17 frequency levels and the A7 cluster at 12 frequency
+levels.  Fig 4(b) reports the top-1 CIFAR-10 accuracy of each configuration.
+
+All values here are copied from the paper; they are the calibration targets of
+the analytic platform models in :mod:`repro.platforms` and
+:mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Table1Row",
+    "TABLE1_ROWS",
+    "table1_by_platform",
+    "FIG4A_A15_FREQUENCIES_MHZ",
+    "FIG4A_A7_FREQUENCIES_MHZ",
+    "FIG4B_ACCURACY_BY_CONFIGURATION",
+    "FIG4B_ACCURACY_STDDEV_BY_CONFIGURATION",
+    "CASE_STUDY_BUDGETS",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I.
+
+    Attributes
+    ----------
+    platform:
+        Board name, ``"jetson_nano"`` or ``"odroid_xu3"``.
+    cores:
+        Human-readable description of the computing cores used.
+    cluster:
+        Short machine-readable cluster identifier used by the platform presets
+        (``"gpu"``, ``"a57"``, ``"a15"``, ``"a7"``).
+    frequency_mhz:
+        Operating frequency of the compute cluster in MHz.
+    execution_time_ms:
+        Measured single-inference latency in milliseconds.
+    power_mw:
+        Measured average power in milliwatts.
+    energy_mj:
+        Measured per-inference energy in millijoules.
+    top1_accuracy:
+        Top-1 accuracy in percent (platform independent).
+    """
+
+    platform: str
+    cores: str
+    cluster: str
+    frequency_mhz: float
+    execution_time_ms: float
+    power_mw: float
+    energy_mj: float
+    top1_accuracy: float
+
+
+#: The ten rows of Table I, verbatim from the paper.
+TABLE1_ROWS: Tuple[Table1Row, ...] = (
+    Table1Row("jetson_nano", "GPU (614MHz) + A57 CPU (921MHz)", "gpu", 614.0, 7.4, 1340.0, 9.92, 71.2),
+    Table1Row("jetson_nano", "GPU (921MHz) + A57 CPU (1.43GHz)", "gpu", 921.0, 4.93, 2500.0, 12.3, 71.2),
+    Table1Row("jetson_nano", "A57 CPU (921MHz)", "a57", 921.0, 69.4, 878.0, 60.9, 71.2),
+    Table1Row("jetson_nano", "A57 CPU (1.43GHz)", "a57", 1430.0, 46.9, 1490.0, 69.9, 71.2),
+    Table1Row("odroid_xu3", "A15 CPU (200MHz)", "a15", 200.0, 1020.0, 326.0, 320.0, 71.2),
+    Table1Row("odroid_xu3", "A15 CPU (1GHz)", "a15", 1000.0, 204.0, 846.0, 173.0, 71.2),
+    Table1Row("odroid_xu3", "A15 CPU (1.8GHz)", "a15", 1800.0, 117.0, 2120.0, 248.0, 71.2),
+    Table1Row("odroid_xu3", "A7 CPU (200MHz)", "a7", 200.0, 1780.0, 72.4, 129.0, 71.2),
+    Table1Row("odroid_xu3", "A7 CPU (700MHz)", "a7", 700.0, 504.0, 141.0, 71.4, 71.2),
+    Table1Row("odroid_xu3", "A7 CPU (1.3GHz)", "a7", 1300.0, 280.0, 329.0, 92.1, 71.2),
+)
+
+
+def table1_by_platform(platform: str) -> List[Table1Row]:
+    """Return the Table I rows for one platform.
+
+    Parameters
+    ----------
+    platform:
+        ``"jetson_nano"`` or ``"odroid_xu3"``.
+
+    Raises
+    ------
+    ValueError
+        If the platform name is not one that appears in Table I.
+    """
+    rows = [row for row in TABLE1_ROWS if row.platform == platform]
+    if not rows:
+        known = sorted({row.platform for row in TABLE1_ROWS})
+        raise ValueError(f"unknown platform {platform!r}; Table I covers {known}")
+    return rows
+
+
+#: Fig 4(a): the A15 cluster is swept over 17 frequency levels.  The Odroid
+#: XU3's A15 cluster exposes 200 MHz .. 1.8 GHz in 100 MHz steps (17 levels),
+#: matching the frequency range used in Table I.
+FIG4A_A15_FREQUENCIES_MHZ: Tuple[float, ...] = tuple(float(f) for f in range(200, 1801, 100))
+
+#: Fig 4(a): the A7 cluster is swept over 12 frequency levels, 200 MHz .. 1.3
+#: GHz in 100 MHz steps.
+FIG4A_A7_FREQUENCIES_MHZ: Tuple[float, ...] = tuple(float(f) for f in range(200, 1301, 100))
+
+#: Fig 4(b): top-1 CIFAR-10 accuracy (percent) of each dynamic-DNN
+#: configuration, evaluated on the 10,000-image validation set.
+FIG4B_ACCURACY_BY_CONFIGURATION: Dict[float, float] = {
+    0.25: 56.0,
+    0.50: 62.7,
+    0.75: 68.8,
+    1.00: 71.2,
+}
+
+#: Fig 4(b) shows error bars for the variance across the 10 CIFAR-10 classes.
+#: The paper does not tabulate them; these standard deviations (in accuracy
+#: percentage points) are chosen to match the visual extent of the error bars
+#: and are used to seed the synthetic per-class accuracy model.
+FIG4B_ACCURACY_STDDEV_BY_CONFIGURATION: Dict[float, float] = {
+    0.25: 9.0,
+    0.50: 7.5,
+    0.75: 6.0,
+    1.00: 5.0,
+}
+
+#: Section IV case-study budget examples: (latency budget ms, energy budget mJ)
+#: mapped to the operating point the paper identifies as optimal.
+CASE_STUDY_BUDGETS: Dict[Tuple[float, float], Dict[str, object]] = {
+    (400.0, 100.0): {"cluster": "a7", "frequency_mhz": 900.0, "configuration": 1.00},
+    (200.0, 150.0): {"cluster": "a15", "frequency_mhz": 1000.0, "configuration": 0.75},
+}

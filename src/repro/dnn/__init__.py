@@ -1,0 +1,90 @@
+"""DNN structural models, dynamic DNNs and pruning.
+
+This subpackage models the *application* side of the paper: networks are
+described structurally (layers, shapes, MACs, parameters), transformed into
+group-convolution form, wrapped into a :class:`DynamicDNN` with multiple
+runtime-selectable width configurations, and given a calibrated accuracy
+profile by the simulated incremental-training procedure.
+"""
+
+from repro.dnn.accuracy import AccuracyModel, PerClassAccuracy
+from repro.dnn.dynamic import ConfigurationInfo, DynamicDNN, scale_network_width
+from repro.dnn.groups import (
+    convert_to_group_convolution,
+    group_structure,
+    max_supported_groups,
+)
+from repro.dnn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool2D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Shape,
+)
+from repro.dnn.model import LayerReport, NetworkModel
+from repro.dnn.pruning import (
+    MagnitudePruningResult,
+    filter_prune,
+    magnitude_prune,
+    prune_to_latency,
+)
+from repro.dnn.training import (
+    IncrementalTrainer,
+    TrainedDynamicDNN,
+    TrainingHistory,
+    TrainingStep,
+)
+from repro.dnn.zoo import (
+    MODEL_BUILDERS,
+    alexnet_like,
+    cifar_dense_cnn,
+    cifar_group_cnn,
+    make_dynamic_cifar_dnn,
+    mobilenet_like,
+    tiny_mlp,
+)
+
+__all__ = [
+    "AccuracyModel",
+    "PerClassAccuracy",
+    "ConfigurationInfo",
+    "DynamicDNN",
+    "scale_network_width",
+    "convert_to_group_convolution",
+    "group_structure",
+    "max_supported_groups",
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Flatten",
+    "FullyConnected",
+    "GlobalAvgPool2D",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Shape",
+    "LayerReport",
+    "NetworkModel",
+    "MagnitudePruningResult",
+    "filter_prune",
+    "magnitude_prune",
+    "prune_to_latency",
+    "IncrementalTrainer",
+    "TrainedDynamicDNN",
+    "TrainingHistory",
+    "TrainingStep",
+    "MODEL_BUILDERS",
+    "alexnet_like",
+    "cifar_dense_cnn",
+    "cifar_group_cnn",
+    "make_dynamic_cifar_dnn",
+    "mobilenet_like",
+    "tiny_mlp",
+]

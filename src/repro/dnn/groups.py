@@ -1,0 +1,110 @@
+"""Group-convolution transformation (Fig 3a of the paper).
+
+The paper's dynamic DNN is built by dividing the channels of each convolution
+layer into groups and training the groups incrementally.  This module provides
+the design-time transformation that turns a dense convolutional network into
+its group-convolution form, and helpers to inspect the group structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dnn.layers import Conv2D, DepthwiseConv2D, Layer
+from repro.dnn.model import NetworkModel
+
+__all__ = ["convert_to_group_convolution", "group_structure", "max_supported_groups"]
+
+
+def max_supported_groups(model: NetworkModel) -> int:
+    """Largest group count every (groupable) convolution of the model supports.
+
+    The first convolution is excluded when its input channel count (for
+    example 3 RGB channels) cannot be divided; its *output* channels still
+    scale with the dynamic configuration.
+    """
+    convs = [layer for _, layer in model.conv_layers() if not isinstance(layer, DepthwiseConv2D)]
+    if not convs:
+        return 1
+    limit = None
+    for index, conv in enumerate(convs):
+        candidates = [conv.out_channels]
+        if index > 0:
+            candidates.append(conv.in_channels)
+        for value in candidates:
+            limit = value if limit is None else _gcd(limit, value)
+    return max(1, limit or 1)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def convert_to_group_convolution(
+    model: NetworkModel,
+    num_groups: int,
+    skip_first: bool = True,
+    name_suffix: str = "_grouped",
+) -> NetworkModel:
+    """Convert dense convolutions to group convolutions.
+
+    Parameters
+    ----------
+    model:
+        The dense network.
+    num_groups:
+        Number of groups each convolution's channels are divided into.  Every
+        affected convolution must have input and output channel counts
+        divisible by this number.
+    skip_first:
+        Keep the first convolution dense (its input is the raw image whose
+        channel count — 3 for RGB — is generally not divisible by the group
+        count).  Its output channels still participate in dynamic scaling.
+    name_suffix:
+        Appended to the model name.
+
+    Returns
+    -------
+    NetworkModel
+        A new model in which the affected convolutions carry ``groups=num_groups``.
+    """
+    if num_groups <= 0:
+        raise ValueError("num_groups must be positive")
+    if num_groups == 1:
+        return model.with_layers(list(model.layers), name=model.name + name_suffix)
+
+    new_layers: List[Layer] = []
+    seen_first_conv = False
+    for layer in model.layers:
+        if isinstance(layer, Conv2D) and not isinstance(layer, DepthwiseConv2D):
+            is_first = not seen_first_conv
+            seen_first_conv = True
+            if is_first and skip_first:
+                new_layers.append(layer)
+                continue
+            if layer.in_channels % num_groups or layer.out_channels % num_groups:
+                raise ValueError(
+                    f"conv with {layer.in_channels}->{layer.out_channels} channels cannot be "
+                    f"divided into {num_groups} groups"
+                )
+            new_layers.append(
+                Conv2D(
+                    in_channels=layer.in_channels,
+                    out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    groups=num_groups,
+                    bias=layer.bias,
+                )
+            )
+        else:
+            new_layers.append(layer)
+    return model.with_layers(new_layers, name=model.name + name_suffix)
+
+
+def group_structure(model: NetworkModel) -> List[int]:
+    """Group count of every convolution layer, in network order."""
+    return [layer.groups for _, layer in model.conv_layers()]

@@ -1,0 +1,320 @@
+"""Structural layer descriptors for DNN workload modelling.
+
+The reproduction does not execute real neural networks; what the runtime
+manager and the platform models need is the *structure* of the network — how
+many multiply-accumulate operations (MACs), parameters and activation bytes
+each layer contributes — because those quantities drive latency, energy and
+memory footprint.  Each class here describes one layer type and knows how to
+compute its output shape, MAC count, parameter count and data traffic.
+
+Shapes are ``(channels, height, width)`` tuples for feature maps and
+``(features,)`` tuples for flattened vectors.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Shape",
+    "Layer",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "FullyConnected",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm2D",
+    "ReLU",
+    "Flatten",
+]
+
+Shape = Tuple[int, ...]
+
+
+def _conv_output_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution / pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"kernel {kernel} / stride {stride} / padding {padding} does not fit input size {size}"
+        )
+    return out
+
+
+class Layer(abc.ABC):
+    """Base class of all structural layer descriptors."""
+
+    #: Human-readable layer-type name used in summaries.
+    kind: str = "layer"
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape produced when the layer is applied to ``input_shape``."""
+
+    @abc.abstractmethod
+    def macs(self, input_shape: Shape) -> int:
+        """Multiply-accumulate operations for one forward pass."""
+
+    @abc.abstractmethod
+    def params(self) -> int:
+        """Number of learnable parameters."""
+
+    def activation_elements(self, input_shape: Shape) -> int:
+        """Number of elements in the layer's output feature map."""
+        out = self.output_shape(input_shape)
+        count = 1
+        for dim in out:
+            count *= dim
+        return count
+
+    def param_bytes(self, bytes_per_param: int = 4) -> int:
+        """Bytes of parameter storage (default: fp32)."""
+        return self.params() * bytes_per_param
+
+    def traffic_bytes(self, input_shape: Shape, bytes_per_element: int = 4) -> int:
+        """Approximate data traffic: read inputs + params, write outputs."""
+        in_count = 1
+        for dim in input_shape:
+            in_count *= dim
+        return (in_count + self.activation_elements(input_shape)) * bytes_per_element + self.param_bytes(
+            bytes_per_element
+        )
+
+
+def _require_chw(input_shape: Shape, layer: str) -> Tuple[int, int, int]:
+    if len(input_shape) != 3:
+        raise ValueError(f"{layer} expects a (channels, height, width) input, got {input_shape}")
+    return input_shape  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """A 2-D convolution, optionally grouped.
+
+    Attributes
+    ----------
+    in_channels / out_channels:
+        Channel counts.  Both must be divisible by ``groups``.
+    kernel_size / stride / padding:
+        Square spatial parameters.
+    groups:
+        Number of convolution groups.  ``groups=1`` is a dense convolution;
+        larger values give the group convolution used by the paper's dynamic
+        DNN (Fig 3a); ``groups == in_channels`` is a depthwise convolution.
+    bias:
+        Whether a bias vector is present.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 1
+    groups: int = 1
+    bias: bool = True
+    kind: str = "conv2d"
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if self.kernel_size <= 0 or self.stride <= 0 or self.padding < 0:
+            raise ValueError("invalid spatial parameters")
+        if self.groups <= 0:
+            raise ValueError("groups must be positive")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"in_channels={self.in_channels} and out_channels={self.out_channels} "
+                f"must both be divisible by groups={self.groups}"
+            )
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = _require_chw(input_shape, "Conv2D")
+        if channels != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected {self.in_channels} input channels, got {channels}"
+            )
+        out_h = _conv_output_hw(height, self.kernel_size, self.stride, self.padding)
+        out_w = _conv_output_hw(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def macs(self, input_shape: Shape) -> int:
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = (self.in_channels // self.groups) * self.kernel_size * self.kernel_size
+        return out_h * out_w * self.out_channels * per_output
+
+    def params(self) -> int:
+        weights = self.out_channels * (self.in_channels // self.groups) * self.kernel_size ** 2
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2D(Conv2D):
+    """A depthwise convolution (one group per channel), as used by MobileNets."""
+
+    kind: str = "depthwise_conv2d"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", self.in_channels)
+        if self.out_channels != self.in_channels:
+            raise ValueError("depthwise convolution requires out_channels == in_channels")
+        super().__post_init__()
+
+
+@dataclass(frozen=True)
+class FullyConnected(Layer):
+    """A dense (fully connected) layer."""
+
+    in_features: int
+    out_features: int
+    bias: bool = True
+    kind: str = "fully_connected"
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError("feature counts must be positive")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 1:
+            raise ValueError(f"FullyConnected expects a flat input, got {input_shape}")
+        if input_shape[0] != self.in_features:
+            raise ValueError(
+                f"FullyConnected expected {self.in_features} features, got {input_shape[0]}"
+            )
+        return (self.out_features,)
+
+    def macs(self, input_shape: Shape) -> int:
+        self.output_shape(input_shape)
+        return self.in_features * self.out_features
+
+    def params(self) -> int:
+        return self.in_features * self.out_features + (self.out_features if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class _Pool2D(Layer):
+    """Shared implementation of max / average pooling."""
+
+    kernel_size: int = 2
+    stride: int = 0  # 0 means "same as kernel_size"
+    padding: int = 0
+    kind: str = "pool2d"
+
+    def __post_init__(self) -> None:
+        if self.kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        if self.stride < 0 or self.padding < 0:
+            raise ValueError("stride and padding must be non-negative")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride > 0 else self.kernel_size
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = _require_chw(input_shape, self.kind)
+        out_h = _conv_output_hw(height, self.kernel_size, self.effective_stride, self.padding)
+        out_w = _conv_output_hw(width, self.kernel_size, self.effective_stride, self.padding)
+        return (channels, out_h, out_w)
+
+    def macs(self, input_shape: Shape) -> int:
+        # Pooling performs comparisons / additions, not MACs; count a small
+        # equivalent cost of one op per output element per window element.
+        channels, out_h, out_w = self.output_shape(input_shape)
+        return channels * out_h * out_w * self.kernel_size * self.kernel_size
+
+    def params(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class MaxPool2D(_Pool2D):
+    """Max pooling."""
+
+    kind: str = "max_pool2d"
+
+
+@dataclass(frozen=True)
+class AvgPool2D(_Pool2D):
+    """Average pooling."""
+
+    kind: str = "avg_pool2d"
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool2D(Layer):
+    """Global average pooling: collapses each channel to a single value."""
+
+    kind: str = "global_avg_pool2d"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, _, _ = _require_chw(input_shape, "GlobalAvgPool2D")
+        return (channels,)
+
+    def macs(self, input_shape: Shape) -> int:
+        channels, height, width = _require_chw(input_shape, "GlobalAvgPool2D")
+        return channels * height * width
+
+    def params(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class BatchNorm2D(Layer):
+    """Batch normalisation over channels."""
+
+    channels: int
+    kind: str = "batch_norm2d"
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = _require_chw(input_shape, "BatchNorm2D")
+        if channels != self.channels:
+            raise ValueError(f"BatchNorm2D expected {self.channels} channels, got {channels}")
+        return input_shape
+
+    def macs(self, input_shape: Shape) -> int:
+        channels, height, width = _require_chw(input_shape, "BatchNorm2D")
+        return channels * height * width  # one multiply-add per element
+
+    def params(self) -> int:
+        return 2 * self.channels  # scale and shift
+
+
+@dataclass(frozen=True)
+class ReLU(Layer):
+    """Rectified linear activation (element-wise, parameter free)."""
+
+    kind: str = "relu"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def macs(self, input_shape: Shape) -> int:
+        return 0
+
+    def params(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Flatten a feature map to a vector."""
+
+    kind: str = "flatten"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        count = 1
+        for dim in input_shape:
+            count *= dim
+        return (count,)
+
+    def macs(self, input_shape: Shape) -> int:
+        return 0
+
+    def params(self) -> int:
+        return 0

@@ -1,0 +1,198 @@
+"""Sequential network container and per-layer analysis.
+
+A :class:`NetworkModel` is an ordered list of structural layers plus an input
+shape.  It propagates shapes through the network, totals MACs / parameters /
+activation traffic, and produces the per-layer summary used by the examples
+and documentation.  It is the unit the performance model prices and the unit
+the dynamic DNN rescales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.dnn.layers import Conv2D, FullyConnected, Layer, Shape
+
+__all__ = ["LayerReport", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Per-layer analysis produced by :meth:`NetworkModel.layer_summary`."""
+
+    index: int
+    kind: str
+    input_shape: Shape
+    output_shape: Shape
+    macs: int
+    params: int
+
+
+class NetworkModel:
+    """A feed-forward network described structurally.
+
+    Parameters
+    ----------
+    name:
+        Model identifier, e.g. ``"cifar_group_cnn"``.
+    input_shape:
+        Shape of one input sample, e.g. ``(3, 32, 32)`` for CIFAR-10.
+    layers:
+        Ordered layer descriptors.  Shapes are validated at construction by
+        propagating the input shape through every layer.
+    bytes_per_param:
+        Storage size of one parameter (4 for fp32, 2 for fp16, 1 for int8).
+        This is the "data precision" application knob of Fig 5.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Shape,
+        layers: Iterable[Layer],
+        bytes_per_param: int = 4,
+    ) -> None:
+        if bytes_per_param <= 0:
+            raise ValueError("bytes_per_param must be positive")
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("a network needs at least one layer")
+        self.bytes_per_param = bytes_per_param
+        # Validate shape propagation eagerly so malformed networks fail fast.
+        self._shapes = self._propagate_shapes()
+
+    # --------------------------------------------------------------- shapes
+
+    def _propagate_shapes(self) -> List[Shape]:
+        shapes: List[Shape] = [self.input_shape]
+        current = self.input_shape
+        for index, layer in enumerate(self.layers):
+            try:
+                current = layer.output_shape(current)
+            except ValueError as error:
+                raise ValueError(
+                    f"shape error at layer {index} ({layer.kind}) of {self.name!r}: {error}"
+                ) from error
+            shapes.append(current)
+        return shapes
+
+    @property
+    def output_shape(self) -> Shape:
+        """Shape of the network output."""
+        return self._shapes[-1]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of output classes (size of the final output vector)."""
+        out = self.output_shape
+        count = 1
+        for dim in out:
+            count *= dim
+        return count
+
+    def layer_input_shape(self, index: int) -> Shape:
+        """Input shape of layer ``index``."""
+        return self._shapes[index]
+
+    # ---------------------------------------------------------------- totals
+
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations for one inference."""
+        return sum(
+            layer.macs(self._shapes[index]) for index, layer in enumerate(self.layers)
+        )
+
+    def total_params(self) -> int:
+        """Total learnable parameters."""
+        return sum(layer.params() for layer in self.layers)
+
+    def model_size_mb(self) -> float:
+        """Parameter storage in megabytes at the configured precision."""
+        return self.total_params() * self.bytes_per_param / 1e6
+
+    def peak_activation_elements(self) -> int:
+        """Largest intermediate feature-map size (elements)."""
+        peak = 0
+        for shape in self._shapes:
+            count = 1
+            for dim in shape:
+                count *= dim
+            peak = max(peak, count)
+        return peak
+
+    def total_traffic_bytes(self) -> int:
+        """Approximate DRAM traffic of one inference (reads + writes + weights)."""
+        return sum(
+            layer.traffic_bytes(self._shapes[index], self.bytes_per_param)
+            for index, layer in enumerate(self.layers)
+        )
+
+    # --------------------------------------------------------------- queries
+
+    def conv_layers(self) -> List[Tuple[int, Conv2D]]:
+        """Indices and descriptors of every convolution layer."""
+        return [
+            (index, layer)
+            for index, layer in enumerate(self.layers)
+            if isinstance(layer, Conv2D)
+        ]
+
+    def fc_layers(self) -> List[Tuple[int, FullyConnected]]:
+        """Indices and descriptors of every fully connected layer."""
+        return [
+            (index, layer)
+            for index, layer in enumerate(self.layers)
+            if isinstance(layer, FullyConnected)
+        ]
+
+    def layer_summary(self) -> List[LayerReport]:
+        """Per-layer report: shapes, MACs and parameters."""
+        reports = []
+        for index, layer in enumerate(self.layers):
+            input_shape = self._shapes[index]
+            reports.append(
+                LayerReport(
+                    index=index,
+                    kind=layer.kind,
+                    input_shape=input_shape,
+                    output_shape=self._shapes[index + 1],
+                    macs=layer.macs(input_shape),
+                    params=layer.params(),
+                )
+            )
+        return reports
+
+    def summary_table(self) -> str:
+        """A human-readable summary table (used by the examples)."""
+        lines = [
+            f"Model: {self.name}  (input {self.input_shape})",
+            f"{'#':>3} {'layer':<20} {'output shape':<18} {'MACs':>14} {'params':>12}",
+        ]
+        for report in self.layer_summary():
+            lines.append(
+                f"{report.index:>3} {report.kind:<20} {str(report.output_shape):<18} "
+                f"{report.macs:>14,} {report.params:>12,}"
+            )
+        lines.append(
+            f"    total MACs {self.total_macs():,}   total params {self.total_params():,} "
+            f"({self.model_size_mb():.2f} MB)"
+        )
+        return "\n".join(lines)
+
+    def with_layers(self, layers: Sequence[Layer], name: str | None = None) -> "NetworkModel":
+        """Create a copy of this model with a different layer list."""
+        return NetworkModel(
+            name=name or self.name,
+            input_shape=self.input_shape,
+            layers=layers,
+            bytes_per_param=self.bytes_per_param,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"NetworkModel(name={self.name!r}, layers={len(self.layers)}, "
+            f"macs={self.total_macs():,}, params={self.total_params():,})"
+        )

@@ -1,0 +1,188 @@
+"""Static model-pruning baselines (Section III-B of the paper).
+
+The paper contrasts its runtime-scalable dynamic DNN with the established
+design-time compression approaches:
+
+* **Weight (magnitude) pruning** — removes individual small-magnitude weights.
+  High compression, but the resulting sparsity is unstructured and yields no
+  speed-up on commodity CPUs/GPUs (only on sparse accelerators such as EIE).
+* **Filter pruning** — removes whole filters/channels; lower compression but
+  structured, so every platform benefits.
+* **Platform-aware pruning** (NetAdapt / Yang et al. [5] style) — filter-prunes
+  until a latency budget is met on a specific platform at a specific
+  frequency, producing one static model per (platform, budget) pair.
+
+These functions model the *structural* effect of each approach: parameter /
+MAC reduction and whether the reduction translates into latency gains.  The
+runtime comparison against the dynamic DNN lives in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.dnn.dynamic import scale_network_width
+from repro.dnn.model import NetworkModel
+
+__all__ = [
+    "MagnitudePruningResult",
+    "magnitude_prune",
+    "filter_prune",
+    "prune_to_latency",
+]
+
+
+@dataclass(frozen=True)
+class MagnitudePruningResult:
+    """Outcome of magnitude (weight) pruning.
+
+    Attributes
+    ----------
+    model:
+        The original model — the network structure is unchanged, only weights
+        are zeroed, so shapes, MACs-as-issued and activation sizes stay the
+        same on dense hardware.
+    sparsity:
+        Fraction of weights set to zero.
+    remaining_params:
+        Non-zero parameters after pruning.
+    structured:
+        Always ``False``: the sparsity pattern is unstructured.
+    effective_macs_on_sparse_hardware:
+        MACs actually executed by an accelerator that skips zero weights
+        (EIE-style); dense hardware still issues the full MAC count.
+    """
+
+    model: NetworkModel
+    sparsity: float
+    remaining_params: int
+    structured: bool
+    effective_macs_on_sparse_hardware: int
+
+    @property
+    def dense_macs(self) -> int:
+        """MACs issued on hardware that cannot exploit unstructured sparsity."""
+        return self.model.total_macs()
+
+
+def magnitude_prune(model: NetworkModel, sparsity: float) -> MagnitudePruningResult:
+    """Apply magnitude-based weight pruning at the given sparsity.
+
+    Parameters
+    ----------
+    model:
+        Network to prune.
+    sparsity:
+        Fraction of weights removed, in ``[0, 1)``.
+
+    Returns
+    -------
+    MagnitudePruningResult
+        Report showing that parameters shrink but dense-hardware MACs do not —
+        the paper's argument for why weight pruning alone does not give
+        consistent speed-ups across platforms.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    total = model.total_params()
+    remaining = int(round(total * (1.0 - sparsity)))
+    effective_macs = int(round(model.total_macs() * (1.0 - sparsity)))
+    return MagnitudePruningResult(
+        model=model,
+        sparsity=sparsity,
+        remaining_params=remaining,
+        structured=False,
+        effective_macs_on_sparse_hardware=effective_macs,
+    )
+
+
+def filter_prune(
+    model: NetworkModel,
+    keep_fraction: float,
+    granularity: int = 16,
+    name: Optional[str] = None,
+) -> NetworkModel:
+    """Filter pruning: remove whole filters to keep ``keep_fraction`` of the width.
+
+    Unlike magnitude pruning the result is a genuinely smaller network whose
+    MAC count (and therefore latency on any platform) drops.  The returned
+    model is a standalone static model: deploying several of them is what
+    costs the memory and switching overhead the paper attributes to the
+    static-pruning approach.
+
+    Parameters
+    ----------
+    model:
+        Network to prune.
+    keep_fraction:
+        Fraction of each prunable layer's filters to keep, in ``(0, 1]``.
+    granularity:
+        Width quantisation steps (finer than the dynamic DNN's group count,
+        since static pruning is free to pick any channel count).
+    name:
+        Optional name for the pruned model.
+    """
+    pruned = scale_network_width(model, keep_fraction, granularity=granularity, name=name)
+    if name is None:
+        pruned = pruned.with_layers(
+            pruned.layers, name=f"{model.name}_filterpruned_{round(keep_fraction * 100)}"
+        )
+    return pruned
+
+
+def prune_to_latency(
+    model: NetworkModel,
+    latency_fn: Callable[[NetworkModel], float],
+    latency_budget_ms: float,
+    granularity: int = 16,
+    min_keep_fraction: float = 1.0 / 16.0,
+) -> NetworkModel:
+    """Platform-aware static pruning: shrink until a latency budget is met.
+
+    This reproduces the Yang et al. [5] design flow the paper describes: given
+    a target platform (captured by ``latency_fn``, typically a closure over a
+    :class:`~repro.perfmodel.calibrated.CalibratedLatencyModel`, a cluster and
+    a frequency), the filter-pruned width is reduced step by step until the
+    predicted latency fits the budget.
+
+    Parameters
+    ----------
+    model:
+        The full network.
+    latency_fn:
+        Function mapping a candidate network to its predicted latency in ms
+        on the target platform configuration.
+    latency_budget_ms:
+        The latency budget to meet.
+    granularity:
+        Number of candidate width steps between ``min_keep_fraction`` and 1.
+    min_keep_fraction:
+        Smallest width considered.
+
+    Returns
+    -------
+    NetworkModel
+        The largest candidate meeting the budget, or the smallest candidate if
+        none meets it (mirroring real deployments, which ship the smallest
+        model and still miss the budget).
+    """
+    if latency_budget_ms <= 0:
+        raise ValueError("latency budget must be positive")
+    candidates: List[float] = [
+        step / granularity
+        for step in range(granularity, 0, -1)
+        if step / granularity >= min_keep_fraction - 1e-9
+    ]
+    best: Optional[NetworkModel] = None
+    smallest: Optional[NetworkModel] = None
+    for keep in candidates:
+        candidate = filter_prune(model, keep, granularity=granularity)
+        smallest = candidate
+        if latency_fn(candidate) <= latency_budget_ms:
+            best = candidate
+            break
+    if best is not None:
+        return best
+    assert smallest is not None  # candidates is never empty
+    return smallest

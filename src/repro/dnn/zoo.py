@@ -1,0 +1,187 @@
+"""Model zoo: the networks used by the paper's experiments and examples.
+
+The central model is :func:`cifar_group_cnn`, a structural reconstruction of
+the four-increment group-convolution CIFAR-10 network used in the paper's
+case study (Section IV, Fig 3 and Fig 4).  Its full (100 %) configuration has
+roughly 59 M MACs and 1.3 M parameters, which together with the calibrated
+platform presets reproduces the Table I latencies.
+
+Additional models exercise the library on networks of different shapes:
+an AlexNet-like network, a MobileNet-like depthwise-separable network and a
+small MLP used by unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dnn.dynamic import DynamicDNN
+from repro.dnn.groups import convert_to_group_convolution
+from repro.dnn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool2D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.dnn.model import NetworkModel
+
+__all__ = [
+    "cifar_group_cnn",
+    "cifar_dense_cnn",
+    "make_dynamic_cifar_dnn",
+    "alexnet_like",
+    "mobilenet_like",
+    "tiny_mlp",
+    "MODEL_BUILDERS",
+]
+
+
+def cifar_dense_cnn() -> NetworkModel:
+    """The dense (ungrouped) CIFAR-10 CNN underlying the case-study network."""
+    layers: List[Layer] = [
+        Conv2D(3, 64, kernel_size=3, padding=1),
+        BatchNorm2D(64),
+        ReLU(),
+        Conv2D(64, 128, kernel_size=3, padding=1),
+        BatchNorm2D(128),
+        ReLU(),
+        MaxPool2D(kernel_size=2),
+        Conv2D(128, 128, kernel_size=3, padding=1),
+        BatchNorm2D(128),
+        ReLU(),
+        Conv2D(128, 256, kernel_size=3, padding=1),
+        BatchNorm2D(256),
+        ReLU(),
+        MaxPool2D(kernel_size=2),
+        Conv2D(256, 256, kernel_size=3, padding=1),
+        BatchNorm2D(256),
+        ReLU(),
+        MaxPool2D(kernel_size=2),
+        Flatten(),
+        FullyConnected(256 * 4 * 4, 256),
+        ReLU(),
+        FullyConnected(256, 10),
+    ]
+    return NetworkModel(name="cifar_cnn", input_shape=(3, 32, 32), layers=layers)
+
+
+def cifar_group_cnn(num_groups: int = 4) -> NetworkModel:
+    """The paper's group-convolution CIFAR-10 network (Fig 3a).
+
+    The first convolution stays dense (its input is the 3-channel image);
+    every other convolution is divided into ``num_groups`` groups, matching
+    the four-increment design of the case study.
+    """
+    return convert_to_group_convolution(
+        cifar_dense_cnn(), num_groups=num_groups, skip_first=True, name_suffix="_grouped"
+    )
+
+
+def make_dynamic_cifar_dnn(num_increments: int = 4) -> DynamicDNN:
+    """Build the dynamic DNN of the case study (25/50/75/100 % configurations)."""
+    return DynamicDNN(cifar_group_cnn(num_groups=num_increments), num_increments=num_increments)
+
+
+def alexnet_like(num_classes: int = 1000) -> NetworkModel:
+    """An AlexNet-like network (224x224 input), used for the Fig 1 design-time study."""
+    layers: List[Layer] = [
+        Conv2D(3, 64, kernel_size=11, stride=4, padding=2),
+        ReLU(),
+        MaxPool2D(kernel_size=3, stride=2),
+        Conv2D(64, 192, kernel_size=5, padding=2),
+        ReLU(),
+        MaxPool2D(kernel_size=3, stride=2),
+        Conv2D(192, 384, kernel_size=3, padding=1),
+        ReLU(),
+        Conv2D(384, 256, kernel_size=3, padding=1),
+        ReLU(),
+        Conv2D(256, 256, kernel_size=3, padding=1),
+        ReLU(),
+        MaxPool2D(kernel_size=3, stride=2),
+        Flatten(),
+        FullyConnected(256 * 6 * 6, 4096),
+        ReLU(),
+        FullyConnected(4096, 4096),
+        ReLU(),
+        FullyConnected(4096, num_classes),
+    ]
+    return NetworkModel(name="alexnet_like", input_shape=(3, 224, 224), layers=layers)
+
+
+def _separable_block(in_channels: int, out_channels: int, stride: int) -> List[Layer]:
+    """One depthwise-separable block of the MobileNet-like network."""
+    return [
+        DepthwiseConv2D(in_channels, in_channels, kernel_size=3, stride=stride, padding=1),
+        BatchNorm2D(in_channels),
+        ReLU(),
+        Conv2D(in_channels, out_channels, kernel_size=1, padding=0),
+        BatchNorm2D(out_channels),
+        ReLU(),
+    ]
+
+
+def mobilenet_like(num_classes: int = 1000, width_multiplier: float = 1.0) -> NetworkModel:
+    """A MobileNet-v1-like network (224x224 input) with an optional width multiplier."""
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+
+    def width(channels: int) -> int:
+        return max(8, int(round(channels * width_multiplier / 8.0)) * 8)
+
+    layers: List[Layer] = [
+        Conv2D(3, width(32), kernel_size=3, stride=2, padding=1),
+        BatchNorm2D(width(32)),
+        ReLU(),
+    ]
+    plan = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ]
+    for in_channels, out_channels, stride in plan:
+        layers.extend(_separable_block(width(in_channels), width(out_channels), stride))
+    layers.extend(
+        [
+            GlobalAvgPool2D(),
+            FullyConnected(width(1024), num_classes),
+        ]
+    )
+    name = "mobilenet_like" if width_multiplier == 1.0 else f"mobilenet_like_x{width_multiplier}"
+    return NetworkModel(name=name, input_shape=(3, 224, 224), layers=layers)
+
+
+def tiny_mlp(num_classes: int = 10) -> NetworkModel:
+    """A tiny MLP on flattened 8x8 inputs, used by unit tests."""
+    layers: List[Layer] = [
+        Flatten(),
+        FullyConnected(64, 32),
+        ReLU(),
+        FullyConnected(32, num_classes),
+    ]
+    return NetworkModel(name="tiny_mlp", input_shape=(1, 8, 8), layers=layers)
+
+
+#: Registry of model builders by name (used by examples and benchmarks).
+MODEL_BUILDERS = {
+    "cifar_cnn": cifar_dense_cnn,
+    "cifar_group_cnn": cifar_group_cnn,
+    "alexnet_like": alexnet_like,
+    "mobilenet_like": mobilenet_like,
+    "tiny_mlp": tiny_mlp,
+}

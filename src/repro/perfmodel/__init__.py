@@ -1,0 +1,28 @@
+"""Latency, power and energy estimation for DNN inference.
+
+Two latency estimators are provided — a generic roofline model and a model
+anchored on the paper's Table I measurements — plus an energy model that
+combines either of them with the platform power model to produce the
+(latency, power, energy) triple of Table I for any (network, cluster,
+frequency, core-count) combination.
+"""
+
+from repro.perfmodel.calibrated import (
+    DEFAULT_CALIBRATIONS,
+    CalibratedLatencyModel,
+    ClusterCalibration,
+)
+from repro.perfmodel.energy import EnergyModel, InferenceCost, LatencyEstimator
+from repro.perfmodel.roofline import LatencyBreakdown, RooflineLatencyModel, effective_cores
+
+__all__ = [
+    "DEFAULT_CALIBRATIONS",
+    "CalibratedLatencyModel",
+    "ClusterCalibration",
+    "EnergyModel",
+    "InferenceCost",
+    "LatencyEstimator",
+    "LatencyBreakdown",
+    "RooflineLatencyModel",
+    "effective_cores",
+]

@@ -1,0 +1,165 @@
+"""Latency estimation anchored on the paper's measurements.
+
+Table I gives measured latencies of the reference network on the Odroid XU3
+(A15, A7) and Jetson Nano (A57, GPU) clusters at several frequencies.  The
+measured latency-vs-frequency curves are very well described by::
+
+    latency(f) = a / f + b
+
+(a compute term inversely proportional to frequency plus a small
+frequency-independent overhead).  For each calibrated cluster we fit ``(a, b)``
+from two Table I anchor frequencies; the remaining Table I rows and the whole
+Fig 4(a) sweep are then genuine predictions of the model.
+
+For networks other than the reference CIFAR-10 CNN the compute term scales
+with the MAC ratio; for multi-core execution it is divided by the effective
+core count.  Clusters without published measurements fall back to the
+roofline estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dnn.model import NetworkModel
+from repro.dnn.zoo import cifar_group_cnn
+from repro.perfmodel.roofline import RooflineLatencyModel, effective_cores
+from repro.platforms.cluster import Cluster
+
+__all__ = ["ClusterCalibration", "CalibratedLatencyModel", "DEFAULT_CALIBRATIONS"]
+
+
+@dataclass(frozen=True)
+class ClusterCalibration:
+    """Fitted ``latency = a / f + b`` curve for the reference network.
+
+    Attributes
+    ----------
+    compute_ms_mhz:
+        The ``a`` coefficient: compute time in ms when running at 1 MHz.
+    overhead_ms:
+        The ``b`` coefficient: frequency-independent overhead in ms.
+    """
+
+    compute_ms_mhz: float
+    overhead_ms: float
+
+    def latency_ms(self, frequency_mhz: float) -> float:
+        """Reference-network latency at this frequency, single core."""
+        if frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.compute_ms_mhz / frequency_mhz + self.overhead_ms
+
+
+def _fit(anchor_low: Tuple[float, float], anchor_high: Tuple[float, float]) -> ClusterCalibration:
+    """Fit (a, b) through two (frequency_mhz, latency_ms) anchors."""
+    (f_low, t_low), (f_high, t_high) = anchor_low, anchor_high
+    a = (t_low - t_high) / (1.0 / f_low - 1.0 / f_high)
+    b = max(0.0, t_high - a / f_high)
+    return ClusterCalibration(compute_ms_mhz=a, overhead_ms=b)
+
+
+#: Calibrations fitted from Table I (lowest and highest measured frequency of
+#: each cluster).  Keyed by (SoC name, cluster name).
+DEFAULT_CALIBRATIONS: Dict[Tuple[str, str], ClusterCalibration] = {
+    ("odroid_xu3", "a15"): _fit((200.0, 1020.0), (1800.0, 117.0)),
+    ("odroid_xu3", "a7"): _fit((200.0, 1780.0), (1300.0, 280.0)),
+    ("jetson_nano", "a57"): _fit((921.0, 69.4), (1430.0, 46.9)),
+    ("jetson_nano", "gpu"): _fit((614.0, 7.4), (921.0, 4.93)),
+}
+
+
+class CalibratedLatencyModel:
+    """Latency model that uses Table I calibrations where available.
+
+    Parameters
+    ----------
+    calibrations:
+        Mapping of (SoC name, cluster name) to :class:`ClusterCalibration`.
+        Defaults to the Table I fits.
+    reference_network:
+        The network the calibrations were measured with; other networks scale
+        the compute term by their MAC ratio to this one.
+    """
+
+    def __init__(
+        self,
+        calibrations: Optional[Dict[Tuple[str, str], ClusterCalibration]] = None,
+        reference_network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.calibrations = dict(DEFAULT_CALIBRATIONS if calibrations is None else calibrations)
+        self._reference_network = reference_network
+        self._reference_macs: Optional[int] = (
+            reference_network.total_macs() if reference_network is not None else None
+        )
+        self._fallback = RooflineLatencyModel()
+
+    @property
+    def reference_macs(self) -> int:
+        """MAC count of the calibration reference network (lazily built)."""
+        if self._reference_macs is None:
+            self._reference_network = cifar_group_cnn()
+            self._reference_macs = self._reference_network.total_macs()
+        return self._reference_macs
+
+    def calibration_for(self, soc_name: str, cluster_name: str) -> Optional[ClusterCalibration]:
+        """The calibration for this cluster, or ``None`` if it is uncalibrated."""
+        return self.calibrations.get((soc_name, cluster_name))
+
+    def latency_ms(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequency_mhz: float | None = None,
+        cores_used: int = 1,
+        soc_name: str | None = None,
+    ) -> float:
+        """Predicted latency of one inference in milliseconds.
+
+        Parameters
+        ----------
+        network:
+            Structural DNN model (any configuration of any network).
+        cluster:
+            Target cluster.
+        frequency_mhz:
+            Frequency to evaluate at; defaults to the cluster's current one.
+        cores_used:
+            Number of cores the inference is parallelised across.
+        soc_name:
+            Name of the SoC the cluster belongs to, used to look up the
+            calibration.  When omitted, the calibration is looked up by
+            cluster name alone across all known SoCs.
+        """
+        if frequency_mhz is None:
+            frequency_mhz = cluster.frequency_mhz
+        if cores_used <= 0:
+            raise ValueError("cores_used must be positive")
+        cores_used = min(cores_used, cluster.num_cores)
+        calibration = None
+        if soc_name is not None:
+            calibration = self.calibration_for(soc_name, cluster.name)
+        else:
+            for (_, cluster_name), candidate in self.calibrations.items():
+                if cluster_name == cluster.name:
+                    calibration = candidate
+                    break
+        if calibration is None:
+            return self._fallback.latency_ms(network, cluster, frequency_mhz, cores_used)
+        mac_ratio = network.total_macs() / self.reference_macs
+        cores = effective_cores(cores_used, cluster.performance.parallel_efficiency)
+        compute_ms = calibration.compute_ms_mhz * mac_ratio / frequency_mhz / cores
+        return compute_ms + calibration.overhead_ms
+
+    def throughput_fps(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequency_mhz: float | None = None,
+        cores_used: int = 1,
+        soc_name: str | None = None,
+    ) -> float:
+        """Predicted sustained throughput in frames per second."""
+        latency = self.latency_ms(network, cluster, frequency_mhz, cores_used, soc_name)
+        return 1000.0 / latency

@@ -1,0 +1,128 @@
+"""Energy and power estimation for one inference.
+
+Energy is the product of the platform power during the inference and the
+inference latency.  Power comes from the cluster's calibrated power model
+(:mod:`repro.platforms.power`); latency from a latency estimator
+(:mod:`repro.perfmodel.calibrated` or :mod:`repro.perfmodel.roofline`).
+
+The estimator returns an :class:`InferenceCost` bundling latency, average
+power and energy — exactly the platform-dependent metrics of Table I — so
+that the operating-point machinery in :mod:`repro.rtm` can price every
+(configuration, cluster, frequency) combination with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.dnn.model import NetworkModel
+from repro.platforms.cluster import Cluster
+
+__all__ = ["InferenceCost", "LatencyEstimator", "EnergyModel"]
+
+
+class LatencyEstimator(Protocol):
+    """Anything that can predict a latency for (network, cluster, frequency)."""
+
+    def latency_ms(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequency_mhz: float | None = None,
+        cores_used: int = 1,
+        **kwargs: object,
+    ) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class InferenceCost:
+    """Predicted cost of one inference.
+
+    Attributes
+    ----------
+    latency_ms:
+        Execution time in milliseconds.
+    power_mw:
+        Average cluster power during the inference, in milliwatts.
+    energy_mj:
+        Energy of the inference in millijoules (power x latency).
+    """
+
+    latency_ms: float
+    power_mw: float
+    energy_mj: float
+
+    @property
+    def fps(self) -> float:
+        """Sustained throughput if inferences run back to back."""
+        return 1000.0 / self.latency_ms
+
+
+class EnergyModel:
+    """Combine a latency estimator with the platform power model.
+
+    Parameters
+    ----------
+    latency_model:
+        The latency estimator to use (calibrated or roofline).
+    busy_utilisation:
+        Utilisation of each core running the inference (close to 1 for the
+        compute-bound convolutional workloads the paper measures).
+    """
+
+    def __init__(self, latency_model: LatencyEstimator, busy_utilisation: float = 0.95) -> None:
+        if not 0.0 < busy_utilisation <= 1.0:
+            raise ValueError("busy_utilisation must be in (0, 1]")
+        self.latency_model = latency_model
+        self.busy_utilisation = busy_utilisation
+
+    def inference_power_mw(
+        self,
+        cluster: Cluster,
+        frequency_mhz: Optional[float] = None,
+        cores_used: int = 1,
+        temperature_c: float = 45.0,
+    ) -> float:
+        """Average cluster power while the inference runs."""
+        if cores_used <= 0:
+            raise ValueError("cores_used must be positive")
+        cores_used = min(cores_used, cluster.num_cores)
+        voltage = (
+            cluster.voltage_v
+            if frequency_mhz is None
+            else cluster.opp_table.point_at(frequency_mhz).voltage_v
+        )
+        frequency = cluster.frequency_mhz if frequency_mhz is None else frequency_mhz
+        return cluster.power_model.cluster_power_mw(
+            voltage_v=voltage,
+            frequency_mhz=frequency,
+            core_utilisations=[self.busy_utilisation] * cores_used,
+            temperature_c=temperature_c,
+            online_cores=len(cluster.online_cores),
+        )
+
+    def cost(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequency_mhz: Optional[float] = None,
+        cores_used: int = 1,
+        temperature_c: float = 45.0,
+        soc_name: Optional[str] = None,
+    ) -> InferenceCost:
+        """Latency, power and energy of one inference.
+
+        Parameters mirror the latency estimator; ``soc_name`` is forwarded to
+        calibrated estimators that key their calibration by SoC.
+        """
+        kwargs = {}
+        if soc_name is not None:
+            kwargs["soc_name"] = soc_name
+        latency_ms = self.latency_model.latency_ms(
+            network, cluster, frequency_mhz, cores_used, **kwargs
+        )
+        power_mw = self.inference_power_mw(cluster, frequency_mhz, cores_used, temperature_c)
+        energy_mj = power_mw * latency_ms / 1000.0
+        return InferenceCost(latency_ms=latency_ms, power_mw=power_mw, energy_mj=energy_mj)

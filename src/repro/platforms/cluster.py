@@ -1,0 +1,269 @@
+"""Cluster model: a group of identical cores sharing a frequency domain.
+
+On the platforms the paper measures, DVFS and task mapping operate at cluster
+granularity: the Odroid XU3 has an A15 (big) and an A7 (LITTLE) cluster, each
+with its own voltage/frequency domain; the Jetson Nano has an A57 cluster and
+a GPU.  Accelerators (GPU, NPU, DSP) are modelled as single- or few-core
+clusters so that the same mapping and DVFS machinery applies to them.
+
+A cluster combines:
+
+* a set of :class:`~repro.platforms.core.Core` objects,
+* a :class:`~repro.platforms.dvfs.FrequencyDomain` (possibly shared),
+* a :class:`~repro.platforms.power.ClusterPowerModel`,
+* performance parameters used by :mod:`repro.perfmodel` to turn a DNN's
+  compute/memory demand into latency at the current frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platforms.core import Core, CoreType
+from repro.platforms.dvfs import FrequencyDomain, OPPTable
+from repro.platforms.power import ClusterPowerModel, PowerModelParams
+
+__all__ = ["ClusterPerformanceParams", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterPerformanceParams:
+    """Performance parameters of a cluster for ML inference workloads.
+
+    The latency model in :mod:`repro.perfmodel` computes, for a workload of
+    ``M`` multiply-accumulate operations and ``B`` bytes of traffic::
+
+        t_compute = M / (macs_per_cycle * frequency * cores_used * parallel_eff)
+        t_memory  = B / memory_bandwidth
+        latency   = max(t_compute, t_memory) + fixed_overhead
+
+    Attributes
+    ----------
+    macs_per_cycle_per_core:
+        Effective multiply-accumulates retired per cycle by one core when
+        running a convolutional workload (captures SIMD width and achieved
+        efficiency, not the theoretical peak).
+    memory_bandwidth_gbps:
+        Achievable DRAM bandwidth from this cluster, in gigabytes per second.
+    parallel_efficiency:
+        Scaling efficiency when the workload uses more than one core
+        (1.0 = perfect linear scaling).
+    fixed_overhead_ms:
+        Frequency-independent per-inference overhead (framework and driver
+        cost); fitted from the measured latency-vs-frequency curves.
+    """
+
+    macs_per_cycle_per_core: float
+    memory_bandwidth_gbps: float = 8.0
+    parallel_efficiency: float = 0.85
+    fixed_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.macs_per_cycle_per_core <= 0:
+            raise ValueError("macs_per_cycle_per_core must be positive")
+        if self.memory_bandwidth_gbps <= 0:
+            raise ValueError("memory_bandwidth_gbps must be positive")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+        if self.fixed_overhead_ms < 0:
+            raise ValueError("fixed_overhead_ms must be non-negative")
+
+
+class Cluster:
+    """A homogeneous group of cores sharing one frequency domain.
+
+    Parameters
+    ----------
+    name:
+        Cluster identifier, e.g. ``"a15"``, ``"a7"``, ``"gpu"``, ``"npu"``.
+    core_type:
+        Type of every core in the cluster.
+    num_cores:
+        Number of cores.
+    opp_table:
+        DVFS operating points.  If ``frequency_domain`` is given this argument
+        is ignored and the domain's table is used instead.
+    power_params:
+        Coefficients of the cluster's power model.
+    performance:
+        Performance parameters for the latency model.
+    frequency_domain:
+        Optionally, an existing domain to share with another cluster.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        core_type: CoreType,
+        num_cores: int,
+        opp_table: Optional[OPPTable] = None,
+        power_params: Optional[PowerModelParams] = None,
+        performance: Optional[ClusterPerformanceParams] = None,
+        frequency_domain: Optional[FrequencyDomain] = None,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError("a cluster needs at least one core")
+        if frequency_domain is None:
+            if opp_table is None:
+                raise ValueError("either opp_table or frequency_domain is required")
+            frequency_domain = FrequencyDomain(name=f"{name}-domain", opp_table=opp_table)
+        if power_params is None:
+            power_params = PowerModelParams(ceff_mw_per_mhz_v2=0.5, static_mw=100.0)
+        if performance is None:
+            performance = ClusterPerformanceParams(macs_per_cycle_per_core=4.0)
+
+        self.name = name
+        self.core_type = core_type
+        self.frequency_domain = frequency_domain
+        self.power_model = ClusterPowerModel(power_params)
+        self.performance = performance
+        self.cores: List[Core] = [
+            Core(core_id=f"{name}-{index}", core_type=core_type, cluster_name=name)
+            for index in range(num_cores)
+        ]
+
+    # ------------------------------------------------------------------ DVFS
+
+    @property
+    def opp_table(self) -> OPPTable:
+        """The cluster's DVFS table (owned by its frequency domain)."""
+        return self.frequency_domain.opp_table
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Currently programmed frequency."""
+        return self.frequency_domain.current_frequency_mhz
+
+    @property
+    def voltage_v(self) -> float:
+        """Voltage at the current operating point."""
+        return self.frequency_domain.current_voltage_v
+
+    def set_frequency(self, frequency_mhz: float) -> float:
+        """Program a new frequency; returns the transition latency in us."""
+        return self.frequency_domain.set_frequency(frequency_mhz)
+
+    def available_frequencies(self) -> List[float]:
+        """All selectable frequencies in MHz."""
+        return self.opp_table.frequencies_mhz
+
+    # ----------------------------------------------------------------- cores
+
+    @property
+    def num_cores(self) -> int:
+        """Total number of cores (online or not)."""
+        return len(self.cores)
+
+    @property
+    def online_cores(self) -> List[Core]:
+        """Cores that are currently powered."""
+        return [core for core in self.cores if core.online]
+
+    @property
+    def free_cores(self) -> List[Core]:
+        """Cores that are powered and unreserved."""
+        return [core for core in self.cores if core.is_free]
+
+    def core(self, core_id: str) -> Core:
+        """Look up a core by id."""
+        for candidate in self.cores:
+            if candidate.core_id == core_id:
+                return candidate
+        raise KeyError(f"no core {core_id!r} in cluster {self.name!r}")
+
+    def reserve_cores(self, count: int, owner: str) -> List[Core]:
+        """Reserve ``count`` free cores for ``owner`` and return them.
+
+        Raises
+        ------
+        RuntimeError
+            If fewer than ``count`` cores are free.
+        """
+        free = self.free_cores
+        if len(free) < count:
+            raise RuntimeError(
+                f"cluster {self.name!r} has {len(free)} free cores, {count} requested"
+            )
+        granted = free[:count]
+        for core in granted:
+            core.reserve(owner)
+        return granted
+
+    def release_owner(self, owner: str) -> int:
+        """Release every core reserved by ``owner``; returns how many were freed."""
+        released = 0
+        for core in self.cores:
+            if core.reserved_by == owner:
+                core.release(owner)
+                released += 1
+        return released
+
+    def cores_reserved_by(self, owner: str) -> List[Core]:
+        """Cores currently reserved by ``owner``."""
+        return [core for core in self.cores if core.reserved_by == owner]
+
+    # ----------------------------------------------------------------- power
+
+    def power_mw(
+        self,
+        core_utilisations: Optional[List[float]] = None,
+        temperature_c: float = 45.0,
+    ) -> float:
+        """Cluster power at the current operating point.
+
+        Parameters
+        ----------
+        core_utilisations:
+            Utilisation of each busy core; defaults to all online cores idle.
+        temperature_c:
+            Silicon temperature for leakage scaling.
+        """
+        utilisations = core_utilisations or []
+        return self.power_model.cluster_power_mw(
+            voltage_v=self.voltage_v,
+            frequency_mhz=self.frequency_mhz,
+            core_utilisations=utilisations,
+            temperature_c=temperature_c,
+            online_cores=len(self.online_cores),
+        )
+
+    # ------------------------------------------------------------ capability
+
+    def peak_macs_per_second(self, cores_used: Optional[int] = None) -> float:
+        """Peak MAC throughput at the current frequency.
+
+        Parameters
+        ----------
+        cores_used:
+            Number of cores participating; defaults to every online core.
+        """
+        if cores_used is None:
+            cores_used = len(self.online_cores)
+        cores_used = max(0, min(cores_used, len(self.online_cores)))
+        scaling = 1.0 if cores_used <= 1 else self.performance.parallel_efficiency
+        return (
+            self.performance.macs_per_cycle_per_core
+            * self.frequency_mhz
+            * 1e6
+            * cores_used
+            * scaling
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of the cluster state, for traces and reports."""
+        return {
+            "name": self.name,
+            "core_type": self.core_type.value,
+            "num_cores": self.num_cores,
+            "online_cores": len(self.online_cores),
+            "free_cores": len(self.free_cores),
+            "frequency_mhz": self.frequency_mhz,
+            "voltage_v": self.voltage_v,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Cluster(name={self.name!r}, type={self.core_type.value}, "
+            f"cores={self.num_cores}, freq={self.frequency_mhz} MHz)"
+        )

@@ -1,0 +1,116 @@
+"""Compute-core descriptors for heterogeneous embedded SoCs.
+
+The paper targets SoCs that combine several kinds of compute core — big and
+LITTLE CPU clusters, GPUs, DSPs and NPUs (Section II).  This module defines
+the core-level vocabulary used throughout :mod:`repro.platforms`: the
+:class:`CoreType` enumeration and the :class:`Core` descriptor.
+
+A :class:`Core` is deliberately thin.  Performance and power characteristics
+live on the :class:`~repro.platforms.cluster.Cluster` because, on the boards
+the paper measures (Odroid XU3, Jetson Nano), frequency and voltage are set
+per cluster, not per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["CoreType", "Core"]
+
+
+class CoreType(str, Enum):
+    """Kinds of compute core found in the SoCs the paper discusses."""
+
+    CPU_BIG = "cpu_big"
+    CPU_MID = "cpu_mid"
+    CPU_LITTLE = "cpu_little"
+    GPU = "gpu"
+    DSP = "dsp"
+    NPU = "npu"
+    FPGA = "fpga"
+
+    @property
+    def is_cpu(self) -> bool:
+        """True for any CPU flavour (big, mid, LITTLE)."""
+        return self in (CoreType.CPU_BIG, CoreType.CPU_MID, CoreType.CPU_LITTLE)
+
+    @property
+    def is_accelerator(self) -> bool:
+        """True for GPU, DSP, NPU and FPGA cores."""
+        return not self.is_cpu
+
+
+@dataclass
+class Core:
+    """A single compute core inside a cluster.
+
+    Attributes
+    ----------
+    core_id:
+        Globally unique identifier, e.g. ``"a15-0"``.
+    core_type:
+        The :class:`CoreType` of this core.
+    cluster_name:
+        Name of the owning cluster; filled in by the cluster at construction.
+    online:
+        Whether the core is powered (DPM / hotplug state).  Offline cores
+        contribute no capacity and no dynamic power.
+    reserved_by:
+        Identifier of the task or application currently pinned to the core,
+        or ``None`` if the core is free.  Used by the simulator and the RTM's
+        task-mapping knob.
+    """
+
+    core_id: str
+    core_type: CoreType
+    cluster_name: str = ""
+    online: bool = True
+    reserved_by: Optional[str] = field(default=None)
+
+    def reserve(self, owner: str) -> None:
+        """Pin this core to ``owner``.
+
+        Raises
+        ------
+        RuntimeError
+            If the core is offline or already reserved by a different owner.
+        """
+        if not self.online:
+            raise RuntimeError(f"core {self.core_id} is offline and cannot be reserved")
+        if self.reserved_by is not None and self.reserved_by != owner:
+            raise RuntimeError(
+                f"core {self.core_id} is already reserved by {self.reserved_by!r}"
+            )
+        self.reserved_by = owner
+
+    def release(self, owner: Optional[str] = None) -> None:
+        """Release the core.
+
+        Parameters
+        ----------
+        owner:
+            If given, the release is only honoured when the core is currently
+            reserved by this owner; releasing someone else's reservation
+            raises ``RuntimeError``.
+        """
+        if owner is not None and self.reserved_by not in (None, owner):
+            raise RuntimeError(
+                f"core {self.core_id} is reserved by {self.reserved_by!r}, not {owner!r}"
+            )
+        self.reserved_by = None
+
+    @property
+    def is_free(self) -> bool:
+        """True when the core is online and not reserved."""
+        return self.online and self.reserved_by is None
+
+    def set_online(self, online: bool) -> None:
+        """Power the core up or down (DPM knob).
+
+        Powering a core down drops any reservation on it.
+        """
+        self.online = online
+        if not online:
+            self.reserved_by = None

@@ -1,0 +1,279 @@
+"""Dynamic voltage and frequency scaling (DVFS) primitives.
+
+DVFS is one of the two device knobs the paper combines with the dynamic DNN
+(Section IV): each cluster of the Odroid XU3 exposes a table of operating
+performance points (OPPs) — frequency/voltage pairs — and the runtime manager
+may move between them to trade execution time for power.
+
+This module provides:
+
+* :class:`OperatingPerformancePoint` — one frequency/voltage pair.
+* :class:`OPPTable` — an ordered collection of OPPs with lookup helpers.
+* :func:`make_opp_table` — build a table from a frequency list using a simple
+  linear voltage/frequency law, which is how the presets synthesise the
+  Odroid XU3 and Jetson Nano tables.
+* :class:`FrequencyDomain` — a shared frequency domain covering one or more
+  clusters, with transition latency accounting.  Sharing matters: the paper
+  notes that a frequency level may be "sub-optimal due to other applications
+  in the same frequency domain" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OperatingPerformancePoint",
+    "OPPTable",
+    "make_opp_table",
+    "FrequencyDomain",
+]
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPerformancePoint:
+    """One DVFS operating point.
+
+    Attributes
+    ----------
+    frequency_mhz:
+        Clock frequency in MHz.
+    voltage_v:
+        Supply voltage in volts at this frequency.
+    """
+
+    frequency_mhz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.voltage_v <= 0:
+            raise ValueError("voltage must be positive")
+
+
+class OPPTable:
+    """An ordered table of operating performance points.
+
+    The table is sorted by frequency at construction and validated to be
+    strictly increasing in both frequency and (non-strictly) voltage.
+    """
+
+    def __init__(self, points: Iterable[OperatingPerformancePoint]) -> None:
+        opps = sorted(points, key=lambda p: p.frequency_mhz)
+        if not opps:
+            raise ValueError("an OPP table needs at least one operating point")
+        for previous, current in zip(opps, opps[1:]):
+            if current.frequency_mhz == previous.frequency_mhz:
+                raise ValueError(
+                    f"duplicate frequency {current.frequency_mhz} MHz in OPP table"
+                )
+            if current.voltage_v < previous.voltage_v:
+                raise ValueError(
+                    "voltage must be non-decreasing with frequency "
+                    f"({previous} -> {current})"
+                )
+        self._points: Tuple[OperatingPerformancePoint, ...] = tuple(opps)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> OperatingPerformancePoint:
+        return self._points[index]
+
+    @property
+    def points(self) -> Tuple[OperatingPerformancePoint, ...]:
+        """The operating points, ascending in frequency."""
+        return self._points
+
+    @property
+    def frequencies_mhz(self) -> List[float]:
+        """All frequencies in the table, ascending."""
+        return [p.frequency_mhz for p in self._points]
+
+    @property
+    def min_frequency_mhz(self) -> float:
+        """Lowest frequency in the table."""
+        return self._points[0].frequency_mhz
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Highest frequency in the table."""
+        return self._points[-1].frequency_mhz
+
+    def contains_frequency(self, frequency_mhz: float, tolerance: float = 1e-6) -> bool:
+        """True if the table has an OPP at this exact frequency."""
+        return any(abs(p.frequency_mhz - frequency_mhz) <= tolerance for p in self._points)
+
+    def point_at(self, frequency_mhz: float) -> OperatingPerformancePoint:
+        """Return the OPP at exactly this frequency.
+
+        Raises
+        ------
+        ValueError
+            If the frequency is not in the table.
+        """
+        for point in self._points:
+            if abs(point.frequency_mhz - frequency_mhz) <= 1e-6:
+                return point
+        raise ValueError(
+            f"{frequency_mhz} MHz is not an operating point; "
+            f"available: {self.frequencies_mhz}"
+        )
+
+    def voltage_at(self, frequency_mhz: float) -> float:
+        """Voltage of the OPP at this frequency."""
+        return self.point_at(frequency_mhz).voltage_v
+
+    def nearest(self, frequency_mhz: float) -> OperatingPerformancePoint:
+        """The OPP whose frequency is closest to the requested value."""
+        return min(self._points, key=lambda p: abs(p.frequency_mhz - frequency_mhz))
+
+    def at_or_above(self, frequency_mhz: float) -> OperatingPerformancePoint:
+        """The lowest OPP whose frequency is >= the requested value.
+
+        Falls back to the highest OPP if the request exceeds the table.
+        """
+        for point in self._points:
+            if point.frequency_mhz >= frequency_mhz - 1e-9:
+                return point
+        return self._points[-1]
+
+    def at_or_below(self, frequency_mhz: float) -> OperatingPerformancePoint:
+        """The highest OPP whose frequency is <= the requested value.
+
+        Falls back to the lowest OPP if the request is below the table.
+        """
+        candidates = [p for p in self._points if p.frequency_mhz <= frequency_mhz + 1e-9]
+        return candidates[-1] if candidates else self._points[0]
+
+    def index_of(self, frequency_mhz: float) -> int:
+        """Index of the OPP at exactly this frequency."""
+        for index, point in enumerate(self._points):
+            if abs(point.frequency_mhz - frequency_mhz) <= 1e-6:
+                return index
+        raise ValueError(f"{frequency_mhz} MHz is not an operating point")
+
+    def step(self, frequency_mhz: float, delta: int) -> OperatingPerformancePoint:
+        """Move ``delta`` steps up (+) or down (-) from a frequency, clamped."""
+        index = self.index_of(frequency_mhz)
+        new_index = max(0, min(len(self._points) - 1, index + delta))
+        return self._points[new_index]
+
+
+def make_opp_table(
+    frequencies_mhz: Sequence[float],
+    voltage_min_v: float = 0.9,
+    voltage_max_v: float = 1.25,
+    voltage_exponent: float = 1.7,
+) -> OPPTable:
+    """Build an OPP table from a list of frequencies.
+
+    Voltage is interpolated between ``voltage_min_v`` at the lowest frequency
+    and ``voltage_max_v`` at the highest with a convex law
+    ``V = Vmin + (Vmax - Vmin) * fraction ** voltage_exponent``; real mobile
+    voltage tables keep the voltage near its floor through the mid-range and
+    rise steeply near the top, which an exponent of about 1.7 approximates
+    well enough for the power-model calibration in
+    :mod:`repro.platforms.presets`.
+
+    Parameters
+    ----------
+    frequencies_mhz:
+        Frequencies of the operating points, in MHz, in any order.
+    voltage_min_v / voltage_max_v:
+        Voltages assigned to the lowest / highest frequency.
+    voltage_exponent:
+        Convexity of the voltage/frequency curve; 1.0 gives linear scaling.
+    """
+    freqs = sorted(float(f) for f in frequencies_mhz)
+    if not freqs:
+        raise ValueError("at least one frequency is required")
+    if voltage_max_v < voltage_min_v:
+        raise ValueError("voltage_max_v must be >= voltage_min_v")
+    if voltage_exponent <= 0:
+        raise ValueError("voltage_exponent must be positive")
+    span = freqs[-1] - freqs[0]
+    points = []
+    for frequency in freqs:
+        if span == 0:
+            voltage = voltage_min_v
+        else:
+            fraction = (frequency - freqs[0]) / span
+            voltage = voltage_min_v + (fraction ** voltage_exponent) * (
+                voltage_max_v - voltage_min_v
+            )
+        points.append(OperatingPerformancePoint(frequency, voltage))
+    return OPPTable(points)
+
+
+@dataclass
+class FrequencyDomain:
+    """A voltage/frequency domain shared by one or more clusters.
+
+    On the Odroid XU3 each CPU cluster has its own domain, but the paper
+    points out (Section IV) that when several applications share a domain the
+    frequency chosen for one of them constrains the others.  The simulator
+    models this by letting several clusters reference the same domain.
+
+    Attributes
+    ----------
+    name:
+        Domain identifier.
+    opp_table:
+        The OPPs selectable in this domain.
+    transition_latency_us:
+        Time taken by a frequency switch, charged by the simulator.
+    current_frequency_mhz:
+        The currently programmed frequency (defaults to the highest OPP).
+    """
+
+    name: str
+    opp_table: OPPTable
+    transition_latency_us: float = 100.0
+    current_frequency_mhz: float = field(default=0.0)
+    transition_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.current_frequency_mhz <= 0:
+            self.current_frequency_mhz = self.opp_table.max_frequency_mhz
+        elif not self.opp_table.contains_frequency(self.current_frequency_mhz):
+            raise ValueError(
+                f"initial frequency {self.current_frequency_mhz} MHz is not an OPP"
+            )
+
+    @property
+    def current_point(self) -> OperatingPerformancePoint:
+        """The currently programmed operating point."""
+        return self.opp_table.point_at(self.current_frequency_mhz)
+
+    @property
+    def current_voltage_v(self) -> float:
+        """Voltage at the current operating point."""
+        return self.current_point.voltage_v
+
+    def set_frequency(self, frequency_mhz: float) -> float:
+        """Program a new frequency.
+
+        Returns the transition latency in microseconds (zero when the request
+        matches the current frequency).
+
+        Raises
+        ------
+        ValueError
+            If the frequency is not an OPP of this domain.
+        """
+        point = self.opp_table.point_at(frequency_mhz)
+        if abs(point.frequency_mhz - self.current_frequency_mhz) <= 1e-9:
+            return 0.0
+        self.current_frequency_mhz = point.frequency_mhz
+        self.transition_count += 1
+        return self.transition_latency_us
+
+    def set_nearest_frequency(self, frequency_mhz: float) -> float:
+        """Program the OPP closest to the requested frequency."""
+        return self.set_frequency(self.opp_table.nearest(frequency_mhz).frequency_mhz)

@@ -1,0 +1,165 @@
+"""Cluster-level power model.
+
+Table I of the paper shows that power and energy for the same DNN vary by more
+than an order of magnitude across cores and frequency settings.  The runtime
+manager consumes these numbers through device monitors, so the platform model
+needs a power model that reproduces the measured trend.
+
+We use the standard CMOS decomposition the embedded-systems literature (and
+the PRiME project the paper builds on) uses:
+
+* dynamic power  ``P_dyn = C_eff * V^2 * f * utilisation * active_cores_scale``
+* static power   ``P_static = P_leak0 * (V / V_nom) * leak_temp(T)``
+
+where ``C_eff`` is the effective switched capacitance of one core running the
+workload, ``V`` the supply voltage, ``f`` the clock frequency and ``T`` the
+silicon temperature.  Leakage grows exponentially with temperature, which is
+what couples the thermal model back into power.
+
+The coefficients of the presets in :mod:`repro.platforms.presets` are fitted
+against the paper's Table I measurements (see the module docstring there).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PowerModelParams", "dynamic_power_mw", "static_power_mw", "ClusterPowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Coefficients of the cluster power model.
+
+    Attributes
+    ----------
+    ceff_mw_per_mhz_v2:
+        Effective switched capacitance expressed in mW / (MHz * V^2) for a
+        single fully-utilised core.
+    static_mw:
+        Leakage power of the whole cluster at nominal voltage and the
+        reference temperature, in mW.
+    nominal_voltage_v:
+        Voltage at which ``static_mw`` was fitted.
+    reference_temperature_c:
+        Temperature at which ``static_mw`` was fitted.
+    leakage_temp_coefficient:
+        Exponential temperature coefficient of leakage (per degree C).  A
+        value of 0.01 roughly doubles leakage every 70 degrees, typical of
+        28 nm mobile silicon.
+    idle_fraction:
+        Fraction of a core's dynamic power drawn when the core is online but
+        idle (clock gating is imperfect).
+    """
+
+    ceff_mw_per_mhz_v2: float
+    static_mw: float
+    nominal_voltage_v: float = 1.0
+    reference_temperature_c: float = 45.0
+    leakage_temp_coefficient: float = 0.01
+    idle_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ceff_mw_per_mhz_v2 < 0:
+            raise ValueError("effective capacitance must be non-negative")
+        if self.static_mw < 0:
+            raise ValueError("static power must be non-negative")
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise ValueError("idle_fraction must be in [0, 1]")
+
+
+def dynamic_power_mw(
+    ceff_mw_per_mhz_v2: float,
+    voltage_v: float,
+    frequency_mhz: float,
+    utilisation: float,
+) -> float:
+    """Dynamic power of one core in mW.
+
+    Parameters
+    ----------
+    ceff_mw_per_mhz_v2:
+        Effective switched capacitance in mW / (MHz * V^2).
+    voltage_v / frequency_mhz:
+        Operating point.
+    utilisation:
+        Fraction of cycles doing useful work, in ``[0, 1]``.
+    """
+    if not 0.0 <= utilisation <= 1.0:
+        raise ValueError(f"utilisation must be in [0, 1], got {utilisation}")
+    return ceff_mw_per_mhz_v2 * voltage_v * voltage_v * frequency_mhz * utilisation
+
+
+def static_power_mw(
+    params: PowerModelParams,
+    voltage_v: float,
+    temperature_c: float,
+) -> float:
+    """Leakage power of a cluster in mW at the given voltage and temperature."""
+    voltage_scale = voltage_v / params.nominal_voltage_v
+    temperature_scale = math.exp(
+        params.leakage_temp_coefficient * (temperature_c - params.reference_temperature_c)
+    )
+    return params.static_mw * voltage_scale * temperature_scale
+
+
+class ClusterPowerModel:
+    """Power model bound to one cluster's parameters.
+
+    The cluster object owns an instance of this class and queries it with its
+    current operating point, per-core utilisations and the SoC temperature.
+    """
+
+    def __init__(self, params: PowerModelParams) -> None:
+        self.params = params
+
+    def core_dynamic_mw(
+        self, voltage_v: float, frequency_mhz: float, utilisation: float
+    ) -> float:
+        """Dynamic power of a single core at the given utilisation."""
+        effective = max(utilisation, self.params.idle_fraction)
+        return dynamic_power_mw(
+            self.params.ceff_mw_per_mhz_v2, voltage_v, frequency_mhz, effective
+        )
+
+    def cluster_power_mw(
+        self,
+        voltage_v: float,
+        frequency_mhz: float,
+        core_utilisations: "list[float]",
+        temperature_c: float = 45.0,
+        online_cores: int | None = None,
+    ) -> float:
+        """Total cluster power in mW.
+
+        Parameters
+        ----------
+        voltage_v / frequency_mhz:
+            The cluster's current operating point.
+        core_utilisations:
+            Utilisation in ``[0, 1]`` of each online core that is executing
+            work.  Cores not listed are assumed fully idle.
+        temperature_c:
+            Current silicon temperature, used for leakage scaling.
+        online_cores:
+            Number of powered cores.  Idle-but-online cores draw the
+            idle-fraction dynamic power.  Defaults to ``len(core_utilisations)``.
+        """
+        if online_cores is None:
+            online_cores = len(core_utilisations)
+        if online_cores < len(core_utilisations):
+            raise ValueError("more utilisation samples than online cores")
+        total = static_power_mw(self.params, voltage_v, temperature_c)
+        for utilisation in core_utilisations:
+            total += self.core_dynamic_mw(voltage_v, frequency_mhz, utilisation)
+        idle_cores = online_cores - len(core_utilisations)
+        if idle_cores > 0:
+            total += idle_cores * self.core_dynamic_mw(voltage_v, frequency_mhz, 0.0)
+        return total
+
+    def energy_mj(self, power_mw: float, duration_ms: float) -> float:
+        """Energy in millijoules for running at ``power_mw`` for ``duration_ms``."""
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        return power_mw * duration_ms / 1e6 * 1e3  # mW * ms = uJ; convert to mJ

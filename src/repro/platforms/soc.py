@@ -1,0 +1,207 @@
+"""System-on-chip composition: clusters, memory, thermal package.
+
+A :class:`Soc` groups the clusters of a board (CPU clusters plus GPU / NPU /
+DSP accelerators), the shared memory, and a thermal model of the package.  It
+is the object that the simulator executes workloads on and that the runtime
+manager steers through its device knobs (DVFS, DPM, task mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.platforms.cluster import Cluster
+from repro.platforms.core import Core, CoreType
+from repro.platforms.thermal import ThermalModel, ThermalParams
+
+__all__ = ["MemorySpec", "Soc"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Shared DRAM of the platform.
+
+    Attributes
+    ----------
+    capacity_mb:
+        Total DRAM capacity in megabytes.  Storing several statically pruned
+        model variants (the baseline the paper argues against) consumes this.
+    bandwidth_gbps:
+        Peak DRAM bandwidth shared by all clusters.
+    """
+
+    capacity_mb: float = 2048.0
+    bandwidth_gbps: float = 14.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError("memory capacity must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("memory bandwidth must be positive")
+
+
+class Soc:
+    """A heterogeneous system-on-chip.
+
+    Parameters
+    ----------
+    name:
+        Board / SoC identifier, e.g. ``"odroid_xu3"``.
+    clusters:
+        The compute clusters.  Names must be unique.
+    memory:
+        Shared DRAM specification.
+    thermal_params:
+        Parameters of the package thermal model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clusters: Iterable[Cluster],
+        memory: Optional[MemorySpec] = None,
+        thermal_params: Optional[ThermalParams] = None,
+    ) -> None:
+        self.name = name
+        self._clusters: Dict[str, Cluster] = {}
+        for cluster in clusters:
+            if cluster.name in self._clusters:
+                raise ValueError(f"duplicate cluster name {cluster.name!r}")
+            self._clusters[cluster.name] = cluster
+        if not self._clusters:
+            raise ValueError("an SoC needs at least one cluster")
+        self.memory = memory or MemorySpec()
+        self.thermal = ThermalModel(thermal_params or ThermalParams())
+        #: Megabytes of DRAM currently allocated to loaded models / apps.
+        self.allocated_memory_mb: float = 0.0
+
+    # -------------------------------------------------------------- clusters
+
+    @property
+    def clusters(self) -> List[Cluster]:
+        """All clusters of the SoC."""
+        return list(self._clusters.values())
+
+    @property
+    def cluster_names(self) -> List[str]:
+        """Names of all clusters."""
+        return list(self._clusters.keys())
+
+    def cluster(self, name: str) -> Cluster:
+        """Look up a cluster by name."""
+        try:
+            return self._clusters[name]
+        except KeyError:
+            raise KeyError(
+                f"SoC {self.name!r} has no cluster {name!r}; available: {self.cluster_names}"
+            ) from None
+
+    def has_cluster(self, name: str) -> bool:
+        """True if a cluster with this name exists."""
+        return name in self._clusters
+
+    def clusters_of_type(self, core_type: CoreType) -> List[Cluster]:
+        """All clusters whose cores are of the given type."""
+        return [c for c in self._clusters.values() if c.core_type == core_type]
+
+    @property
+    def has_npu(self) -> bool:
+        """True if the SoC contains an NPU cluster."""
+        return bool(self.clusters_of_type(CoreType.NPU))
+
+    @property
+    def has_gpu(self) -> bool:
+        """True if the SoC contains a GPU cluster."""
+        return bool(self.clusters_of_type(CoreType.GPU))
+
+    # ----------------------------------------------------------------- cores
+
+    @property
+    def all_cores(self) -> List[Core]:
+        """Every core on the SoC."""
+        return [core for cluster in self._clusters.values() for core in cluster.cores]
+
+    def core(self, core_id: str) -> Core:
+        """Look up any core by its id."""
+        for cluster in self._clusters.values():
+            for candidate in cluster.cores:
+                if candidate.core_id == core_id:
+                    return candidate
+        raise KeyError(f"no core {core_id!r} on SoC {self.name!r}")
+
+    def release_owner(self, owner: str) -> int:
+        """Release every core reserved by ``owner`` across all clusters."""
+        return sum(cluster.release_owner(owner) for cluster in self._clusters.values())
+
+    # ---------------------------------------------------------------- memory
+
+    def allocate_memory(self, megabytes: float) -> None:
+        """Allocate DRAM for a loaded model or application.
+
+        Raises
+        ------
+        MemoryError
+            If the allocation does not fit in the remaining capacity.
+        """
+        if megabytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.allocated_memory_mb + megabytes > self.memory.capacity_mb:
+            raise MemoryError(
+                f"cannot allocate {megabytes:.1f} MB: "
+                f"{self.free_memory_mb:.1f} MB free of {self.memory.capacity_mb:.1f} MB"
+            )
+        self.allocated_memory_mb += megabytes
+
+    def free_memory(self, megabytes: float) -> None:
+        """Return DRAM to the free pool."""
+        if megabytes < 0:
+            raise ValueError("free size must be non-negative")
+        self.allocated_memory_mb = max(0.0, self.allocated_memory_mb - megabytes)
+
+    @property
+    def free_memory_mb(self) -> float:
+        """Unallocated DRAM in megabytes."""
+        return self.memory.capacity_mb - self.allocated_memory_mb
+
+    # ----------------------------------------------------------------- power
+
+    def total_power_mw(
+        self, utilisations: Optional[Dict[str, List[float]]] = None
+    ) -> float:
+        """Total SoC power given per-cluster core utilisations.
+
+        Parameters
+        ----------
+        utilisations:
+            Mapping of cluster name to the utilisation list of its busy cores.
+            Clusters not present are assumed idle.
+        """
+        utilisations = utilisations or {}
+        total = 0.0
+        for name, cluster in self._clusters.items():
+            total += cluster.power_mw(
+                core_utilisations=utilisations.get(name, []),
+                temperature_c=self.thermal.temperature_c,
+            )
+        return total
+
+    def idle_power_mw(self) -> float:
+        """Power drawn when every cluster is idle at its current frequency."""
+        return self.total_power_mw({})
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of the SoC state, for traces and reports."""
+        return {
+            "name": self.name,
+            "clusters": {name: c.snapshot() for name, c in self._clusters.items()},
+            "temperature_c": self.thermal.temperature_c,
+            "throttling": self.thermal.throttling,
+            "allocated_memory_mb": self.allocated_memory_mb,
+            "free_memory_mb": self.free_memory_mb,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Soc(name={self.name!r}, clusters={self.cluster_names})"

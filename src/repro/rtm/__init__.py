@@ -1,0 +1,87 @@
+"""Runtime resource management for embedded machine learning.
+
+This subpackage is the paper's primary contribution: a runtime manager that
+steers dynamic DNNs (application knob), task mapping and DVFS (device knobs)
+through a PRiME-style knob/monitor interface so that every application keeps
+meeting its latency, energy, power and accuracy requirements as the available
+resources change.
+"""
+
+from repro.rtm.governors import (
+    GOVERNOR_REGISTRY,
+    ConservativeGovernor,
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    make_governor,
+)
+from repro.rtm.interfaces import ApplicationInterface, DeviceInterface
+from repro.rtm.knobs import DiscreteKnob, Knob, KnobRegistry
+from repro.rtm.manager import RTMConfig, RTMDecision, RuntimeManager
+from repro.rtm.monitors import Monitor, MonitorHistory, MonitorRegistry
+from repro.rtm.multi_app import AllocationDecision, AllocationResult, MultiAppAllocator
+from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
+from repro.rtm.policies import (
+    POLICY_REGISTRY,
+    MaxAccuracyUnderBudget,
+    MaxConfidenceUnderBudget,
+    MinEnergyUnderConstraints,
+    MinLatencyUnderPowerCap,
+    SelectionPolicy,
+    make_policy,
+)
+from repro.rtm.state import (
+    Action,
+    AppRuntimeState,
+    MapApplication,
+    Mapping,
+    SetConfiguration,
+    SetCoresOnline,
+    SetFrequency,
+    SystemState,
+    UnmapApplication,
+)
+
+__all__ = [
+    "GOVERNOR_REGISTRY",
+    "ConservativeGovernor",
+    "Governor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "make_governor",
+    "ApplicationInterface",
+    "DeviceInterface",
+    "DiscreteKnob",
+    "Knob",
+    "KnobRegistry",
+    "RTMConfig",
+    "RTMDecision",
+    "RuntimeManager",
+    "Monitor",
+    "MonitorHistory",
+    "MonitorRegistry",
+    "AllocationDecision",
+    "AllocationResult",
+    "MultiAppAllocator",
+    "OperatingPoint",
+    "OperatingPointSpace",
+    "pareto_front",
+    "POLICY_REGISTRY",
+    "MaxAccuracyUnderBudget",
+    "MaxConfidenceUnderBudget",
+    "MinEnergyUnderConstraints",
+    "MinLatencyUnderPowerCap",
+    "SelectionPolicy",
+    "make_policy",
+    "Action",
+    "AppRuntimeState",
+    "MapApplication",
+    "Mapping",
+    "SetConfiguration",
+    "SetCoresOnline",
+    "SetFrequency",
+    "SystemState",
+    "UnmapApplication",
+]

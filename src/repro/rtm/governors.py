@@ -1,0 +1,140 @@
+"""DVFS governors: hardware-only runtime management baselines.
+
+Section V of the paper notes that classical online resource management —
+DVFS governors, task mapping, power gating — "optimise hardware behaviour to
+satisfy constraints; the performance requirements and optimisation
+opportunities in the application are traditionally not addressed".  These
+governor implementations reproduce that baseline behaviour: they adjust
+cluster frequencies from device monitors alone (utilisation, temperature) and
+never touch application knobs.
+
+The ablation benchmark compares them against the application-aware runtime
+manager in :mod:`repro.rtm.manager`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.platforms.cluster import Cluster
+from repro.rtm.state import Action, SetFrequency, SystemState
+
+__all__ = [
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "GOVERNOR_REGISTRY",
+    "make_governor",
+]
+
+
+class Governor(abc.ABC):
+    """Base class of per-cluster DVFS governors."""
+
+    name: str = "governor"
+
+    @abc.abstractmethod
+    def target_frequency(self, cluster: Cluster, utilisation: float, throttling: bool) -> float:
+        """Frequency (MHz) the governor wants for a cluster."""
+
+    def decide(self, state: SystemState, utilisations: Dict[str, float]) -> List[Action]:
+        """Frequency actions for every cluster of the SoC.
+
+        Parameters
+        ----------
+        state:
+            Current system state.
+        utilisations:
+            Average utilisation per cluster name, in ``[0, 1]``.
+        """
+        actions: List[Action] = []
+        for cluster in state.soc.clusters:
+            utilisation = utilisations.get(cluster.name, 0.0)
+            target = self.target_frequency(cluster, utilisation, state.throttling)
+            target = cluster.opp_table.nearest(target).frequency_mhz
+            if abs(target - cluster.frequency_mhz) > 1e-6:
+                actions.append(SetFrequency(cluster_name=cluster.name, frequency_mhz=target))
+        return actions
+
+
+class PerformanceGovernor(Governor):
+    """Always run at the highest frequency (unless the SoC is throttling)."""
+
+    name = "performance"
+
+    def target_frequency(self, cluster: Cluster, utilisation: float, throttling: bool) -> float:
+        if throttling:
+            # Even the performance governor must honour thermal throttling;
+            # drop two OPPs below the maximum.
+            return cluster.opp_table.step(cluster.opp_table.max_frequency_mhz, -2).frequency_mhz
+        return cluster.opp_table.max_frequency_mhz
+
+
+class PowersaveGovernor(Governor):
+    """Always run at the lowest frequency."""
+
+    name = "powersave"
+
+    def target_frequency(self, cluster: Cluster, utilisation: float, throttling: bool) -> float:
+        return cluster.opp_table.min_frequency_mhz
+
+
+@dataclass
+class OndemandGovernor(Governor):
+    """Scale frequency with utilisation, like the Linux ondemand governor.
+
+    Jumps to the maximum frequency when utilisation exceeds ``up_threshold``
+    and otherwise picks the lowest frequency whose capacity covers the current
+    demand with some headroom.
+    """
+
+    up_threshold: float = 0.8
+    headroom: float = 1.25
+    name = "ondemand"
+
+    def target_frequency(self, cluster: Cluster, utilisation: float, throttling: bool) -> float:
+        if throttling:
+            return cluster.opp_table.step(cluster.frequency_mhz, -1).frequency_mhz
+        if utilisation >= self.up_threshold:
+            return cluster.opp_table.max_frequency_mhz
+        demanded = utilisation * cluster.frequency_mhz * self.headroom
+        return cluster.opp_table.at_or_above(demanded).frequency_mhz
+
+
+@dataclass
+class ConservativeGovernor(Governor):
+    """Step frequency up or down one OPP at a time, like Linux ``conservative``."""
+
+    up_threshold: float = 0.8
+    down_threshold: float = 0.3
+    name = "conservative"
+
+    def target_frequency(self, cluster: Cluster, utilisation: float, throttling: bool) -> float:
+        if throttling or utilisation < self.down_threshold:
+            return cluster.opp_table.step(cluster.frequency_mhz, -1).frequency_mhz
+        if utilisation > self.up_threshold:
+            return cluster.opp_table.step(cluster.frequency_mhz, +1).frequency_mhz
+        return cluster.frequency_mhz
+
+
+#: Registry of governor builders by name.
+GOVERNOR_REGISTRY = {
+    PerformanceGovernor.name: PerformanceGovernor,
+    PowersaveGovernor.name: PowersaveGovernor,
+    OndemandGovernor.name: OndemandGovernor,
+    ConservativeGovernor.name: ConservativeGovernor,
+}
+
+
+def make_governor(name: str) -> Governor:
+    """Instantiate a governor by registry name."""
+    try:
+        return GOVERNOR_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown governor {name!r}; available: {sorted(GOVERNOR_REGISTRY)}"
+        ) from None

@@ -1,0 +1,196 @@
+"""Application and device interfaces of the RTM layer (Fig 5).
+
+The PRiME-style framework the paper builds on (Bragg et al. [31]) separates
+the system into three layers — application, device, runtime management — and
+lets them communicate only through *knobs* and *monitors*.  This module
+provides the two interface classes that expose those knobs and monitors:
+
+* :class:`ApplicationInterface` wraps a :class:`~repro.workloads.tasks.DNNApplication`
+  and exposes the dynamic-DNN configuration knob plus accuracy / confidence /
+  latency / frame-rate monitors.
+* :class:`DeviceInterface` wraps a :class:`~repro.platforms.soc.Soc` and exposes
+  per-cluster frequency and online-core knobs plus power / temperature
+  monitors.
+
+The :class:`~repro.rtm.manager.RuntimeManager` can be driven either directly
+through :class:`~repro.rtm.state.SystemState` snapshots (as the simulator
+does) or through these interfaces (as the examples do, mirroring Fig 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.platforms.soc import Soc
+from repro.rtm.knobs import DiscreteKnob, KnobRegistry
+from repro.rtm.monitors import Monitor, MonitorRegistry
+from repro.workloads.requirements import MetricSample
+from repro.workloads.tasks import DNNApplication
+
+__all__ = ["ApplicationInterface", "DeviceInterface"]
+
+
+class ApplicationInterface:
+    """Knob/monitor interface of one DNN application (application layer of Fig 5).
+
+    Parameters
+    ----------
+    application:
+        The DNN application to expose.
+    """
+
+    def __init__(self, application: DNNApplication) -> None:
+        self.application = application
+        self.knobs = KnobRegistry()
+        self.monitors = MonitorRegistry()
+        self._last_sample = MetricSample()
+        dnn = application.dynamic_dnn
+
+        self.configuration_knob: DiscreteKnob[float] = DiscreteKnob(
+            name="configuration",
+            owner=application.app_id,
+            getter=lambda: dnn.active_fraction,
+            setter=lambda fraction: dnn.set_configuration(fraction),
+            description="Active dynamic-DNN width fraction (number of channel groups)",
+            values=tuple(dnn.configurations),
+        )
+        self.knobs.register(self.configuration_knob)
+
+        self.monitors.register(
+            Monitor(
+                name="accuracy_percent",
+                owner=application.app_id,
+                reader=lambda: application.accuracy_of(dnn.active_fraction),
+                unit="%",
+                description="Top-1 accuracy of the active configuration",
+            )
+        )
+        self.monitors.register(
+            Monitor(
+                name="confidence_percent",
+                owner=application.app_id,
+                reader=lambda: application.trained.confidence(dnn.active_fraction),
+                unit="%",
+                description="Mean prediction confidence of the active configuration",
+            )
+        )
+        self.monitors.register(
+            Monitor(
+                name="latency_ms",
+                owner=application.app_id,
+                reader=lambda: self._last_sample.latency_ms,
+                unit="ms",
+                description="Most recently delivered inference latency",
+            )
+        )
+        self.monitors.register(
+            Monitor(
+                name="fps",
+                owner=application.app_id,
+                reader=lambda: self._last_sample.fps,
+                unit="fps",
+                description="Most recently delivered frame rate",
+            )
+        )
+
+    @property
+    def app_id(self) -> str:
+        """Identifier of the wrapped application."""
+        return self.application.app_id
+
+    def report_sample(self, sample: MetricSample) -> None:
+        """Feed a delivered-performance measurement into the application monitors."""
+        self._last_sample = sample
+
+    def set_configuration(self, fraction: float) -> None:
+        """Convenience wrapper around the configuration knob."""
+        self.configuration_knob.set_nearest(fraction)
+
+
+class DeviceInterface:
+    """Knob/monitor interface of the platform (device layer of Fig 5).
+
+    Parameters
+    ----------
+    soc:
+        The platform to expose.
+    """
+
+    def __init__(self, soc: Soc) -> None:
+        self.soc = soc
+        self.knobs = KnobRegistry()
+        self.monitors = MonitorRegistry()
+        self._utilisations: Dict[str, float] = {}
+
+        for cluster in soc.clusters:
+            self.knobs.register(
+                DiscreteKnob(
+                    name="frequency_mhz",
+                    owner=cluster.name,
+                    getter=(lambda c=cluster: c.frequency_mhz),
+                    setter=(lambda value, c=cluster: c.set_frequency(value)),
+                    description=f"DVFS frequency of cluster {cluster.name}",
+                    values=tuple(cluster.available_frequencies()),
+                )
+            )
+            self.knobs.register(
+                DiscreteKnob(
+                    name="online_cores",
+                    owner=cluster.name,
+                    getter=(lambda c=cluster: len(c.online_cores)),
+                    setter=(lambda count, c=cluster: self._set_online_cores(c.name, count)),
+                    description=f"Number of powered cores in cluster {cluster.name} (DPM)",
+                    values=tuple(range(0, cluster.num_cores + 1)),
+                )
+            )
+            self.monitors.register(
+                Monitor(
+                    name="power_mw",
+                    owner=cluster.name,
+                    reader=(lambda c=cluster: c.power_mw(
+                        [self._utilisations.get(c.name, 0.0)] * len(c.online_cores),
+                        temperature_c=soc.thermal.temperature_c,
+                    )),
+                    unit="mW",
+                    description=f"Estimated power of cluster {cluster.name}",
+                )
+            )
+        self.monitors.register(
+            Monitor(
+                name="temperature_c",
+                owner=soc.name,
+                reader=lambda: soc.thermal.temperature_c,
+                unit="C",
+                description="SoC package temperature",
+            )
+        )
+        self.monitors.register(
+            Monitor(
+                name="total_power_mw",
+                owner=soc.name,
+                reader=lambda: soc.total_power_mw(
+                    {name: [value] for name, value in self._utilisations.items()}
+                ),
+                unit="mW",
+                description="Total SoC power",
+            )
+        )
+
+    def _set_online_cores(self, cluster_name: str, count: int) -> None:
+        cluster = self.soc.cluster(cluster_name)
+        for index, core in enumerate(cluster.cores):
+            core.set_online(index < count)
+
+    def report_utilisation(self, cluster_name: str, utilisation: float) -> None:
+        """Feed a cluster utilisation estimate into the device monitors."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise ValueError("utilisation must be in [0, 1]")
+        self._utilisations[cluster_name] = utilisation
+
+    def set_frequency(self, cluster_name: str, frequency_mhz: float) -> None:
+        """Convenience wrapper around a cluster frequency knob."""
+        self.knobs.get(cluster_name, "frequency_mhz").set(frequency_mhz)
+
+    def temperature_c(self) -> Optional[float]:
+        """Convenience wrapper around the temperature monitor."""
+        return self.monitors.get(self.soc.name, "temperature_c").read()

@@ -1,0 +1,136 @@
+"""Knob abstraction (Fig 5 of the paper).
+
+A *knob* is an adjustable parameter that the runtime manager can set:
+
+* application knobs — the number of active channel groups of a dynamic DNN,
+  the data precision, the number of execution iterations;
+* device knobs — a cluster's DVFS frequency, the number of online cores
+  (DPM), the cluster a task is mapped to.
+
+The RTM never touches applications or devices directly; it only reads
+monitors and writes knobs, which is exactly the decoupling the PRiME
+framework (Bragg et al. [31]) proposes and the paper adopts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+__all__ = ["Knob", "DiscreteKnob", "KnobRegistry"]
+
+ValueT = TypeVar("ValueT")
+
+
+@dataclass
+class Knob(Generic[ValueT]):
+    """An adjustable parameter exposed to the runtime manager.
+
+    Attributes
+    ----------
+    name:
+        Knob identifier, unique within its owner (e.g. ``"configuration"``,
+        ``"frequency_mhz"``).
+    owner:
+        Identifier of the application or device exposing the knob.
+    getter / setter:
+        Callables reading and writing the underlying parameter.
+    description:
+        Human-readable explanation used in reports.
+    """
+
+    name: str
+    owner: str
+    getter: Callable[[], ValueT]
+    setter: Callable[[ValueT], None]
+    description: str = ""
+    #: Number of times the RTM has written this knob.
+    write_count: int = field(default=0, init=False)
+
+    @property
+    def value(self) -> ValueT:
+        """Current value of the knob."""
+        return self.getter()
+
+    def set(self, value: ValueT) -> None:
+        """Write the knob."""
+        self.setter(value)
+        self.write_count += 1
+
+    @property
+    def full_name(self) -> str:
+        """``owner.name`` identifier."""
+        return f"{self.owner}.{self.name}"
+
+
+@dataclass
+class DiscreteKnob(Knob[ValueT]):
+    """A knob restricted to an explicit set of allowed values.
+
+    Dynamic-DNN configurations and DVFS operating points are both discrete,
+    so this is the variant the reproduction uses almost everywhere.
+    """
+
+    values: Sequence[ValueT] = ()
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"discrete knob {self.full_name} needs at least one allowed value")
+
+    def set(self, value: ValueT) -> None:
+        if value not in self.values:
+            raise ValueError(
+                f"{value!r} is not an allowed value of knob {self.full_name}; "
+                f"allowed: {list(self.values)}"
+            )
+        super().set(value)
+
+    def set_nearest(self, value: float) -> None:
+        """Set the allowed value numerically closest to ``value`` (numeric knobs only)."""
+        nearest = min(self.values, key=lambda allowed: abs(float(allowed) - float(value)))  # type: ignore[arg-type]
+        super().set(nearest)
+
+    @property
+    def min_value(self) -> ValueT:
+        """Smallest allowed value."""
+        return min(self.values)  # type: ignore[type-var]
+
+    @property
+    def max_value(self) -> ValueT:
+        """Largest allowed value."""
+        return max(self.values)  # type: ignore[type-var]
+
+
+class KnobRegistry:
+    """A collection of knobs, keyed by ``owner.name``."""
+
+    def __init__(self) -> None:
+        self._knobs: dict[str, Knob] = {}
+
+    def register(self, knob: Knob) -> None:
+        """Add a knob; duplicate full names are rejected."""
+        if knob.full_name in self._knobs:
+            raise ValueError(f"knob {knob.full_name} is already registered")
+        self._knobs[knob.full_name] = knob
+
+    def get(self, owner: str, name: str) -> Knob:
+        """Look up a knob by owner and name."""
+        key = f"{owner}.{name}"
+        try:
+            return self._knobs[key]
+        except KeyError:
+            raise KeyError(f"no knob {key}; registered: {sorted(self._knobs)}") from None
+
+    def for_owner(self, owner: str) -> List[Knob]:
+        """All knobs exposed by one owner."""
+        return [knob for knob in self._knobs.values() if knob.owner == owner]
+
+    def all(self) -> List[Knob]:
+        """All registered knobs."""
+        return list(self._knobs.values())
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def __contains__(self, full_name: str) -> bool:
+        return full_name in self._knobs

@@ -1,0 +1,202 @@
+"""The runtime resource manager (the RTM layer of Fig 5).
+
+The :class:`RuntimeManager` ties everything together: at each decision point
+it reads the system state (application monitors, device monitors, thermal
+state), arbitrates the platform between the active applications with the
+:class:`~repro.rtm.multi_app.MultiAppAllocator`, and returns the knob changes
+— dynamic-DNN configurations, task mappings, DVFS settings — needed to keep
+every application's requirements satisfied within the platform's power and
+thermal constraints.
+
+It also provides :meth:`RuntimeManager.select_operating_point`, the
+single-application budget query used by the Section IV case study ("for a
+budget of 400 ms and 100 mJ, a 100 % model on the A7 CPU at 900 MHz offers
+the highest accuracy...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dnn.training import TrainedDynamicDNN
+from repro.perfmodel.calibrated import CalibratedLatencyModel
+from repro.perfmodel.energy import EnergyModel
+from repro.platforms.soc import Soc
+from repro.rtm.multi_app import AllocationResult, MultiAppAllocator
+from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
+from repro.rtm.policies import MaxAccuracyUnderBudget, SelectionPolicy
+from repro.rtm.state import Action, SystemState
+from repro.workloads.requirements import Requirements
+
+__all__ = ["RTMConfig", "RTMDecision", "RuntimeManager"]
+
+
+@dataclass(frozen=True)
+class RTMConfig:
+    """Configuration of the runtime manager.
+
+    Attributes
+    ----------
+    enable_dnn_scaling / enable_dvfs / enable_task_mapping:
+        Which knobs the manager is allowed to use (ablation switches).
+    decision_interval_ms:
+        How often the periodic decision epoch fires in the simulator.
+    thermal_margin_c:
+        Safety margin kept below the throttle threshold when deriving power
+        caps from the thermal model.
+    max_cores_per_app:
+        Upper bound on the cores one DNN application may use.
+    """
+
+    enable_dnn_scaling: bool = True
+    enable_dvfs: bool = True
+    enable_task_mapping: bool = True
+    decision_interval_ms: float = 500.0
+    thermal_margin_c: float = 2.0
+    max_cores_per_app: int = 4
+
+    def __post_init__(self) -> None:
+        if self.decision_interval_ms <= 0:
+            raise ValueError("decision_interval_ms must be positive")
+        if self.max_cores_per_app <= 0:
+            raise ValueError("max_cores_per_app must be positive")
+
+
+@dataclass
+class RTMDecision:
+    """Result of one decision epoch."""
+
+    time_ms: float
+    actions: List[Action] = field(default_factory=list)
+    allocation: Optional[AllocationResult] = None
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.actions)
+
+
+class RuntimeManager:
+    """Application-aware runtime resource manager.
+
+    Parameters
+    ----------
+    policy:
+        Operating-point selection policy applied per application; defaults to
+        the paper's implicit policy (maximise accuracy under the budgets).
+    energy_model:
+        Cost estimator; defaults to the Table-I-calibrated latency model plus
+        the platform power model.
+    config:
+        Knob-enable switches and decision-epoch parameters.
+    policy_overrides:
+        Optional per-application policies (app id -> policy) for workloads
+        whose applications weight the metric axes differently.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SelectionPolicy] = None,
+        energy_model: Optional[EnergyModel] = None,
+        config: Optional[RTMConfig] = None,
+        policy_overrides: Optional[Dict[str, SelectionPolicy]] = None,
+    ) -> None:
+        self.policy = policy or MaxAccuracyUnderBudget()
+        self.energy_model = energy_model or EnergyModel(CalibratedLatencyModel())
+        self.config = config or RTMConfig()
+        self.allocator = MultiAppAllocator(
+            policy=self.policy,
+            energy_model=self.energy_model,
+            allow_task_mapping=self.config.enable_task_mapping,
+            allow_dvfs=self.config.enable_dvfs,
+            allow_dnn_scaling=self.config.enable_dnn_scaling,
+            max_cores_per_app=self.config.max_cores_per_app,
+            policy_overrides=policy_overrides,
+        )
+        self.decisions: List[RTMDecision] = []
+
+    # -------------------------------------------------------------- decisions
+
+    def decide(self, state: SystemState) -> RTMDecision:
+        """Run one decision epoch over a system-state snapshot.
+
+        The returned decision's actions must be applied by the caller (the
+        simulator, or a real middleware layer on silicon).
+        """
+        allocation = self.allocator.allocate(state)
+        decision = RTMDecision(
+            time_ms=state.time_ms,
+            actions=list(allocation.actions),
+            allocation=allocation,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def total_actions(self) -> int:
+        """Total knob writes issued so far."""
+        return sum(decision.num_actions for decision in self.decisions)
+
+    # --------------------------------------------------- single-app queries
+
+    def operating_point_space(
+        self,
+        trained: TrainedDynamicDNN,
+        soc: Soc,
+        clusters: Optional[Sequence[str]] = None,
+    ) -> OperatingPointSpace:
+        """The operating-point space of one application on one platform."""
+        return OperatingPointSpace(
+            trained=trained,
+            soc=soc,
+            energy_model=self.energy_model,
+            clusters=clusters,
+            max_cores_per_cluster=self.config.max_cores_per_app,
+        )
+
+    def select_operating_point(
+        self,
+        trained: TrainedDynamicDNN,
+        soc: Soc,
+        requirements: Requirements,
+        clusters: Optional[Sequence[str]] = None,
+        core_counts: Optional[Sequence[int]] = None,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        """Choose the best operating point for one application and a budget.
+
+        This is the Section IV case-study query: given latency / energy /
+        power / accuracy budgets, return the (configuration, cluster, cores,
+        frequency) combination the policy prefers.
+        """
+        space = self.operating_point_space(trained, soc, clusters)
+        configurations = None if self.config.enable_dnn_scaling else [1.0]
+        points = space.enumerate(
+            configurations=configurations,
+            core_counts=core_counts,
+            temperature_c=soc.thermal.temperature_c,
+        )
+        if not self.config.enable_dvfs:
+            current = {cluster.name: cluster.frequency_mhz for cluster in soc.clusters}
+            points = [p for p in points if abs(p.frequency_mhz - current[p.cluster_name]) < 1e-6]
+        return self.policy.select(points, requirements, power_cap_mw=power_cap_mw)
+
+    def explain(self, point: OperatingPoint, requirements: Requirements) -> Dict[str, object]:
+        """A structured explanation of why a point satisfies (or not) a budget."""
+        latency_limit = requirements.effective_latency_limit_ms
+        return {
+            "operating_point": point.describe(),
+            "latency_ms": point.latency_ms,
+            "latency_limit_ms": latency_limit,
+            "latency_ok": latency_limit is None or point.latency_ms <= latency_limit,
+            "energy_mj": point.energy_mj,
+            "energy_limit_mj": requirements.max_energy_mj,
+            "energy_ok": requirements.max_energy_mj is None
+            or point.energy_mj <= requirements.max_energy_mj,
+            "accuracy_percent": point.accuracy_percent,
+            "accuracy_floor_percent": requirements.min_accuracy_percent,
+            "accuracy_ok": requirements.min_accuracy_percent is None
+            or point.accuracy_percent >= requirements.min_accuracy_percent,
+            "power_mw": point.power_mw,
+            "power_limit_mw": requirements.max_power_mw,
+        }

@@ -1,0 +1,133 @@
+"""Monitor abstraction (Fig 5 of the paper).
+
+A *monitor* reports a performance or health metric to the runtime manager:
+
+* application monitors — accuracy, confidence, execution time, frame rate;
+* device monitors — power, temperature, performance counters.
+
+Monitors are read-only; the RTM combines their readings with the application
+requirements to decide which knobs to turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Monitor", "MonitorRegistry", "MonitorHistory"]
+
+
+@dataclass
+class Monitor:
+    """A read-only metric source.
+
+    Attributes
+    ----------
+    name:
+        Metric identifier (e.g. ``"latency_ms"``, ``"temperature_c"``).
+    owner:
+        Application or device exposing the monitor.
+    reader:
+        Callable returning the current value, or ``None`` if no sample is
+        available yet.
+    unit:
+        Unit string for reports.
+    """
+
+    name: str
+    owner: str
+    reader: Callable[[], Optional[float]]
+    unit: str = ""
+    description: str = ""
+
+    def read(self) -> Optional[float]:
+        """Current value of the metric (``None`` when not yet available)."""
+        return self.reader()
+
+    @property
+    def full_name(self) -> str:
+        """``owner.name`` identifier."""
+        return f"{self.owner}.{self.name}"
+
+
+class MonitorHistory:
+    """A bounded history of samples from one monitor."""
+
+    def __init__(self, max_samples: int = 256) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time_ms: float, value: float) -> None:
+        """Append a sample, dropping the oldest once the buffer is full."""
+        self._times.append(time_ms)
+        self._values.append(value)
+        if len(self._values) > self.max_samples:
+            self._times.pop(0)
+            self._values.pop(0)
+
+    @property
+    def latest(self) -> Optional[float]:
+        """Most recent sample value."""
+        return self._values[-1] if self._values else None
+
+    def mean(self, window: Optional[int] = None) -> Optional[float]:
+        """Mean of the last ``window`` samples (all samples when omitted)."""
+        if not self._values:
+            return None
+        values = self._values if window is None else self._values[-window:]
+        return sum(values) / len(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class MonitorRegistry:
+    """A collection of monitors with optional sample histories."""
+
+    def __init__(self, history_samples: int = 256) -> None:
+        self._monitors: Dict[str, Monitor] = {}
+        self._histories: Dict[str, MonitorHistory] = {}
+        self._history_samples = history_samples
+
+    def register(self, monitor: Monitor) -> None:
+        """Add a monitor; duplicate full names are rejected."""
+        if monitor.full_name in self._monitors:
+            raise ValueError(f"monitor {monitor.full_name} is already registered")
+        self._monitors[monitor.full_name] = monitor
+        self._histories[monitor.full_name] = MonitorHistory(self._history_samples)
+
+    def get(self, owner: str, name: str) -> Monitor:
+        """Look up a monitor by owner and name."""
+        key = f"{owner}.{name}"
+        try:
+            return self._monitors[key]
+        except KeyError:
+            raise KeyError(f"no monitor {key}; registered: {sorted(self._monitors)}") from None
+
+    def for_owner(self, owner: str) -> List[Monitor]:
+        """All monitors exposed by one owner."""
+        return [monitor for monitor in self._monitors.values() if monitor.owner == owner]
+
+    def sample_all(self, time_ms: float) -> Dict[str, Optional[float]]:
+        """Read every monitor once, recording non-``None`` values in the histories."""
+        readings: Dict[str, Optional[float]] = {}
+        for full_name, monitor in self._monitors.items():
+            value = monitor.read()
+            readings[full_name] = value
+            if value is not None:
+                self._histories[full_name].record(time_ms, value)
+        return readings
+
+    def history(self, owner: str, name: str) -> MonitorHistory:
+        """Sample history of one monitor."""
+        return self._histories[f"{owner}.{name}"]
+
+    def all(self) -> List[Monitor]:
+        """All registered monitors."""
+        return list(self._monitors.values())
+
+    def __len__(self) -> int:
+        return len(self._monitors)

@@ -1,0 +1,247 @@
+"""Operating-point space of a DNN application on a heterogeneous platform.
+
+Section IV of the paper combines three knobs — the dynamic DNN configuration,
+task mapping and DVFS — into a space of operating points in the (energy,
+power, time, accuracy) space (Fig 4a).  This module enumerates that space for
+a given application and platform, and provides the Pareto and budget-filter
+operations the runtime-management policies are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dnn.training import TrainedDynamicDNN
+from repro.perfmodel.energy import EnergyModel
+from repro.platforms.soc import Soc
+
+__all__ = ["OperatingPoint", "OperatingPointSpace", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (configuration, cluster, cores, frequency) choice and its predicted cost.
+
+    Attributes
+    ----------
+    cluster_name:
+        Cluster the inference runs on.
+    frequency_mhz:
+        Cluster frequency.
+    cores:
+        Cores used on the cluster.
+    configuration:
+        Dynamic-DNN width fraction.
+    latency_ms / power_mw / energy_mj:
+        Predicted platform-dependent metrics (Table I columns).
+    accuracy_percent / confidence_percent:
+        Predicted platform-independent metrics.
+    """
+
+    cluster_name: str
+    frequency_mhz: float
+    cores: int
+    configuration: float
+    latency_ms: float
+    power_mw: float
+    energy_mj: float
+    accuracy_percent: float
+    confidence_percent: float
+
+    @property
+    def fps(self) -> float:
+        """Throughput if inferences run back to back."""
+        return 1000.0 / self.latency_ms
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{round(self.configuration * 100)}% model on {self.cluster_name} "
+            f"x{self.cores} @ {self.frequency_mhz:.0f} MHz: "
+            f"{self.latency_ms:.1f} ms, {self.energy_mj:.1f} mJ, "
+            f"{self.power_mw:.0f} mW, {self.accuracy_percent:.1f}% top-1"
+        )
+
+
+def pareto_front(
+    points: Iterable[OperatingPoint],
+    objectives: Sequence[str] = ("latency_ms", "energy_mj"),
+    maximise: Sequence[str] = ("accuracy_percent",),
+) -> List[OperatingPoint]:
+    """Pareto-optimal subset of operating points.
+
+    A point is dominated if another point is no worse on every objective
+    (lower for the minimised metrics, higher for the maximised ones) and
+    strictly better on at least one.
+
+    Parameters
+    ----------
+    points:
+        The candidate operating points.
+    objectives:
+        Metric attribute names to minimise.
+    maximise:
+        Metric attribute names to maximise.
+    """
+    candidates = list(points)
+
+    def key(point: OperatingPoint) -> List[float]:
+        values = [getattr(point, name) for name in objectives]
+        values.extend(-getattr(point, name) for name in maximise)
+        return values
+
+    keyed = [(key(point), point) for point in candidates]
+    front: List[OperatingPoint] = []
+    for values, point in keyed:
+        dominated = False
+        for other_values, other in keyed:
+            if other is point:
+                continue
+            if all(o <= v for o, v in zip(other_values, values)) and any(
+                o < v for o, v in zip(other_values, values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    return front
+
+
+class OperatingPointSpace:
+    """Enumerate and query the operating points of one trained dynamic DNN.
+
+    Parameters
+    ----------
+    trained:
+        The trained dynamic DNN (configurations + accuracy profile).
+    soc:
+        The platform.
+    energy_model:
+        Estimator combining latency and power models.
+    clusters:
+        Cluster names to consider; defaults to every cluster of the SoC.
+    max_cores_per_cluster:
+        Cap on how many cores of one cluster a single inference may use.
+    """
+
+    def __init__(
+        self,
+        trained: TrainedDynamicDNN,
+        soc: Soc,
+        energy_model: EnergyModel,
+        clusters: Optional[Sequence[str]] = None,
+        max_cores_per_cluster: int = 4,
+    ) -> None:
+        if max_cores_per_cluster <= 0:
+            raise ValueError("max_cores_per_cluster must be positive")
+        self.trained = trained
+        self.soc = soc
+        self.energy_model = energy_model
+        self.cluster_names = list(clusters) if clusters is not None else soc.cluster_names
+        self.max_cores_per_cluster = max_cores_per_cluster
+
+    def enumerate(
+        self,
+        clusters: Optional[Sequence[str]] = None,
+        configurations: Optional[Sequence[float]] = None,
+        core_counts: Optional[Sequence[int]] = None,
+        frequencies: Optional[dict] = None,
+        temperature_c: float = 45.0,
+    ) -> List[OperatingPoint]:
+        """Enumerate operating points.
+
+        Parameters
+        ----------
+        clusters:
+            Restrict to these clusters (e.g. the ones with free cores).
+        configurations:
+            Restrict to these dynamic-DNN fractions.
+        core_counts:
+            Core counts to consider per cluster; defaults to 1..min(cluster
+            size, ``max_cores_per_cluster``).
+        frequencies:
+            Optional mapping of cluster name to an iterable of frequencies;
+            defaults to the whole OPP table of each cluster.  Passing a
+            single-element list pins a cluster to a fixed frequency (used
+            when another application already fixed the shared domain).
+        temperature_c:
+            Temperature used for leakage in the power prediction.
+        """
+        cluster_names = list(clusters) if clusters is not None else list(self.cluster_names)
+        fractions = (
+            list(configurations)
+            if configurations is not None
+            else self.trained.configurations
+        )
+        points: List[OperatingPoint] = []
+        for cluster_name in cluster_names:
+            if not self.soc.has_cluster(cluster_name):
+                continue
+            cluster = self.soc.cluster(cluster_name)
+            if frequencies is not None and cluster_name in frequencies:
+                cluster_frequencies = list(frequencies[cluster_name])
+            else:
+                cluster_frequencies = cluster.available_frequencies()
+            if core_counts is None:
+                counts = list(range(1, min(cluster.num_cores, self.max_cores_per_cluster) + 1))
+            else:
+                counts = [c for c in core_counts if 1 <= c <= cluster.num_cores]
+            for fraction in fractions:
+                network = self.trained.dynamic_dnn.model_for(fraction)
+                accuracy = self.trained.top1(fraction)
+                confidence = self.trained.confidence(fraction)
+                for cores in counts:
+                    for frequency in cluster_frequencies:
+                        cost = self.energy_model.cost(
+                            network,
+                            cluster,
+                            frequency_mhz=frequency,
+                            cores_used=cores,
+                            temperature_c=temperature_c,
+                            soc_name=self.soc.name,
+                        )
+                        points.append(
+                            OperatingPoint(
+                                cluster_name=cluster_name,
+                                frequency_mhz=frequency,
+                                cores=cores,
+                                configuration=fraction,
+                                latency_ms=cost.latency_ms,
+                                power_mw=cost.power_mw,
+                                energy_mj=cost.energy_mj,
+                                accuracy_percent=accuracy,
+                                confidence_percent=confidence,
+                            )
+                        )
+        return points
+
+    def fig4a_points(self) -> List[OperatingPoint]:
+        """The Fig 4(a) sweep: single-core A15 and A7 points over all frequencies.
+
+        Only meaningful on the Odroid XU3 preset; other platforms raise
+        ``KeyError`` for the missing clusters.
+        """
+        return self.enumerate(clusters=["a15", "a7"], core_counts=[1])
+
+    @staticmethod
+    def feasible(
+        points: Iterable[OperatingPoint],
+        max_latency_ms: Optional[float] = None,
+        max_energy_mj: Optional[float] = None,
+        max_power_mw: Optional[float] = None,
+        min_accuracy_percent: Optional[float] = None,
+    ) -> List[OperatingPoint]:
+        """Filter points to those meeting the given budgets."""
+        selected = []
+        for point in points:
+            if max_latency_ms is not None and point.latency_ms > max_latency_ms:
+                continue
+            if max_energy_mj is not None and point.energy_mj > max_energy_mj:
+                continue
+            if max_power_mw is not None and point.power_mw > max_power_mw:
+                continue
+            if min_accuracy_percent is not None and point.accuracy_percent < min_accuracy_percent:
+                continue
+            selected.append(point)
+        return selected

@@ -1,0 +1,196 @@
+"""Operating-point selection policies.
+
+Given the enumerated operating points of an application and its requirements,
+a policy picks the point the RTM should run the application at.  The paper's
+case study (Section IV) frames this as: meet the latency and energy budgets,
+then use whatever headroom remains for the platform-independent metrics —
+accuracy first.  Several policies are provided because the ablation benchmark
+compares them, and because different applications weight the axes differently.
+
+All policies degrade gracefully: when no operating point satisfies every
+requirement, they return the least-bad point (smallest total normalised
+violation) rather than failing, which is what a real runtime must do.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.rtm.operating_points import OperatingPoint
+from repro.workloads.requirements import MetricSample, Requirements
+
+__all__ = [
+    "SelectionPolicy",
+    "MaxAccuracyUnderBudget",
+    "MinEnergyUnderConstraints",
+    "MinLatencyUnderPowerCap",
+    "MaxConfidenceUnderBudget",
+    "POLICY_REGISTRY",
+    "make_policy",
+]
+
+
+def _violation_score(point: OperatingPoint, requirements: Requirements) -> float:
+    """Total normalised violation of a point against the requirements."""
+    sample = MetricSample(
+        latency_ms=point.latency_ms,
+        energy_mj=point.energy_mj,
+        power_mw=point.power_mw,
+        accuracy_percent=point.accuracy_percent,
+        fps=point.fps,
+    )
+    return sum(violation.magnitude for violation in requirements.check(sample))
+
+
+class SelectionPolicy(abc.ABC):
+    """Base class of operating-point selection policies."""
+
+    #: Registry name of the policy.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def objective(self, point: OperatingPoint) -> float:
+        """Score of a *feasible* point; lower is better."""
+
+    def feasible_points(
+        self,
+        points: Sequence[OperatingPoint],
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> List[OperatingPoint]:
+        """Points satisfying the requirements and the optional power cap."""
+        feasible = []
+        for point in points:
+            if power_cap_mw is not None and point.power_mw > power_cap_mw:
+                continue
+            if _violation_score(point, requirements) == 0.0:
+                feasible.append(point)
+        return feasible
+
+    def select(
+        self,
+        points: Sequence[OperatingPoint],
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        """Select the best operating point.
+
+        Returns ``None`` only when ``points`` is empty.  When no point is
+        feasible, the point with the smallest total violation is returned
+        (ties broken by the policy objective).
+        """
+        candidates = list(points)
+        if not candidates:
+            return None
+        feasible = self.feasible_points(candidates, requirements, power_cap_mw)
+        if feasible:
+            return min(feasible, key=self.objective)
+        # Graceful degradation: least-bad point.  Points over the power cap
+        # are still excluded if any point fits under it (thermal safety wins).
+        under_cap = (
+            [p for p in candidates if power_cap_mw is None or p.power_mw <= power_cap_mw]
+            or candidates
+        )
+        return min(
+            under_cap,
+            key=lambda point: (_violation_score(point, requirements), self.objective(point)),
+        )
+
+
+class MaxAccuracyUnderBudget(SelectionPolicy):
+    """Meet every budget, then maximise accuracy (ties: minimise energy).
+
+    This is the policy the paper's case study implies: "a 100 % model on the
+    A7 CPU at 900 MHz could offer the highest accuracy and lowest energy
+    consumption" for a 400 ms / 100 mJ budget.
+    """
+
+    name = "max_accuracy"
+
+    def objective(self, point: OperatingPoint) -> float:
+        # Accuracy dominates; energy breaks ties among equally accurate points.
+        return -point.accuracy_percent * 1e6 + point.energy_mj
+
+    def select(
+        self,
+        points: Sequence[OperatingPoint],
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        candidates = list(points)
+        if not candidates:
+            return None
+        feasible = self.feasible_points(candidates, requirements, power_cap_mw)
+        if feasible:
+            best_accuracy = max(point.accuracy_percent for point in feasible)
+            top = [p for p in feasible if p.accuracy_percent >= best_accuracy - 1e-9]
+            return min(top, key=lambda point: (point.energy_mj, point.latency_ms))
+        return super().select(candidates, requirements, power_cap_mw)
+
+
+class MinEnergyUnderConstraints(SelectionPolicy):
+    """Meet every requirement (including accuracy floor), then minimise energy."""
+
+    name = "min_energy"
+
+    def objective(self, point: OperatingPoint) -> float:
+        return point.energy_mj
+
+
+class MinLatencyUnderPowerCap(SelectionPolicy):
+    """Meet every requirement, then minimise latency (responsiveness first)."""
+
+    name = "min_latency"
+
+    def objective(self, point: OperatingPoint) -> float:
+        return point.latency_ms
+
+
+class MaxConfidenceUnderBudget(SelectionPolicy):
+    """Meet every budget, then maximise prediction confidence.
+
+    Confidence is the second platform-independent metric the paper lists; a
+    confidence-driven policy is useful when a downstream component gates on
+    prediction certainty rather than raw accuracy.
+    """
+
+    name = "max_confidence"
+
+    def objective(self, point: OperatingPoint) -> float:
+        return -point.confidence_percent
+
+    def select(
+        self,
+        points: Sequence[OperatingPoint],
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        candidates = list(points)
+        if not candidates:
+            return None
+        feasible = self.feasible_points(candidates, requirements, power_cap_mw)
+        if feasible:
+            best = max(point.confidence_percent for point in feasible)
+            top = [p for p in feasible if p.confidence_percent >= best - 1e-9]
+            return min(top, key=lambda point: (point.energy_mj, point.latency_ms))
+        return super().select(candidates, requirements, power_cap_mw)
+
+
+#: Mapping of policy name to class, used by benchmarks and the CLI examples.
+POLICY_REGISTRY = {
+    MaxAccuracyUnderBudget.name: MaxAccuracyUnderBudget,
+    MinEnergyUnderConstraints.name: MinEnergyUnderConstraints,
+    MinLatencyUnderPowerCap.name: MinLatencyUnderPowerCap,
+    MaxConfidenceUnderBudget.name: MaxConfidenceUnderBudget,
+}
+
+
+def make_policy(name: str) -> SelectionPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICY_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
+        ) from None

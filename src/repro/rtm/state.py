@@ -1,0 +1,219 @@
+"""Runtime state and action vocabulary shared by the RTM and the simulator.
+
+The runtime manager observes a :class:`SystemState` snapshot — the platform,
+the active applications, their current mappings and their recently delivered
+performance — and returns a list of :class:`Action` objects.  The simulator
+(or a real middleware, on silicon) applies the actions.  Keeping this boundary
+explicit lets the same manager drive the discrete-event simulation, the
+analytical case-study benchmarks and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platforms.soc import Soc
+from repro.workloads.requirements import MetricSample
+from repro.workloads.tasks import Application, DNNApplication
+
+__all__ = [
+    "Mapping",
+    "AppRuntimeState",
+    "SystemState",
+    "Action",
+    "SetConfiguration",
+    "SetFrequency",
+    "MapApplication",
+    "UnmapApplication",
+    "SetCoresOnline",
+]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Where and how an application currently executes.
+
+    Attributes
+    ----------
+    cluster_name:
+        Cluster the application's main computation runs on.
+    cores:
+        Number of cores it uses on that cluster.
+    configuration:
+        Dynamic-DNN width fraction (1.0 for non-DNN applications).
+    frequency_mhz:
+        Frequency the RTM requested for the cluster when it made this
+        mapping.  The actual cluster frequency may be higher if another
+        application sharing the frequency domain needs more.
+    """
+
+    cluster_name: str
+    cores: int = 1
+    configuration: float = 1.0
+    frequency_mhz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if not 0.0 < self.configuration <= 1.0:
+            raise ValueError("configuration must be in (0, 1]")
+
+
+@dataclass
+class AppRuntimeState:
+    """Runtime view of one application.
+
+    Attributes
+    ----------
+    application:
+        The application (DNN or generic).
+    mapping:
+        Its current mapping, or ``None`` if it is not currently placed.
+    last_sample:
+        Most recent delivered-performance measurement.
+    violation_count:
+        Cumulative number of requirement violations observed so far.
+    jobs_completed:
+        Number of inference jobs (or frames) completed so far.
+    """
+
+    application: Application
+    mapping: Optional[Mapping] = None
+    last_sample: MetricSample = field(default_factory=MetricSample)
+    violation_count: int = 0
+    jobs_completed: int = 0
+
+    @property
+    def app_id(self) -> str:
+        """Identifier of the application."""
+        return self.application.app_id
+
+    @property
+    def is_dnn(self) -> bool:
+        """True when the application is a DNN inference application."""
+        return isinstance(self.application, DNNApplication)
+
+
+@dataclass
+class SystemState:
+    """Snapshot handed to the runtime manager at each decision point.
+
+    Attributes
+    ----------
+    time_ms:
+        Current simulation (or wall-clock) time.
+    soc:
+        The live platform model: cluster frequencies, core reservations,
+        temperature and memory allocations are all readable from here.
+    apps:
+        Runtime state of every *active* application, keyed by app id.
+    throttling:
+        True when the thermal model says the SoC must reduce power.
+    power_cap_mw:
+        Optional explicit power cap imposed on the whole SoC.
+    cluster_utilisations:
+        Time-averaged utilisation of each cluster over the last sampling
+        interval (a device monitor in the Fig 5 sense).
+    """
+
+    time_ms: float
+    soc: Soc
+    apps: Dict[str, AppRuntimeState] = field(default_factory=dict)
+    throttling: bool = False
+    power_cap_mw: Optional[float] = None
+    #: Time-averaged utilisation per cluster over the last sampling interval
+    #: (filled by the simulator; device monitors read it).
+    cluster_utilisations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dnn_apps(self) -> List[AppRuntimeState]:
+        """Active DNN applications, highest priority first."""
+        states = [state for state in self.apps.values() if state.is_dnn]
+        return sorted(states, key=lambda state: -state.application.priority)
+
+    @property
+    def other_apps(self) -> List[AppRuntimeState]:
+        """Active non-DNN applications."""
+        return [state for state in self.apps.values() if not state.is_dnn]
+
+    def app(self, app_id: str) -> AppRuntimeState:
+        """Runtime state of one application."""
+        try:
+            return self.apps[app_id]
+        except KeyError:
+            raise KeyError(f"no active application {app_id!r}; active: {sorted(self.apps)}") from None
+
+
+# --------------------------------------------------------------------- actions
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class of all RTM actions."""
+
+    app_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SetConfiguration(Action):
+    """Set a DNN application's dynamic configuration (application knob)."""
+
+    configuration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.configuration <= 1.0:
+            raise ValueError("configuration must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SetFrequency(Action):
+    """Set a cluster's DVFS frequency (device knob)."""
+
+    cluster_name: str = ""
+    frequency_mhz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_name:
+            raise ValueError("cluster_name is required")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency_mhz must be positive")
+
+
+@dataclass(frozen=True)
+class MapApplication(Action):
+    """Map (or remap) an application onto a cluster (device knob: task mapping)."""
+
+    cluster_name: str = ""
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise ValueError("app_id is required")
+        if not self.cluster_name:
+            raise ValueError("cluster_name is required")
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+
+@dataclass(frozen=True)
+class UnmapApplication(Action):
+    """Remove an application's mapping (it stops executing until remapped)."""
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise ValueError("app_id is required")
+
+
+@dataclass(frozen=True)
+class SetCoresOnline(Action):
+    """Power cores of a cluster up or down (DPM device knob)."""
+
+    cluster_name: str = ""
+    online_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_name:
+            raise ValueError("cluster_name is required")
+        if self.online_cores < 0:
+            raise ValueError("online_cores must be non-negative")

@@ -1,0 +1,22 @@
+"""Discrete-event simulation of runtime scenarios.
+
+The simulator executes workload scenarios on the platform models under a
+pluggable runtime manager and records job-level, power-level and
+decision-level traces.
+"""
+
+from repro.sim.engine import ManagerProtocol, Simulator, SimulatorConfig, simulate_scenario
+from repro.sim.events import EventQueue
+from repro.sim.trace import DecisionRecord, JobRecord, PowerSample, SimulationTrace
+
+__all__ = [
+    "ManagerProtocol",
+    "Simulator",
+    "SimulatorConfig",
+    "simulate_scenario",
+    "EventQueue",
+    "DecisionRecord",
+    "JobRecord",
+    "PowerSample",
+    "SimulationTrace",
+]

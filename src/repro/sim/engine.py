@@ -1,0 +1,571 @@
+"""Discrete-event simulator for runtime scenarios.
+
+The simulator executes a :class:`~repro.workloads.scenarios.Scenario` on a
+platform model under the control of a runtime manager.  It owns everything the
+RTM must not decide by itself: job release and completion, core reservations,
+thermal integration, and the bookkeeping of delivered performance.
+
+The manager is pluggable: anything with a ``decide(state) -> decision`` method
+(where the decision has an ``actions`` list) can drive the platform.  The
+application-aware :class:`~repro.rtm.manager.RuntimeManager` and the baseline
+managers in :mod:`repro.baselines` share this interface, so the Fig 2
+benchmark and the ablation study replay identical scenarios under different
+management schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Protocol
+
+from repro.perfmodel.calibrated import CalibratedLatencyModel
+from repro.perfmodel.energy import EnergyModel
+from repro.platforms.soc import Soc
+from repro.rtm.state import (
+    Action,
+    AppRuntimeState,
+    MapApplication,
+    Mapping,
+    SetConfiguration,
+    SetCoresOnline,
+    SetFrequency,
+    SystemState,
+    UnmapApplication,
+)
+from repro.sim.events import EVENT_PRIORITY_DEFAULT, EVENT_PRIORITY_STRUCTURAL, EventQueue
+from repro.sim.trace import DecisionRecord, JobRecord, PowerSample, SimulationTrace
+from repro.workloads.requirements import MetricSample
+from repro.workloads.scenarios import Scenario, ScenarioEvent, ScenarioEventKind
+from repro.workloads.tasks import Application, DNNApplication, GenericApplication
+
+__all__ = ["ManagerProtocol", "SimulatorConfig", "Simulator", "simulate_scenario"]
+
+
+class ManagerProtocol(Protocol):
+    """Anything that can make resource-management decisions for the simulator."""
+
+    def decide(self, state: SystemState) -> object:  # pragma: no cover - protocol
+        """Return an object with an ``actions`` attribute (list of Action)."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Tunables of the discrete-event simulation.
+
+    Attributes
+    ----------
+    decision_interval_ms:
+        Period of the runtime manager's decision epochs.
+    thermal_sample_interval_ms:
+        Period of power/temperature sampling.
+    migration_penalty_ms:
+        Latency charged to the first job after an application changes cluster.
+    max_backlog:
+        Released-but-not-started jobs an application may queue before drops.
+    busy_utilisation:
+        Core utilisation assumed while an inference runs.
+    retry_interval_ms:
+        Release retry period for best-effort (no target fps) applications
+        while they are unmapped.
+    """
+
+    decision_interval_ms: float = 500.0
+    thermal_sample_interval_ms: float = 100.0
+    migration_penalty_ms: float = 20.0
+    max_backlog: int = 2
+    busy_utilisation: float = 0.95
+    retry_interval_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.decision_interval_ms <= 0 or self.thermal_sample_interval_ms <= 0:
+            raise ValueError("intervals must be positive")
+        if self.migration_penalty_ms < 0:
+            raise ValueError("migration_penalty_ms must be non-negative")
+        if self.max_backlog < 0:
+            raise ValueError("max_backlog must be non-negative")
+        if not 0.0 < self.busy_utilisation <= 1.0:
+            raise ValueError("busy_utilisation must be in (0, 1]")
+
+
+@dataclass
+class _DNNRuntime:
+    """Simulator-internal bookkeeping for one DNN application."""
+
+    job_index: int = 0
+    busy: bool = False
+    backlog: int = 0
+    pending_penalty_ms: float = 0.0
+    current_release_ms: float = 0.0
+    current_start_ms: float = 0.0
+    current_cluster: str = ""
+    current_cores: int = 0
+
+
+class Simulator:
+    """Discrete-event simulation of one scenario under one manager.
+
+    Parameters
+    ----------
+    scenario:
+        The workload and platform to simulate.
+    manager:
+        The resource manager driving the platform.
+    energy_model:
+        Cost estimator used to price inference jobs; defaults to the
+        Table-I-calibrated model.
+    config:
+        Simulation tunables.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        manager: ManagerProtocol,
+        energy_model: Optional[EnergyModel] = None,
+        config: Optional[SimulatorConfig] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.manager = manager
+        self.energy_model = energy_model or EnergyModel(CalibratedLatencyModel())
+        self.config = config or SimulatorConfig()
+        self.soc: Soc = scenario.build_platform()
+        self.queue = EventQueue()
+        self.trace = SimulationTrace(duration_ms=scenario.duration_ms)
+        self._apps: Dict[str, AppRuntimeState] = {}
+        self._dnn_runtime: Dict[str, _DNNRuntime] = {}
+        self._was_throttling = False
+        # Busy core-time (core-milliseconds, weighted by utilisation) accrued
+        # per cluster since the last thermal sample.  Integrating busy time
+        # instead of sampling instantaneous state avoids aliasing between the
+        # sampling period and the job periods.
+        self._busy_core_ms: Dict[str, float] = {}
+        self._last_sample_ms: float = 0.0
+        self._last_utilisations: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> SimulationTrace:
+        """Execute the scenario and return the trace."""
+        for event in self.scenario.events():
+            self.queue.schedule(
+                event.time_ms,
+                lambda e=event: self._handle_scenario_event(e),
+                priority=EVENT_PRIORITY_STRUCTURAL,
+            )
+        self._schedule_thermal_sample(self.config.thermal_sample_interval_ms)
+        self._schedule_decision_epoch(self.config.decision_interval_ms)
+        self.queue.run_until(self.scenario.duration_ms)
+        return self.trace
+
+    # ------------------------------------------------------ scenario events
+
+    def _handle_scenario_event(self, event: ScenarioEvent) -> None:
+        if event.kind == ScenarioEventKind.APP_ARRIVAL:
+            self._on_arrival(self.scenario.application(event.app_id))
+        elif event.kind == ScenarioEventKind.APP_DEPARTURE:
+            self._on_departure(event.app_id)
+        elif event.kind == ScenarioEventKind.REQUIREMENT_CHANGE:
+            self._on_requirement_change(event)
+        self._run_decision(trigger=event.kind.value)
+
+    def _on_arrival(self, application: Application) -> None:
+        state = AppRuntimeState(application=application)
+        self._apps[application.app_id] = state
+        try:
+            self.soc.allocate_memory(application.memory_footprint_mb)
+        except MemoryError:
+            # The platform is out of DRAM; the application still arrives but
+            # the shortage shows up as contention the manager cannot fix.
+            pass
+        if isinstance(application, GenericApplication):
+            self._place_generic(state, application)
+        elif isinstance(application, DNNApplication):
+            self._dnn_runtime[application.app_id] = _DNNRuntime()
+            self.queue.schedule(
+                self.queue.now_ms,
+                lambda app_id=application.app_id: self._release_job(app_id),
+            )
+
+    def _place_generic(self, state: AppRuntimeState, application: GenericApplication) -> None:
+        """Give a non-DNN application the cores it demands, preempting DNNs if needed."""
+        demand = application.demand
+        candidates = self.soc.clusters_of_type(demand.core_type)
+        if not candidates:
+            candidates = self.soc.clusters
+        cluster = max(candidates, key=lambda c: len(c.free_cores))
+        shortfall = demand.cores - len(cluster.free_cores)
+        if shortfall > 0:
+            # Preempt DNN applications on this cluster, lowest priority first.
+            victims = sorted(
+                (
+                    app
+                    for app in self._apps.values()
+                    if app.is_dnn
+                    and app.mapping is not None
+                    and app.mapping.cluster_name == cluster.name
+                ),
+                key=lambda app: app.application.priority,
+            )
+            for victim in victims:
+                if shortfall <= 0:
+                    break
+                shortfall -= victim.mapping.cores if victim.mapping else 0
+                self.soc.release_owner(victim.app_id)
+                victim.mapping = None
+        cores = min(demand.cores, len(cluster.free_cores))
+        if cores > 0:
+            cluster.reserve_cores(cores, application.app_id)
+            state.mapping = Mapping(cluster_name=cluster.name, cores=cores)
+            if demand.min_frequency_mhz is not None:
+                # The application needs the shared frequency domain at or
+                # above its minimum; raise it if it is currently below.
+                wanted = cluster.opp_table.at_or_above(demand.min_frequency_mhz)
+                if cluster.frequency_mhz < wanted.frequency_mhz:
+                    cluster.set_frequency(wanted.frequency_mhz)
+
+    def _on_departure(self, app_id: str) -> None:
+        state = self._apps.pop(app_id, None)
+        if state is None:
+            return
+        self.soc.release_owner(app_id)
+        self.soc.free_memory(state.application.memory_footprint_mb)
+        self._dnn_runtime.pop(app_id, None)
+
+    def _on_requirement_change(self, event: ScenarioEvent) -> None:
+        state = self._apps.get(event.app_id)
+        if state is None or event.new_requirements is None:
+            return
+        state.application.requirements = event.new_requirements
+
+    # ------------------------------------------------------------ decisions
+
+    def _schedule_decision_epoch(self, time_ms: float) -> None:
+        if time_ms > self.scenario.duration_ms:
+            return
+        self.queue.schedule(
+            time_ms,
+            lambda: self._decision_epoch(time_ms),
+            priority=EVENT_PRIORITY_STRUCTURAL,
+        )
+
+    def _decision_epoch(self, time_ms: float) -> None:
+        self._run_decision(trigger="epoch")
+        self._schedule_decision_epoch(time_ms + self.config.decision_interval_ms)
+
+    def _system_state(self) -> SystemState:
+        return SystemState(
+            time_ms=self.queue.now_ms,
+            soc=self.soc,
+            apps=dict(self._apps),
+            throttling=self.soc.thermal.throttling,
+            cluster_utilisations=dict(self._last_utilisations),
+        )
+
+    def _run_decision(self, trigger: str) -> None:
+        state = self._system_state()
+        decision = self.manager.decide(state)
+        actions = list(getattr(decision, "actions", []) or [])
+        self._apply_actions(actions)
+        self.trace.record_decision(
+            DecisionRecord(time_ms=self.queue.now_ms, num_actions=len(actions), trigger=trigger)
+        )
+
+    def _apply_actions(self, actions: List[Action]) -> None:
+        # Release first so that applications swapping clusters do not collide.
+        for action in actions:
+            if isinstance(action, (MapApplication, UnmapApplication)) and action.app_id:
+                self.soc.release_owner(action.app_id)
+        for action in actions:
+            if isinstance(action, SetFrequency):
+                if self.soc.has_cluster(action.cluster_name):
+                    self.soc.cluster(action.cluster_name).set_frequency(action.frequency_mhz)
+            elif isinstance(action, SetCoresOnline):
+                if self.soc.has_cluster(action.cluster_name):
+                    cluster = self.soc.cluster(action.cluster_name)
+                    for index, core in enumerate(cluster.cores):
+                        core.set_online(index < action.online_cores)
+            elif isinstance(action, SetConfiguration):
+                self._apply_configuration(action)
+            elif isinstance(action, MapApplication):
+                self._apply_mapping(action)
+            elif isinstance(action, UnmapApplication):
+                state = self._apps.get(action.app_id or "")
+                if state is not None:
+                    state.mapping = None
+
+    def _apply_configuration(self, action: SetConfiguration) -> None:
+        state = self._apps.get(action.app_id or "")
+        if state is None or not isinstance(state.application, DNNApplication):
+            return
+        application = state.application
+        overhead = application.dynamic_dnn.set_configuration(action.configuration)
+        runtime = self._dnn_runtime.get(application.app_id)
+        if runtime is not None:
+            runtime.pending_penalty_ms += overhead
+        if state.mapping is not None:
+            state.mapping = replace(
+                state.mapping, configuration=application.dynamic_dnn.active_fraction
+            )
+
+    def _apply_mapping(self, action: MapApplication) -> None:
+        state = self._apps.get(action.app_id or "")
+        if state is None or not self.soc.has_cluster(action.cluster_name):
+            return
+        cluster = self.soc.cluster(action.cluster_name)
+        cores = min(action.cores, len(cluster.free_cores))
+        if cores <= 0:
+            state.mapping = None
+            return
+        cluster.reserve_cores(cores, action.app_id)
+        migrated = state.mapping is not None and state.mapping.cluster_name != action.cluster_name
+        configuration = 1.0
+        if isinstance(state.application, DNNApplication):
+            configuration = state.application.dynamic_dnn.active_fraction
+        state.mapping = Mapping(
+            cluster_name=action.cluster_name,
+            cores=cores,
+            configuration=configuration,
+        )
+        runtime = self._dnn_runtime.get(action.app_id or "")
+        if runtime is not None and migrated:
+            runtime.pending_penalty_ms += self.config.migration_penalty_ms
+
+    # ------------------------------------------------------------------ jobs
+
+    def _release_job(self, app_id: str) -> None:
+        state = self._apps.get(app_id)
+        if state is None or not isinstance(state.application, DNNApplication):
+            return
+        application = state.application
+        runtime = self._dnn_runtime[app_id]
+        now = self.queue.now_ms
+        period = application.period_ms()
+
+        # Schedule the next release for periodic applications regardless of
+        # what happens to this one.
+        if period is not None:
+            self.queue.schedule(now + period, lambda: self._release_job(app_id))
+
+        if state.mapping is None:
+            self._record_dropped(state, runtime, now, reason="unmapped")
+            if period is None:
+                self.queue.schedule(
+                    now + self.config.retry_interval_ms, lambda: self._release_job(app_id)
+                )
+            return
+        if runtime.busy:
+            if runtime.backlog >= self.config.max_backlog:
+                self._record_dropped(state, runtime, now, reason="backlog")
+            else:
+                runtime.backlog += 1
+            return
+        self._start_job(state, runtime, release_ms=now)
+
+    def _record_dropped(
+        self, state: AppRuntimeState, runtime: _DNNRuntime, now: float, reason: str
+    ) -> None:
+        runtime.job_index += 1
+        state.violation_count += 1
+        self.trace.record_job(
+            JobRecord(
+                app_id=state.app_id,
+                job_index=runtime.job_index,
+                release_ms=now,
+                start_ms=now,
+                finish_ms=now,
+                latency_ms=0.0,
+                energy_mj=0.0,
+                configuration=0.0,
+                accuracy_percent=0.0,
+                cluster="",
+                cores=0,
+                frequency_mhz=0.0,
+                violations=(reason,),
+                dropped=True,
+            )
+        )
+
+    def _start_job(self, state: AppRuntimeState, runtime: _DNNRuntime, release_ms: float) -> None:
+        application = state.application
+        assert isinstance(application, DNNApplication)
+        mapping = state.mapping
+        assert mapping is not None
+        cluster = self.soc.cluster(mapping.cluster_name)
+        network = application.dynamic_dnn.model_for(mapping.configuration)
+        cost = self.energy_model.cost(
+            network,
+            cluster,
+            frequency_mhz=None,
+            cores_used=mapping.cores,
+            temperature_c=self.soc.thermal.temperature_c,
+            soc_name=self.soc.name,
+        )
+        latency_ms = cost.latency_ms + runtime.pending_penalty_ms
+        runtime.pending_penalty_ms = 0.0
+        runtime.busy = True
+        runtime.job_index += 1
+        runtime.current_release_ms = release_ms
+        runtime.current_start_ms = self.queue.now_ms
+        runtime.current_cluster = mapping.cluster_name
+        runtime.current_cores = mapping.cores
+        job_index = runtime.job_index
+        finish_ms = self.queue.now_ms + latency_ms
+        snapshot = {
+            "configuration": mapping.configuration,
+            "cluster": mapping.cluster_name,
+            "cores": mapping.cores,
+            "frequency_mhz": cluster.frequency_mhz,
+            "energy_mj": cost.energy_mj,
+            "latency_ms": latency_ms,
+        }
+        self.queue.schedule(
+            finish_ms,
+            lambda: self._complete_job(state.app_id, job_index, snapshot),
+        )
+
+    def _complete_job(self, app_id: str, job_index: int, snapshot: Dict[str, float]) -> None:
+        state = self._apps.get(app_id)
+        runtime = self._dnn_runtime.get(app_id)
+        if state is None or runtime is None:
+            return
+        application = state.application
+        assert isinstance(application, DNNApplication)
+        runtime.busy = False
+        now = self.queue.now_ms
+        # Accrue the busy core-time of this job since the last thermal sample.
+        busy_since_ms = max(runtime.current_start_ms, self._last_sample_ms)
+        if now > busy_since_ms:
+            self._busy_core_ms[str(snapshot["cluster"])] = self._busy_core_ms.get(
+                str(snapshot["cluster"]), 0.0
+            ) + (now - busy_since_ms) * int(snapshot["cores"]) * self.config.busy_utilisation
+        accuracy = application.accuracy_of(float(snapshot["configuration"]))
+        period = application.period_ms()
+        latency_ms = float(snapshot["latency_ms"])
+        effective_period = max(latency_ms, period) if period is not None else latency_ms
+        sample = MetricSample(
+            latency_ms=latency_ms,
+            energy_mj=float(snapshot["energy_mj"]),
+            accuracy_percent=accuracy,
+            fps=1000.0 / effective_period if effective_period > 0 else None,
+        )
+        violations = tuple(v.metric for v in application.requirements.check(sample))
+        state.last_sample = sample
+        state.jobs_completed += 1
+        if violations:
+            state.violation_count += 1
+        self.trace.record_job(
+            JobRecord(
+                app_id=app_id,
+                job_index=job_index,
+                release_ms=runtime.current_release_ms,
+                start_ms=runtime.current_start_ms,
+                finish_ms=now,
+                latency_ms=latency_ms,
+                energy_mj=float(snapshot["energy_mj"]),
+                configuration=float(snapshot["configuration"]),
+                accuracy_percent=accuracy,
+                cluster=str(snapshot["cluster"]),
+                cores=int(snapshot["cores"]),
+                frequency_mhz=float(snapshot["frequency_mhz"]),
+                violations=violations,
+            )
+        )
+        if runtime.backlog > 0 and state.mapping is not None:
+            runtime.backlog -= 1
+            self._start_job(state, runtime, release_ms=now)
+        elif period is None and state.mapping is not None:
+            # Best-effort applications run back to back.
+            self.queue.schedule(now, lambda: self._release_job(app_id))
+
+    # --------------------------------------------------------------- thermal
+
+    def _accrue_interval_busy_time(self, now_ms: float) -> None:
+        """Add busy core-time of still-running jobs and continuous applications."""
+        for state in self._apps.values():
+            mapping = state.mapping
+            if mapping is None:
+                continue
+            if state.is_dnn:
+                runtime = self._dnn_runtime.get(state.app_id)
+                if runtime is None or not runtime.busy:
+                    continue
+                busy_since_ms = max(runtime.current_start_ms, self._last_sample_ms)
+                if now_ms > busy_since_ms:
+                    cluster_name = runtime.current_cluster or mapping.cluster_name
+                    self._busy_core_ms[cluster_name] = self._busy_core_ms.get(
+                        cluster_name, 0.0
+                    ) + (now_ms - busy_since_ms) * runtime.current_cores * self.config.busy_utilisation
+            else:
+                application = state.application
+                assert isinstance(application, GenericApplication)
+                interval = now_ms - max(self._last_sample_ms, application.arrival_time_ms)
+                if interval > 0:
+                    self._busy_core_ms[mapping.cluster_name] = self._busy_core_ms.get(
+                        mapping.cluster_name, 0.0
+                    ) + interval * mapping.cores * application.demand.utilisation
+
+    def _interval_power_and_utilisation(
+        self, now_ms: float
+    ) -> "tuple[float, Dict[str, float]]":
+        """Average power and per-cluster utilisation over the last interval."""
+        interval_ms = max(now_ms - self._last_sample_ms, 1e-9)
+        self._accrue_interval_busy_time(now_ms)
+        per_cluster_cores: Dict[str, List[float]] = {}
+        cluster_utilisation: Dict[str, float] = {}
+        for cluster in self.soc.clusters:
+            online = max(len(cluster.online_cores), 1)
+            avg_busy_cores = min(
+                self._busy_core_ms.get(cluster.name, 0.0) / interval_ms, float(online)
+            )
+            cluster_utilisation[cluster.name] = avg_busy_cores / online
+            full_cores = int(avg_busy_cores)
+            fraction = avg_busy_cores - full_cores
+            utilisations = [1.0] * full_cores
+            if fraction > 1e-3 and full_cores < online:
+                utilisations.append(fraction)
+            per_cluster_cores[cluster.name] = utilisations
+        power_mw = self.soc.total_power_mw(per_cluster_cores)
+        # Running jobs continue into the next interval: the part after this
+        # sample will be accrued then, so the accumulator resets here.
+        self._busy_core_ms = {}
+        self._last_sample_ms = now_ms
+        return power_mw, cluster_utilisation
+
+    def _schedule_thermal_sample(self, time_ms: float) -> None:
+        if time_ms > self.scenario.duration_ms:
+            return
+        self.queue.schedule(
+            time_ms,
+            lambda: self._thermal_sample(time_ms),
+            priority=EVENT_PRIORITY_STRUCTURAL,
+        )
+
+    def _thermal_sample(self, time_ms: float) -> None:
+        interval_ms = time_ms - self._last_sample_ms
+        power_mw, utilisations = self._interval_power_and_utilisation(time_ms)
+        self._last_utilisations = utilisations
+        self.soc.thermal.step(power_mw, max(interval_ms, 0.0), time_ms=time_ms)
+        throttling = self.soc.thermal.throttling
+        self.trace.record_power(
+            PowerSample(
+                time_ms=time_ms,
+                power_mw=power_mw,
+                temperature_c=self.soc.thermal.temperature_c,
+                throttling=throttling,
+            )
+        )
+        if throttling != self._was_throttling:
+            self._was_throttling = throttling
+            self._run_decision(trigger="thermal")
+        self._schedule_thermal_sample(time_ms + self.config.thermal_sample_interval_ms)
+
+
+def simulate_scenario(
+    scenario: Scenario,
+    manager: ManagerProtocol,
+    energy_model: Optional[EnergyModel] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> SimulationTrace:
+    """Convenience wrapper: build a simulator, run it, return the trace."""
+    return Simulator(scenario, manager, energy_model=energy_model, config=config).run()

@@ -1,0 +1,100 @@
+"""Event queue of the discrete-event simulator.
+
+Events are (time, priority, sequence, callback) tuples on a binary heap.  The
+sequence number makes ordering deterministic for events scheduled at the same
+time, and the priority field lets structural events (arrivals, manager
+decisions) run before job releases scheduled at the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue", "EVENT_PRIORITY_STRUCTURAL", "EVENT_PRIORITY_DEFAULT"]
+
+#: Priority for arrivals/departures/requirement changes and manager epochs.
+EVENT_PRIORITY_STRUCTURAL = 0
+#: Priority for ordinary job release / completion events.
+EVENT_PRIORITY_DEFAULT = 10
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ms: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.now_ms: float = 0.0
+
+    def schedule(
+        self,
+        time_ms: float,
+        callback: Callable[[], None],
+        priority: int = EVENT_PRIORITY_DEFAULT,
+    ) -> _ScheduledEvent:
+        """Schedule ``callback`` to run at ``time_ms``.
+
+        Scheduling in the past is clamped to the current time (the event runs
+        next).  Returns a handle that can be passed to :meth:`cancel`.
+        """
+        event = _ScheduledEvent(
+            time_ms=max(time_ms, self.now_ms),
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a scheduled event (it is skipped when popped)."""
+        event.cancelled = True
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        """True when no live events remain."""
+        return len(self) == 0
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time_ms
+        return None
+
+    def run_until(self, end_time_ms: float) -> int:
+        """Run events in order until the queue is empty or ``end_time_ms`` is reached.
+
+        Returns the number of events executed.  ``now_ms`` ends up at
+        ``end_time_ms`` (or at the last event time if that is later due to an
+        event scheduling exactly at the boundary).
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time_ms > end_time_ms:
+                break
+            heapq.heappop(self._heap)
+            self.now_ms = event.time_ms
+            event.callback()
+            executed += 1
+        self.now_ms = max(self.now_ms, end_time_ms)
+        return executed

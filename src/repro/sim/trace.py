@@ -1,0 +1,221 @@
+"""Simulation trace records and summary statistics.
+
+The simulator records every inference job, every power/temperature sample and
+every manager decision.  The summaries computed here (violation rates, energy
+totals, per-application latency statistics) are what the Fig 2 benchmark and
+the ablation study report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["JobRecord", "PowerSample", "DecisionRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One completed (or dropped) inference job.
+
+    Attributes
+    ----------
+    app_id:
+        Application the job belongs to.
+    job_index:
+        Per-application job counter.
+    release_ms / start_ms / finish_ms:
+        When the job was released, started and finished.  Dropped jobs have
+        ``start_ms == finish_ms == release_ms``.
+    latency_ms:
+        Execution latency (0 for dropped jobs).
+    energy_mj:
+        Energy consumed by the job.
+    configuration:
+        Dynamic-DNN fraction the job ran with.
+    accuracy_percent:
+        Top-1 accuracy of that configuration.
+    cluster / cores / frequency_mhz:
+        Where the job ran.
+    violations:
+        Names of requirement metrics the job violated.
+    dropped:
+        True when the job never ran (no mapping, or backlog overflow).
+    """
+
+    app_id: str
+    job_index: int
+    release_ms: float
+    start_ms: float
+    finish_ms: float
+    latency_ms: float
+    energy_mj: float
+    configuration: float
+    accuracy_percent: float
+    cluster: str
+    cores: int
+    frequency_mhz: float
+    violations: tuple = ()
+    dropped: bool = False
+
+    @property
+    def met_requirements(self) -> bool:
+        """True when the job met every requirement and was not dropped."""
+        return not self.violations and not self.dropped
+
+    @property
+    def response_time_ms(self) -> float:
+        """Release-to-finish time (includes queueing)."""
+        return self.finish_ms - self.release_ms
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One power / temperature sample."""
+
+    time_ms: float
+    power_mw: float
+    temperature_c: float
+    throttling: bool
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One runtime-manager decision epoch."""
+
+    time_ms: float
+    num_actions: int
+    trigger: str
+
+
+@dataclass
+class SimulationTrace:
+    """Everything recorded during one simulation run."""
+
+    jobs: List[JobRecord] = field(default_factory=list)
+    power_samples: List[PowerSample] = field(default_factory=list)
+    decisions: List[DecisionRecord] = field(default_factory=list)
+    duration_ms: float = 0.0
+
+    # ------------------------------------------------------------ recording
+
+    def record_job(self, job: JobRecord) -> None:
+        """Append a job record."""
+        self.jobs.append(job)
+
+    def record_power(self, sample: PowerSample) -> None:
+        """Append a power sample."""
+        self.power_samples.append(sample)
+
+    def record_decision(self, decision: DecisionRecord) -> None:
+        """Append a decision record."""
+        self.decisions.append(decision)
+
+    # -------------------------------------------------------------- queries
+
+    def jobs_for(self, app_id: str) -> List[JobRecord]:
+        """All jobs of one application."""
+        return [job for job in self.jobs if job.app_id == app_id]
+
+    def app_ids(self) -> List[str]:
+        """Applications that produced at least one job."""
+        return sorted({job.app_id for job in self.jobs})
+
+    def completed_jobs(self, app_id: Optional[str] = None) -> List[JobRecord]:
+        """Jobs that actually ran (not dropped)."""
+        jobs = self.jobs if app_id is None else self.jobs_for(app_id)
+        return [job for job in jobs if not job.dropped]
+
+    def violation_count(self, app_id: Optional[str] = None) -> int:
+        """Number of jobs that violated at least one requirement or were dropped."""
+        jobs = self.jobs if app_id is None else self.jobs_for(app_id)
+        return sum(1 for job in jobs if not job.met_requirements)
+
+    def violation_rate(self, app_id: Optional[str] = None) -> float:
+        """Fraction of jobs that violated requirements (0 when no jobs ran)."""
+        jobs = self.jobs if app_id is None else self.jobs_for(app_id)
+        if not jobs:
+            return 0.0
+        return self.violation_count(app_id) / len(jobs)
+
+    def total_energy_mj(self, app_id: Optional[str] = None) -> float:
+        """Total inference energy."""
+        jobs = self.completed_jobs(app_id)
+        return float(sum(job.energy_mj for job in jobs))
+
+    def mean_latency_ms(self, app_id: Optional[str] = None) -> float:
+        """Mean latency over completed jobs (0 when none completed)."""
+        jobs = self.completed_jobs(app_id)
+        if not jobs:
+            return 0.0
+        return float(np.mean([job.latency_ms for job in jobs]))
+
+    def mean_accuracy_percent(self, app_id: Optional[str] = None) -> float:
+        """Mean configuration accuracy over completed jobs."""
+        jobs = self.completed_jobs(app_id)
+        if not jobs:
+            return 0.0
+        return float(np.mean([job.accuracy_percent for job in jobs]))
+
+    def mean_configuration(self, app_id: Optional[str] = None) -> float:
+        """Mean dynamic-DNN fraction over completed jobs."""
+        jobs = self.completed_jobs(app_id)
+        if not jobs:
+            return 0.0
+        return float(np.mean([job.configuration for job in jobs]))
+
+    def delivered_fps(self, app_id: str) -> float:
+        """Completed jobs per second for one application."""
+        jobs = self.completed_jobs(app_id)
+        if not jobs or self.duration_ms <= 0:
+            return 0.0
+        return len(jobs) / (self.duration_ms / 1000.0)
+
+    def peak_temperature_c(self) -> float:
+        """Highest sampled temperature."""
+        if not self.power_samples:
+            return 0.0
+        return max(sample.temperature_c for sample in self.power_samples)
+
+    def mean_power_mw(self) -> float:
+        """Mean sampled power."""
+        if not self.power_samples:
+            return 0.0
+        return float(np.mean([sample.power_mw for sample in self.power_samples]))
+
+    def throttling_fraction(self) -> float:
+        """Fraction of samples spent thermally throttled."""
+        if not self.power_samples:
+            return 0.0
+        return sum(1 for s in self.power_samples if s.throttling) / len(self.power_samples)
+
+    # -------------------------------------------------------------- summary
+
+    def summary(self) -> Dict[str, object]:
+        """Headline statistics of the run."""
+        per_app = {}
+        for app_id in self.app_ids():
+            per_app[app_id] = {
+                "jobs": len(self.jobs_for(app_id)),
+                "completed": len(self.completed_jobs(app_id)),
+                "violation_rate": round(self.violation_rate(app_id), 4),
+                "mean_latency_ms": round(self.mean_latency_ms(app_id), 2),
+                "mean_accuracy_percent": round(self.mean_accuracy_percent(app_id), 2),
+                "mean_configuration": round(self.mean_configuration(app_id), 3),
+                "delivered_fps": round(self.delivered_fps(app_id), 2),
+                "energy_mj": round(self.total_energy_mj(app_id), 1),
+            }
+        return {
+            "duration_ms": self.duration_ms,
+            "total_jobs": len(self.jobs),
+            "total_violations": self.violation_count(),
+            "violation_rate": round(self.violation_rate(), 4),
+            "total_energy_mj": round(self.total_energy_mj(), 1),
+            "mean_power_mw": round(self.mean_power_mw(), 1),
+            "peak_temperature_c": round(self.peak_temperature_c(), 1),
+            "throttling_fraction": round(self.throttling_fraction(), 4),
+            "decisions": len(self.decisions),
+            "per_app": per_app,
+        }

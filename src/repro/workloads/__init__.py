@@ -1,0 +1,53 @@
+"""Workload and scenario models.
+
+Applications (DNN inference, AR/VR, background tasks), their performance
+requirements, the paper's Fig 2 runtime timeline and random scenario
+generators.
+"""
+
+from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+from repro.workloads.requirements import MetricSample, Requirements, Violation
+from repro.workloads.scenarios import (
+    SCENARIO_BUILDERS,
+    Scenario,
+    ScenarioEvent,
+    ScenarioEventKind,
+    fig2_scenario,
+    multi_dnn_scenario,
+    single_dnn_scenario,
+    thermal_stress_scenario,
+)
+from repro.workloads.tasks import (
+    Application,
+    DNNApplication,
+    GenericApplication,
+    ResourceDemand,
+    TaskKind,
+    make_arvr_application,
+    make_background_application,
+    make_dnn_application,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "WorkloadGeneratorConfig",
+    "MetricSample",
+    "Requirements",
+    "Violation",
+    "SCENARIO_BUILDERS",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioEventKind",
+    "fig2_scenario",
+    "multi_dnn_scenario",
+    "single_dnn_scenario",
+    "thermal_stress_scenario",
+    "Application",
+    "DNNApplication",
+    "GenericApplication",
+    "ResourceDemand",
+    "TaskKind",
+    "make_arvr_application",
+    "make_background_application",
+    "make_dnn_application",
+]

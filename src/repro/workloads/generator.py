@@ -1,0 +1,171 @@
+"""Seeded random workload generation.
+
+The paper's evaluation is a fixed case study, but exercising the runtime
+manager properly (and the ablation benchmarks) needs families of workloads
+with varying arrival patterns and requirement tightness.  This module
+generates them deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dnn.training import IncrementalTrainer, TrainedDynamicDNN
+from repro.dnn.zoo import make_dynamic_cifar_dnn
+from repro.platforms.core import CoreType
+from repro.workloads.requirements import Requirements
+from repro.workloads.scenarios import Scenario
+from repro.workloads.tasks import (
+    Application,
+    make_background_application,
+    make_dnn_application,
+)
+
+__all__ = ["WorkloadGeneratorConfig", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadGeneratorConfig:
+    """Knobs of the random workload generator.
+
+    Attributes
+    ----------
+    num_dnn_apps:
+        Number of DNN inference applications to generate.
+    num_background_apps:
+        Number of CPU background tasks to generate.
+    duration_ms:
+        Scenario length.
+    mean_interarrival_ms:
+        Mean of the exponential inter-arrival time between applications.
+    fps_range:
+        Range of target frame rates drawn uniformly per DNN application.
+    accuracy_floor_range:
+        Range of minimum-accuracy requirements drawn per DNN application.
+    energy_budget_range_mj:
+        Range of per-inference energy budgets; ``None`` entries are allowed
+        by setting ``energy_budget_probability`` below 1.
+    energy_budget_probability:
+        Probability that a DNN application carries an energy budget at all.
+    """
+
+    num_dnn_apps: int = 3
+    num_background_apps: int = 1
+    duration_ms: float = 30000.0
+    mean_interarrival_ms: float = 4000.0
+    fps_range: tuple = (2.0, 25.0)
+    accuracy_floor_range: tuple = (55.0, 69.0)
+    energy_budget_range_mj: tuple = (40.0, 200.0)
+    energy_budget_probability: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.num_dnn_apps < 0 or self.num_background_apps < 0:
+            raise ValueError("application counts must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.mean_interarrival_ms <= 0:
+            raise ValueError("mean_interarrival_ms must be positive")
+        if not 0.0 <= self.energy_budget_probability <= 1.0:
+            raise ValueError("energy_budget_probability must be in [0, 1]")
+
+
+class WorkloadGenerator:
+    """Generate random but reproducible runtime scenarios.
+
+    Parameters
+    ----------
+    config:
+        Generation parameters.
+    seed:
+        Seed of the random stream; equal seeds give identical scenarios.
+    trained:
+        Optional pre-trained dynamic DNN shared by all generated DNN
+        applications (training is simulated but not free to construct).
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkloadGeneratorConfig] = None,
+        seed: int = 0,
+        trained: Optional[TrainedDynamicDNN] = None,
+    ) -> None:
+        self.config = config or WorkloadGeneratorConfig()
+        self.seed = seed
+        self._trained = trained
+
+    def _get_trained(self) -> TrainedDynamicDNN:
+        if self._trained is None:
+            self._trained = IncrementalTrainer().train(make_dynamic_cifar_dnn())
+        return self._trained
+
+    def generate(self, platform_name: str = "odroid_xu3", name: Optional[str] = None) -> Scenario:
+        """Generate one scenario on the given platform preset."""
+        rng = np.random.default_rng(self.seed)
+        config = self.config
+        applications: List[Application] = []
+
+        arrival_ms = 0.0
+        for index in range(config.num_dnn_apps):
+            if index > 0:
+                arrival_ms += float(rng.exponential(config.mean_interarrival_ms))
+            arrival_ms = min(arrival_ms, config.duration_ms * 0.8)
+            fps = float(rng.uniform(*config.fps_range))
+            accuracy_floor = float(rng.uniform(*config.accuracy_floor_range))
+            energy_budget = None
+            if rng.random() < config.energy_budget_probability:
+                energy_budget = float(rng.uniform(*config.energy_budget_range_mj))
+            requirements = Requirements(
+                target_fps=round(fps, 1),
+                min_accuracy_percent=round(accuracy_floor, 1),
+                max_energy_mj=None if energy_budget is None else round(energy_budget, 1),
+                priority=int(rng.integers(1, 10)),
+            )
+            applications.append(
+                make_dnn_application(
+                    app_id=f"dnn{index + 1}",
+                    trained=self._get_trained(),
+                    requirements=requirements,
+                    arrival_time_ms=round(arrival_ms, 1),
+                )
+            )
+
+        for index in range(config.num_background_apps):
+            start = float(rng.uniform(0.0, config.duration_ms * 0.6))
+            length = float(rng.uniform(config.duration_ms * 0.2, config.duration_ms * 0.6))
+            core_type = CoreType.CPU_BIG if rng.random() < 0.5 else CoreType.CPU_LITTLE
+            applications.append(
+                make_background_application(
+                    app_id=f"bg{index + 1}",
+                    cores=int(rng.integers(1, 3)),
+                    core_type=core_type,
+                    utilisation=float(rng.uniform(0.4, 0.95)),
+                    arrival_time_ms=round(start, 1),
+                    departure_time_ms=round(min(start + length, config.duration_ms), 1),
+                )
+            )
+
+        return Scenario(
+            name=name or f"generated_seed{self.seed}",
+            platform_name=platform_name,
+            applications=applications,
+            duration_ms=config.duration_ms,
+            description=(
+                f"Randomly generated workload (seed {self.seed}): "
+                f"{config.num_dnn_apps} DNN apps, {config.num_background_apps} background tasks."
+            ),
+        )
+
+    def generate_many(self, count: int, platform_name: str = "odroid_xu3") -> List[Scenario]:
+        """Generate ``count`` scenarios with consecutive seeds."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        scenarios = []
+        for offset in range(count):
+            generator = WorkloadGenerator(self.config, seed=self.seed + offset, trained=self._get_trained())
+            scenarios.append(
+                generator.generate(platform_name=platform_name, name=f"generated_seed{self.seed + offset}")
+            )
+        return scenarios

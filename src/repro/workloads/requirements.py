@@ -1,0 +1,181 @@
+"""Application performance requirements and violation checking.
+
+Fig 1 of the paper frames deployment in terms of application requirements —
+"1 fps, very-high accuracy", "25 fps, high accuracy", "60 fps, medium
+accuracy" — and the runtime scenario of Fig 2 is driven by keeping every
+application's requirements met as resources change.  This module provides the
+requirement vocabulary shared by the workloads, the runtime manager and the
+simulator: a :class:`Requirements` bundle over the four metric axes the paper
+uses (execution time, energy, power, accuracy) plus frame rate, and the
+:class:`Violation` records produced when a measurement misses a requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Requirements", "Violation", "MetricSample"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One observation of an application's delivered performance.
+
+    Attributes
+    ----------
+    latency_ms:
+        Inference execution time in milliseconds.
+    energy_mj:
+        Per-inference energy in millijoules.
+    power_mw:
+        Average power during the inference, in milliwatts.
+    accuracy_percent:
+        Top-1 accuracy of the configuration that produced the inference.
+    fps:
+        Delivered frame rate, if the application is periodic.
+    """
+
+    latency_ms: Optional[float] = None
+    energy_mj: Optional[float] = None
+    power_mw: Optional[float] = None
+    accuracy_percent: Optional[float] = None
+    fps: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A requirement that a measurement failed to meet."""
+
+    metric: str
+    limit: float
+    actual: float
+
+    @property
+    def magnitude(self) -> float:
+        """Relative size of the violation (how far past the limit, as a fraction)."""
+        if self.limit == 0:
+            return abs(self.actual)
+        return abs(self.actual - self.limit) / abs(self.limit)
+
+    def __str__(self) -> str:
+        return f"{self.metric}: required {self.limit:g}, got {self.actual:g}"
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """Performance requirements of one application.
+
+    All limits are optional; ``None`` means "no requirement on this axis".
+
+    Attributes
+    ----------
+    max_latency_ms:
+        Upper bound on single-inference execution time.
+    max_energy_mj:
+        Upper bound on per-inference energy.
+    max_power_mw:
+        Upper bound on average power while the application runs.
+    min_accuracy_percent:
+        Lower bound on top-1 accuracy.
+    target_fps:
+        Desired frame rate; implies a latency bound of ``1000 / target_fps``
+        when no explicit latency bound is given.
+    priority:
+        Larger numbers are more important; the multi-application arbiter
+        serves higher-priority applications first.
+    """
+
+    max_latency_ms: Optional[float] = None
+    max_energy_mj: Optional[float] = None
+    max_power_mw: Optional[float] = None
+    min_accuracy_percent: Optional[float] = None
+    target_fps: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_latency_ms", "max_energy_mj", "max_power_mw", "target_fps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when given")
+        if self.min_accuracy_percent is not None and not 0.0 <= self.min_accuracy_percent <= 100.0:
+            raise ValueError("min_accuracy_percent must be in [0, 100]")
+
+    # ---------------------------------------------------------------- limits
+
+    @property
+    def effective_latency_limit_ms(self) -> Optional[float]:
+        """Latency bound implied by the explicit limit and/or the target fps."""
+        candidates = []
+        if self.max_latency_ms is not None:
+            candidates.append(self.max_latency_ms)
+        if self.target_fps is not None:
+            candidates.append(1000.0 / self.target_fps)
+        return min(candidates) if candidates else None
+
+    @property
+    def period_ms(self) -> Optional[float]:
+        """Inference period implied by the target frame rate."""
+        return None if self.target_fps is None else 1000.0 / self.target_fps
+
+    @property
+    def is_unconstrained(self) -> bool:
+        """True when no axis carries a requirement."""
+        return (
+            self.max_latency_ms is None
+            and self.max_energy_mj is None
+            and self.max_power_mw is None
+            and self.min_accuracy_percent is None
+            and self.target_fps is None
+        )
+
+    # -------------------------------------------------------------- checking
+
+    def check(self, sample: MetricSample) -> List[Violation]:
+        """Return the violations of this requirement set by a measurement.
+
+        Metrics missing from the sample are not checked.
+        """
+        violations: List[Violation] = []
+        latency_limit = self.effective_latency_limit_ms
+        if latency_limit is not None and sample.latency_ms is not None:
+            if sample.latency_ms > latency_limit * (1.0 + 1e-9):
+                violations.append(Violation("latency_ms", latency_limit, sample.latency_ms))
+        if self.max_energy_mj is not None and sample.energy_mj is not None:
+            if sample.energy_mj > self.max_energy_mj * (1.0 + 1e-9):
+                violations.append(Violation("energy_mj", self.max_energy_mj, sample.energy_mj))
+        if self.max_power_mw is not None and sample.power_mw is not None:
+            if sample.power_mw > self.max_power_mw * (1.0 + 1e-9):
+                violations.append(Violation("power_mw", self.max_power_mw, sample.power_mw))
+        if self.min_accuracy_percent is not None and sample.accuracy_percent is not None:
+            if sample.accuracy_percent < self.min_accuracy_percent * (1.0 - 1e-9):
+                violations.append(
+                    Violation("accuracy_percent", self.min_accuracy_percent, sample.accuracy_percent)
+                )
+        if self.target_fps is not None and sample.fps is not None:
+            if sample.fps < self.target_fps * (1.0 - 1e-9):
+                violations.append(Violation("fps", self.target_fps, sample.fps))
+        return violations
+
+    def is_satisfied_by(self, sample: MetricSample) -> bool:
+        """True when the measurement meets every requirement it reports."""
+        return not self.check(sample)
+
+    # -------------------------------------------------------------- editing
+
+    def with_changes(self, **changes: object) -> "Requirements":
+        """A copy of this requirement set with some fields replaced.
+
+        Used by the Fig 2(d) event where the user relaxes an application's
+        accuracy requirement at runtime.
+        """
+        data = {
+            "max_latency_ms": self.max_latency_ms,
+            "max_energy_mj": self.max_energy_mj,
+            "max_power_mw": self.max_power_mw,
+            "min_accuracy_percent": self.min_accuracy_percent,
+            "target_fps": self.target_fps,
+            "priority": self.priority,
+        }
+        data.update(changes)
+        return Requirements(**data)  # type: ignore[arg-type]

@@ -1,0 +1,331 @@
+"""Runtime scenarios, including the paper's Fig 2 timeline.
+
+A scenario is a platform plus a set of applications with arrival / departure
+times and scheduled requirement changes.  The central one is
+:func:`fig2_scenario`, which reproduces the paper's motivating timeline:
+
+* ``t = 0 s``  — a single DNN runs, mapped to the NPU with a CPU core for
+  pre-processing.
+* ``t = 5 s``  — a second DNN with a tighter latency requirement arrives; it
+  takes the NPU, pushing DNN 1 to the GPU where it must be dynamically
+  compressed.
+* ``t = 15 s`` — an AR/VR application claims the GPU; DNN 1 moves to the big
+  CPU cluster, the SoC heats up past its thermal limit, and DNN 1 must be
+  compressed further and confined to fewer cores.
+* ``t = 25 s`` — the user relaxes DNN 2's accuracy requirement; both DNNs can
+  be co-scaled onto the NPU.
+
+The scenario is expressed with explicit events so that both the RTM-driven
+simulation and the baselines replay exactly the same resource timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.dnn.training import IncrementalTrainer, TrainedDynamicDNN
+from repro.dnn.zoo import make_dynamic_cifar_dnn
+from repro.platforms.core import CoreType
+from repro.platforms.presets import build_preset
+from repro.platforms.soc import Soc
+from repro.workloads.requirements import Requirements
+from repro.workloads.tasks import (
+    Application,
+    make_arvr_application,
+    make_background_application,
+    make_dnn_application,
+)
+
+__all__ = [
+    "ScenarioEventKind",
+    "ScenarioEvent",
+    "Scenario",
+    "fig2_scenario",
+    "single_dnn_scenario",
+    "multi_dnn_scenario",
+    "thermal_stress_scenario",
+    "SCENARIO_BUILDERS",
+]
+
+
+class ScenarioEventKind(str, Enum):
+    """Kinds of scheduled scenario event."""
+
+    APP_ARRIVAL = "app_arrival"
+    APP_DEPARTURE = "app_departure"
+    REQUIREMENT_CHANGE = "requirement_change"
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """A scheduled change in the scenario.
+
+    Attributes
+    ----------
+    time_ms:
+        When the event fires.
+    kind:
+        What happens.
+    app_id:
+        The application affected.
+    new_requirements:
+        For ``REQUIREMENT_CHANGE`` events, the replacement requirements.
+    """
+
+    time_ms: float
+    kind: ScenarioEventKind
+    app_id: str
+    new_requirements: Optional[Requirements] = None
+
+
+@dataclass
+class Scenario:
+    """A platform, a set of applications and a timeline of events."""
+
+    name: str
+    platform_name: str
+    applications: List[Application]
+    duration_ms: float
+    extra_events: List[ScenarioEvent] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        ids = [app.app_id for app in self.applications]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate application ids in scenario {self.name!r}: {ids}")
+
+    def build_platform(self) -> Soc:
+        """Instantiate a fresh platform model for this scenario."""
+        return build_preset(self.platform_name)
+
+    def application(self, app_id: str) -> Application:
+        """Look up an application by id."""
+        for app in self.applications:
+            if app.app_id == app_id:
+                return app
+        raise KeyError(f"scenario {self.name!r} has no application {app_id!r}")
+
+    def events(self) -> List[ScenarioEvent]:
+        """All events of the scenario (arrivals, departures, and extras), sorted."""
+        events: List[ScenarioEvent] = []
+        for app in self.applications:
+            events.append(
+                ScenarioEvent(app.arrival_time_ms, ScenarioEventKind.APP_ARRIVAL, app.app_id)
+            )
+            if app.departure_time_ms is not None:
+                events.append(
+                    ScenarioEvent(
+                        app.departure_time_ms, ScenarioEventKind.APP_DEPARTURE, app.app_id
+                    )
+                )
+        events.extend(self.extra_events)
+        return sorted(events, key=lambda event: (event.time_ms, event.kind.value, event.app_id))
+
+    @property
+    def dnn_applications(self) -> List[Application]:
+        """The DNN applications of the scenario."""
+        return [app for app in self.applications if hasattr(app, "trained")]
+
+
+def _default_trained(num_increments: int = 4) -> TrainedDynamicDNN:
+    """Train (simulated) the case-study dynamic DNN."""
+    return IncrementalTrainer().train(make_dynamic_cifar_dnn(num_increments))
+
+
+def fig2_scenario(
+    platform_name: str = "odroid_xu3",
+    trained_factory: Optional[Callable[[], TrainedDynamicDNN]] = None,
+) -> Scenario:
+    """The paper's Fig 2 runtime timeline.
+
+    The paper's illustration shows a flagship SoC with an NPU; our calibrated
+    platform models are the boards the paper measures, so by default the
+    scenario runs on the Odroid XU3 with the Mali GPU playing the role of the
+    dedicated accelerator (the fastest, most efficient core the DNNs compete
+    for).  The timeline and the resource-management pressure are the same:
+
+    * ``t = 0 s``  — DNN 1 runs alone on the accelerator.
+    * ``t = 5 s``  — DNN 2 (tighter latency, higher priority) arrives and
+      claims the accelerator; DNN 1 must move to a CPU cluster and compress.
+    * ``t = 15 s`` — an AR/VR application takes the accelerator; both DNNs now
+      share the CPU clusters, the package heats up, and the RTM must throttle
+      frequencies / compress configurations to stay inside the thermal limit.
+    * ``t = 25 s`` — DNN 2's accuracy requirement is relaxed by the user, so
+      it can shrink and return headroom to DNN 1.
+
+    Parameters
+    ----------
+    platform_name:
+        Platform preset to run on (default: the calibrated Odroid XU3; the
+        Kirin 990-like and A13-like presets also work but their NPUs are fast
+        enough that this small network causes little contention).
+    trained_factory:
+        Factory for the trained dynamic DNN used by both DNN applications;
+        defaults to the four-increment case-study network.
+    """
+    factory = trained_factory or _default_trained
+    trained_dnn1 = factory()
+    trained_dnn2 = factory()
+
+    # DNN 1: continuous vision task, moderate frame rate, energy constrained,
+    # willing to trade accuracy when resources shrink.
+    dnn1 = make_dnn_application(
+        app_id="dnn1",
+        trained=trained_dnn1,
+        requirements=Requirements(
+            target_fps=5.0,
+            max_energy_mj=60.0,
+            min_accuracy_percent=55.0,
+            priority=3,
+        ),
+        arrival_time_ms=0.0,
+    )
+    # DNN 2: arrives at t=5s with a tighter execution-time requirement
+    # ("higher requirements on the desired classification execution time").
+    dnn2 = make_dnn_application(
+        app_id="dnn2",
+        trained=trained_dnn2,
+        requirements=Requirements(
+            target_fps=20.0,
+            max_latency_ms=45.0,
+            min_accuracy_percent=62.0,
+            priority=6,
+        ),
+        arrival_time_ms=5000.0,
+    )
+    # AR/VR application arrives at t=15s and occupies the GPU/accelerator.
+    arvr = make_arvr_application(
+        app_id="arvr",
+        target_fps=60.0,
+        arrival_time_ms=15000.0,
+        priority=8,
+    )
+    # At t=25s the user relaxes DNN 2's accuracy requirement (Fig 2d), which
+    # lets the RTM shrink DNN 2 and return resources to DNN 1.
+    requirement_change = ScenarioEvent(
+        time_ms=25000.0,
+        kind=ScenarioEventKind.REQUIREMENT_CHANGE,
+        app_id="dnn2",
+        new_requirements=Requirements(
+            target_fps=20.0,
+            max_latency_ms=45.0,
+            min_accuracy_percent=56.0,
+            priority=6,
+        ),
+    )
+    return Scenario(
+        name="fig2",
+        platform_name=platform_name,
+        applications=[dnn1, dnn2, arvr],
+        duration_ms=40000.0,
+        extra_events=[requirement_change],
+        description=(
+            "Fig 2 timeline: single DNN -> second DNN arrives (t=5s) -> AR/VR app "
+            "takes the accelerator and the SoC heats up (t=15s) -> DNN2 accuracy "
+            "requirement relaxed (t=25s)."
+        ),
+    )
+
+
+def single_dnn_scenario(
+    platform_name: str = "odroid_xu3",
+    target_fps: float = 5.0,
+    max_energy_mj: float = 100.0,
+    min_accuracy_percent: float = 60.0,
+    duration_ms: float = 10000.0,
+) -> Scenario:
+    """A single DNN running alone — the paper's case-study setting (Section IV)."""
+    dnn = make_dnn_application(
+        app_id="dnn1",
+        trained=_default_trained(),
+        requirements=Requirements(
+            target_fps=target_fps,
+            max_energy_mj=max_energy_mj,
+            min_accuracy_percent=min_accuracy_percent,
+            priority=3,
+        ),
+    )
+    return Scenario(
+        name="single_dnn",
+        platform_name=platform_name,
+        applications=[dnn],
+        duration_ms=duration_ms,
+        description="One DNN with latency/energy/accuracy requirements, no contention.",
+    )
+
+
+def multi_dnn_scenario(
+    num_dnns: int = 3,
+    platform_name: str = "odroid_xu3",
+    duration_ms: float = 20000.0,
+    stagger_ms: float = 3000.0,
+) -> Scenario:
+    """Several DNNs arriving one after another and competing for the clusters."""
+    if num_dnns <= 0:
+        raise ValueError("num_dnns must be positive")
+    applications: List[Application] = []
+    fps_ladder = [5.0, 10.0, 15.0, 20.0, 25.0]
+    for index in range(num_dnns):
+        applications.append(
+            make_dnn_application(
+                app_id=f"dnn{index + 1}",
+                trained=_default_trained(),
+                requirements=Requirements(
+                    target_fps=fps_ladder[index % len(fps_ladder)],
+                    min_accuracy_percent=56.0,
+                    priority=index + 1,
+                ),
+                arrival_time_ms=index * stagger_ms,
+            )
+        )
+    return Scenario(
+        name=f"multi_dnn_{num_dnns}",
+        platform_name=platform_name,
+        applications=applications,
+        duration_ms=duration_ms,
+        description=f"{num_dnns} DNNs with staggered arrivals competing for clusters.",
+    )
+
+
+def thermal_stress_scenario(
+    platform_name: str = "odroid_xu3",
+    duration_ms: float = 30000.0,
+) -> Scenario:
+    """A DNN plus heavy CPU background load designed to push the SoC into throttling."""
+    dnn = make_dnn_application(
+        app_id="dnn1",
+        trained=_default_trained(),
+        requirements=Requirements(
+            target_fps=8.0,
+            min_accuracy_percent=56.0,
+            priority=4,
+        ),
+    )
+    background = make_background_application(
+        app_id="stress",
+        cores=4,
+        core_type=CoreType.CPU_BIG,
+        utilisation=0.95,
+        arrival_time_ms=5000.0,
+        min_frequency_mhz=1800.0,
+    )
+    return Scenario(
+        name="thermal_stress",
+        platform_name=platform_name,
+        applications=[dnn, background],
+        duration_ms=duration_ms,
+        description="A DNN plus a hot background task that forces thermal throttling.",
+    )
+
+
+#: Registry of scenario builders by name.
+SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
+    "fig2": fig2_scenario,
+    "single_dnn": single_dnn_scenario,
+    "multi_dnn": multi_dnn_scenario,
+    "thermal_stress": thermal_stress_scenario,
+}

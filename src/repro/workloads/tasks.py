@@ -1,0 +1,257 @@
+"""Task / application models executed on the platform.
+
+The runtime scenario of Fig 2 mixes three kinds of application:
+
+* **DNN inference applications** — periodic inference with requirements on
+  latency/fps, energy and accuracy; their dynamic DNN gives the RTM an
+  application knob.
+* **AR/VR applications** — GPU-hungry, high frame rate, no accuracy knob.
+* **Background tasks** — CPU work that simply takes cores away.
+
+All three are modelled here.  A task does not know where it runs; its mapping
+(cluster, cores, configuration) is decided by the runtime manager and tracked
+by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.dnn.training import TrainedDynamicDNN
+from repro.platforms.core import CoreType
+from repro.workloads.requirements import Requirements
+
+__all__ = ["TaskKind", "ResourceDemand", "Application", "DNNApplication", "GenericApplication"]
+
+
+class TaskKind(str, Enum):
+    """Kinds of application in the runtime scenarios."""
+
+    DNN_INFERENCE = "dnn_inference"
+    ARVR = "arvr"
+    BACKGROUND = "background"
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Static resource demand of a non-DNN application.
+
+    Attributes
+    ----------
+    core_type:
+        Kind of core the application needs (GPU for AR/VR, CPU for
+        background work).
+    cores:
+        Number of cores it occupies.
+    utilisation:
+        Average utilisation it imposes on each occupied core.
+    min_frequency_mhz:
+        Lowest cluster frequency the application tolerates.  A 60 fps AR/VR
+        renderer effectively pins the GPU near its top frequency; because the
+        frequency domain is shared, this constrains any DNN mapped to the
+        same cluster (the Section IV observation that "the frequency setting
+        may be sub-optimal due to other applications in the same frequency
+        domain").
+    """
+
+    core_type: CoreType
+    cores: int = 1
+    utilisation: float = 0.8
+    min_frequency_mhz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if not 0.0 < self.utilisation <= 1.0:
+            raise ValueError("utilisation must be in (0, 1]")
+        if self.min_frequency_mhz is not None and self.min_frequency_mhz <= 0:
+            raise ValueError("min_frequency_mhz must be positive when given")
+
+
+@dataclass
+class Application:
+    """Base class for every application in a scenario.
+
+    Attributes
+    ----------
+    app_id:
+        Unique identifier, e.g. ``"dnn1"`` or ``"arvr"``.
+    kind:
+        The task kind.
+    requirements:
+        Performance requirements; may be replaced at runtime (Fig 2d).
+    arrival_time_ms / departure_time_ms:
+        When the application starts and (optionally) stops in the scenario.
+    memory_footprint_mb:
+        DRAM the application occupies while loaded.
+    """
+
+    app_id: str
+    kind: TaskKind
+    requirements: Requirements
+    arrival_time_ms: float = 0.0
+    departure_time_ms: Optional[float] = None
+    memory_footprint_mb: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_time_ms < 0:
+            raise ValueError("arrival_time_ms must be non-negative")
+        if self.departure_time_ms is not None and self.departure_time_ms <= self.arrival_time_ms:
+            raise ValueError("departure_time_ms must be after arrival_time_ms")
+        if self.memory_footprint_mb < 0:
+            raise ValueError("memory_footprint_mb must be non-negative")
+
+    @property
+    def priority(self) -> int:
+        """Scheduling priority (from the requirements)."""
+        return self.requirements.priority
+
+    def is_active(self, time_ms: float) -> bool:
+        """True when the application is loaded at this point of the scenario."""
+        if time_ms < self.arrival_time_ms:
+            return False
+        if self.departure_time_ms is not None and time_ms >= self.departure_time_ms:
+            return False
+        return True
+
+
+@dataclass
+class DNNApplication(Application):
+    """A DNN inference application backed by a trained dynamic DNN.
+
+    Attributes
+    ----------
+    trained:
+        The trained dynamic DNN whose configurations the RTM can select
+        between (the application knob of Fig 5).
+    preprocessing_cores:
+        CPU cores used for input pre-processing (image resizing) when the
+        inference itself runs on an accelerator, as in Fig 2(a).
+    """
+
+    trained: Optional[TrainedDynamicDNN] = None
+    preprocessing_cores: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trained is None:
+            raise ValueError("a DNNApplication requires a trained dynamic DNN")
+        if self.preprocessing_cores < 0:
+            raise ValueError("preprocessing_cores must be non-negative")
+        # The dynamic DNN stores every configuration in one model footprint.
+        if self.memory_footprint_mb <= 0:
+            self.memory_footprint_mb = self.trained.dynamic_dnn.memory_footprint_mb()
+
+    @property
+    def dynamic_dnn(self):
+        """The underlying dynamic DNN."""
+        assert self.trained is not None
+        return self.trained.dynamic_dnn
+
+    @property
+    def configurations(self) -> List[float]:
+        """Width fractions the application can run at."""
+        return self.dynamic_dnn.configurations
+
+    def accuracy_of(self, fraction: float) -> float:
+        """Top-1 accuracy of the configuration nearest ``fraction``."""
+        assert self.trained is not None
+        return self.trained.top1(fraction)
+
+    def period_ms(self) -> Optional[float]:
+        """Inference period implied by the target fps (None for best-effort apps)."""
+        return self.requirements.period_ms
+
+
+@dataclass
+class GenericApplication(Application):
+    """A non-DNN application that simply occupies resources (AR/VR, background)."""
+
+    demand: ResourceDemand = field(
+        default_factory=lambda: ResourceDemand(core_type=CoreType.CPU_LITTLE)
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+
+def make_dnn_application(
+    app_id: str,
+    trained: TrainedDynamicDNN,
+    requirements: Requirements,
+    arrival_time_ms: float = 0.0,
+    departure_time_ms: Optional[float] = None,
+    preprocessing_cores: int = 1,
+) -> DNNApplication:
+    """Convenience constructor for a DNN application."""
+    return DNNApplication(
+        app_id=app_id,
+        kind=TaskKind.DNN_INFERENCE,
+        requirements=requirements,
+        arrival_time_ms=arrival_time_ms,
+        departure_time_ms=departure_time_ms,
+        trained=trained,
+        preprocessing_cores=preprocessing_cores,
+        memory_footprint_mb=trained.dynamic_dnn.memory_footprint_mb(),
+    )
+
+
+def make_arvr_application(
+    app_id: str,
+    target_fps: float = 60.0,
+    gpu_cores: int = 1,
+    arrival_time_ms: float = 0.0,
+    departure_time_ms: Optional[float] = None,
+    priority: int = 5,
+    gpu_min_frequency_mhz: Optional[float] = 600.0,
+) -> GenericApplication:
+    """Convenience constructor for an AR/VR application occupying the GPU.
+
+    The renderer needs the GPU near its top frequency to hold its frame rate,
+    so it carries a minimum-frequency demand on the cluster it occupies.
+    """
+    return GenericApplication(
+        app_id=app_id,
+        kind=TaskKind.ARVR,
+        requirements=Requirements(target_fps=target_fps, priority=priority),
+        arrival_time_ms=arrival_time_ms,
+        departure_time_ms=departure_time_ms,
+        demand=ResourceDemand(
+            core_type=CoreType.GPU,
+            cores=gpu_cores,
+            utilisation=0.9,
+            min_frequency_mhz=gpu_min_frequency_mhz,
+        ),
+        memory_footprint_mb=300.0,
+    )
+
+
+def make_background_application(
+    app_id: str,
+    cores: int = 1,
+    core_type: CoreType = CoreType.CPU_LITTLE,
+    utilisation: float = 0.6,
+    arrival_time_ms: float = 0.0,
+    departure_time_ms: Optional[float] = None,
+    min_frequency_mhz: Optional[float] = None,
+) -> GenericApplication:
+    """Convenience constructor for a CPU background task."""
+    return GenericApplication(
+        app_id=app_id,
+        kind=TaskKind.BACKGROUND,
+        requirements=Requirements(priority=0),
+        arrival_time_ms=arrival_time_ms,
+        departure_time_ms=departure_time_ms,
+        demand=ResourceDemand(
+            core_type=core_type,
+            cores=cores,
+            utilisation=utilisation,
+            min_frequency_mhz=min_frequency_mhz,
+        ),
+        memory_footprint_mb=30.0,
+    )
+
+
+__all__ += ["make_dnn_application", "make_arvr_application", "make_background_application"]

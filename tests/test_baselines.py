@@ -1,0 +1,164 @@
+"""Tests for the static-pruning and governor-only baselines."""
+
+import pytest
+
+from repro.baselines.governor_only import GovernorOnlyManager
+from repro.baselines.static import StaticDeploymentManager, design_time_deployment
+from repro.dnn.zoo import cifar_group_cnn
+from repro.rtm.state import AppRuntimeState, MapApplication, SetConfiguration, SystemState
+from repro.workloads.requirements import Requirements
+from repro.workloads.tasks import make_dnn_application
+
+
+def make_state(soc, apps):
+    return SystemState(
+        time_ms=0.0,
+        soc=soc,
+        apps={state.app_id: state for state in apps},
+    )
+
+
+class TestDesignTimeDeployment:
+    def test_variant_per_cluster(self, xu3):
+        plan = design_time_deployment(
+            cifar_group_cnn(), xu3, Requirements(max_latency_ms=200.0), clusters=["a15", "a7"]
+        )
+        assert len(plan.variants) == 2
+        assert {v.cluster_name for v in plan.variants} == {"a15", "a7"}
+
+    def test_slower_cluster_gets_smaller_model(self, xu3):
+        plan = design_time_deployment(
+            cifar_group_cnn(), xu3, Requirements(max_latency_ms=100.0), clusters=["a15", "a7"]
+        )
+        a15 = plan.variant_for("odroid_xu3", "a15")
+        a7 = plan.variant_for("odroid_xu3", "a7")
+        # The A7 needs more compression to hit the same latency target, and
+        # therefore loses more accuracy (the Yang et al. trade-off).
+        assert a7.keep_fraction <= a15.keep_fraction
+        assert a7.accuracy_percent <= a15.accuracy_percent
+
+    def test_variants_meet_the_latency_budget_when_feasible(self, xu3):
+        requirements = Requirements(max_latency_ms=150.0)
+        plan = design_time_deployment(
+            cifar_group_cnn(), xu3, requirements, clusters=["a15", "a7", "mali_gpu"]
+        )
+        for variant in plan.variants:
+            assert variant.predicted_latency_ms <= 150.0 + 1e-6
+
+    def test_total_storage_exceeds_single_model(self, xu3):
+        # Covering several hardware settings with static variants costs more
+        # DRAM than the single dynamic model (the paper's storage argument).
+        plan = design_time_deployment(
+            cifar_group_cnn(), xu3, Requirements(max_latency_ms=500.0), clusters=["a15", "a7", "mali_gpu"]
+        )
+        single_model_mb = cifar_group_cnn().model_size_mb()
+        assert plan.total_storage_mb > single_model_mb
+
+    def test_unknown_variant_lookup_raises(self, xu3):
+        plan = design_time_deployment(
+            cifar_group_cnn(), xu3, Requirements(max_latency_ms=200.0), clusters=["a15"]
+        )
+        with pytest.raises(KeyError):
+            plan.variant_for("odroid_xu3", "npu")
+
+
+class TestStaticDeploymentManager:
+    def test_deploys_each_app_once(self, trained_dnn, xu3):
+        manager = StaticDeploymentManager()
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=5.0))
+        state = make_state(xu3, [AppRuntimeState(application=app)])
+        first = manager.decide(state)
+        assert any(isinstance(a, MapApplication) for a in first.actions)
+        assert any(isinstance(a, SetConfiguration) for a in first.actions)
+        # Once mapped, later decisions leave the application alone.
+        mapped_state = make_state(xu3, [AppRuntimeState(application=app)])
+        mapped_state.apps["dnn1"].mapping = None  # unmapped -> will redeploy
+        second = manager.decide(mapped_state)
+        assert any(isinstance(a, MapApplication) for a in second.actions)
+        # The design-time choice is stable across calls.
+        clusters = {
+            a.cluster_name for a in first.actions + second.actions if isinstance(a, MapApplication)
+        }
+        assert len(manager._choices) == 1
+        assert len(clusters) >= 1
+
+    def test_choice_respects_accuracy_floor(self, trained_dnn, xu3):
+        manager = StaticDeploymentManager()
+        app = make_dnn_application(
+            "dnn1",
+            trained_dnn,
+            Requirements(target_fps=5.0, min_accuracy_percent=70.0),
+        )
+        state = make_state(xu3, [AppRuntimeState(application=app)])
+        manager.decide(state)
+        choice = manager._choices["dnn1"]
+        assert trained_dnn.top1(choice.configuration) >= 70.0
+
+    def test_infeasible_requirements_fall_back_to_smallest_model(self, trained_dnn, xu3):
+        manager = StaticDeploymentManager()
+        app = make_dnn_application(
+            "dnn1", trained_dnn, Requirements(max_latency_ms=0.1, target_fps=1000.0)
+        )
+        state = make_state(xu3, [AppRuntimeState(application=app)])
+        manager.decide(state)
+        choice = manager._choices["dnn1"]
+        assert choice.configuration == min(trained_dnn.configurations)
+
+    def test_mapped_app_receives_no_actions(self, trained_dnn, xu3):
+        from repro.rtm.state import Mapping
+
+        manager = StaticDeploymentManager()
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=5.0))
+        app_state = AppRuntimeState(application=app, mapping=Mapping("mali_gpu", 1))
+        decision = manager.decide(make_state(xu3, [app_state]))
+        assert not decision.actions
+
+
+class TestGovernorOnlyManager:
+    def test_places_on_fastest_free_cluster_with_full_model(self, trained_dnn, xu3):
+        manager = GovernorOnlyManager()
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=30.0))
+        decision = manager.decide(make_state(xu3, [AppRuntimeState(application=app)]))
+        mappings = [a for a in decision.actions if isinstance(a, MapApplication)]
+        configurations = [a for a in decision.actions if isinstance(a, SetConfiguration)]
+        assert len(mappings) == 1
+        # The Mali GPU has the highest single-core peak throughput on the XU3.
+        assert mappings[0].cluster_name == "mali_gpu"
+        assert configurations[0].configuration == 1.0
+
+    def test_never_rescal_es_the_dnn(self, trained_dnn, xu3):
+        manager = GovernorOnlyManager()
+        app = make_dnn_application(
+            "dnn1", trained_dnn, Requirements(target_fps=30.0, max_energy_mj=1.0)
+        )
+        decision = manager.decide(make_state(xu3, [AppRuntimeState(application=app)]))
+        for action in decision.actions:
+            if isinstance(action, SetConfiguration):
+                assert action.configuration == 1.0
+
+    def test_replaces_preempted_app(self, trained_dnn, xu3):
+        manager = GovernorOnlyManager()
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=10.0))
+        # First placement.
+        manager.decide(make_state(xu3, [AppRuntimeState(application=app)]))
+        # The app lost its mapping (e.g. AR/VR preempted the GPU); the OS
+        # reschedules it somewhere else.
+        xu3.cluster("mali_gpu").reserve_cores(1, "arvr")
+        decision = manager.decide(make_state(xu3, [AppRuntimeState(application=app)]))
+        mappings = [a for a in decision.actions if isinstance(a, MapApplication)]
+        assert mappings and mappings[0].cluster_name != "mali_gpu"
+
+    def test_governor_adjusts_frequencies_from_utilisation(self, trained_dnn, xu3):
+        from repro.rtm.state import SetFrequency
+
+        manager = GovernorOnlyManager()
+        xu3.cluster("a15").set_frequency(1800.0)
+        state = make_state(xu3, [])
+        state.cluster_utilisations = {"a15": 0.05, "a7": 0.05, "mali_gpu": 0.05}
+        decision = manager.decide(state)
+        targets = {a.cluster_name: a.frequency_mhz for a in decision.actions if isinstance(a, SetFrequency)}
+        assert targets.get("a15", 1800.0) < 1800.0
+
+    def test_invalid_fixed_configuration(self):
+        with pytest.raises(ValueError):
+            GovernorOnlyManager(fixed_configuration=0.0)

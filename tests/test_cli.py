@@ -1,0 +1,70 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["table1"],
+            ["fig4a", "--pareto", "--limit", "5"],
+            ["fig4b"],
+            ["case-study", "--platform", "odroid_xu3"],
+            ["scenario", "--name", "single_dnn"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_table1_prints_every_row(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "odroid_xu3" in output and "jetson_nano" in output
+        assert "A7 CPU (200MHz)" in output
+        # Ten data rows plus two header lines.
+        assert len(output.strip().splitlines()) == 12
+
+    def test_fig4b_prints_four_configurations(self, capsys):
+        assert main(["fig4b"]) == 0
+        output = capsys.readouterr().out
+        for token in ("25%", "50%", "75%", "100%", "71.2"):
+            assert token in output
+
+    def test_fig4a_limit_and_pareto(self, capsys):
+        assert main(["fig4a", "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "116" in output  # total point count is reported
+        data_lines = [line for line in output.splitlines() if line.strip().startswith(("a15", "a7"))]
+        assert len(data_lines) == 3
+        assert main(["fig4a", "--pareto", "--limit", "5"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_case_study_default_budgets(self, capsys):
+        assert main(["case-study"]) == 0
+        output = capsys.readouterr().out
+        assert "400 ms" in output and "200 ms" in output
+        assert "a7" in output and "a15" in output
+
+    def test_case_study_custom_budget(self, capsys):
+        assert main(["case-study", "--latency-ms", "50", "--energy-mj", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "50 ms" in output
+
+    def test_scenario_single_dnn(self, capsys):
+        assert main(["scenario", "--name", "single_dnn", "--events"]) == 0
+        output = capsys.readouterr().out
+        assert "violation rate" in output
+        assert "Timeline of dnn1" in output
+
+    def test_scenario_unknown_name_fails(self, capsys):
+        assert main(["scenario", "--name", "not_a_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

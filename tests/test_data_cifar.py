@@ -1,0 +1,56 @@
+"""Tests for the synthetic CIFAR-10 validation-set model."""
+
+import numpy as np
+import pytest
+
+from repro.data.cifar import CIFAR10_CLASSES, SyntheticCifar10, make_validation_set
+
+
+class TestSyntheticCifar10:
+    def test_default_shape_matches_cifar10(self):
+        dataset = make_validation_set()
+        assert dataset.num_classes == 10
+        assert dataset.images_per_class == 1000
+        assert dataset.num_images == 10000
+        assert dataset.class_names == CIFAR10_CLASSES
+
+    def test_labels_grouped_by_class(self):
+        dataset = make_validation_set(images_per_class=5)
+        labels = dataset.labels()
+        assert labels.shape == (50,)
+        assert list(labels[:5]) == [0] * 5
+        assert list(labels[-5:]) == [9] * 5
+
+    def test_class_slices_cover_all_images(self):
+        dataset = make_validation_set(images_per_class=100)
+        slices = dataset.class_slices()
+        covered = sum(s.stop - s.start for s in slices.values())
+        assert covered == dataset.num_images
+
+    def test_difficulties_in_range_and_deterministic(self):
+        a = make_validation_set(seed=3)
+        b = make_validation_set(seed=3)
+        c = make_validation_set(seed=4)
+        assert a.difficulty == b.difficulty
+        assert a.difficulty != c.difficulty
+        assert all(0.0 <= value <= 1.0 for value in a.difficulty.values())
+
+    def test_class_difficulties_in_class_order(self):
+        dataset = make_validation_set()
+        difficulties = dataset.class_difficulties()
+        assert len(difficulties) == dataset.num_classes
+        assert difficulties[0] == dataset.difficulty[dataset.class_names[0]]
+
+    def test_invalid_images_per_class_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCifar10(images_per_class=0)
+
+    def test_empty_class_list_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCifar10(class_names=())
+
+    def test_custom_classes(self):
+        dataset = make_validation_set(class_names=["a", "b"], images_per_class=10)
+        assert dataset.num_classes == 2
+        assert dataset.num_images == 20
+        assert set(np.unique(dataset.labels())) == {0, 1}

@@ -1,0 +1,91 @@
+"""Tests for the published measurement data (Table I, Fig 4 anchors)."""
+
+import pytest
+
+from repro.data.measurements import (
+    CASE_STUDY_BUDGETS,
+    FIG4A_A15_FREQUENCIES_MHZ,
+    FIG4A_A7_FREQUENCIES_MHZ,
+    FIG4B_ACCURACY_BY_CONFIGURATION,
+    FIG4B_ACCURACY_STDDEV_BY_CONFIGURATION,
+    TABLE1_ROWS,
+    table1_by_platform,
+)
+
+
+class TestTable1:
+    def test_has_ten_rows(self):
+        assert len(TABLE1_ROWS) == 10
+
+    def test_platform_split(self):
+        assert len(table1_by_platform("jetson_nano")) == 4
+        assert len(table1_by_platform("odroid_xu3")) == 6
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            table1_by_platform("raspberry_pi")
+
+    def test_accuracy_is_platform_independent(self):
+        accuracies = {row.top1_accuracy for row in TABLE1_ROWS}
+        assert accuracies == {71.2}
+
+    def test_energy_consistent_with_power_and_time(self):
+        # Energy should be approximately power * time for every row (the
+        # paper's numbers are independently measured, so allow 10 %).
+        for row in TABLE1_ROWS:
+            derived_mj = row.power_mw * row.execution_time_ms / 1000.0
+            assert derived_mj == pytest.approx(row.energy_mj, rel=0.10), row.cores
+
+    def test_a15_faster_but_hungrier_than_a7(self):
+        a15 = {row.frequency_mhz: row for row in table1_by_platform("odroid_xu3") if row.cluster == "a15"}
+        a7 = {row.frequency_mhz: row for row in table1_by_platform("odroid_xu3") if row.cluster == "a7"}
+        # At the shared 200 MHz point the A15 is faster but draws more power.
+        assert a15[200.0].execution_time_ms < a7[200.0].execution_time_ms
+        assert a15[200.0].power_mw > a7[200.0].power_mw
+
+    def test_gpu_fastest_on_jetson(self):
+        rows = table1_by_platform("jetson_nano")
+        gpu = [r for r in rows if r.cluster == "gpu"]
+        cpu = [r for r in rows if r.cluster == "a57"]
+        assert max(r.execution_time_ms for r in gpu) < min(r.execution_time_ms for r in cpu)
+
+    def test_latency_decreases_with_frequency_within_cluster(self):
+        for cluster in ("a15", "a7"):
+            rows = sorted(
+                (r for r in TABLE1_ROWS if r.cluster == cluster), key=lambda r: r.frequency_mhz
+            )
+            latencies = [r.execution_time_ms for r in rows]
+            assert latencies == sorted(latencies, reverse=True)
+
+
+class TestFig4Anchors:
+    def test_a15_has_17_frequency_levels(self):
+        assert len(FIG4A_A15_FREQUENCIES_MHZ) == 17
+        assert FIG4A_A15_FREQUENCIES_MHZ[0] == 200.0
+        assert FIG4A_A15_FREQUENCIES_MHZ[-1] == 1800.0
+
+    def test_a7_has_12_frequency_levels(self):
+        assert len(FIG4A_A7_FREQUENCIES_MHZ) == 12
+        assert FIG4A_A7_FREQUENCIES_MHZ[0] == 200.0
+        assert FIG4A_A7_FREQUENCIES_MHZ[-1] == 1300.0
+
+    def test_fig4b_accuracies_match_paper(self):
+        assert FIG4B_ACCURACY_BY_CONFIGURATION[0.25] == 56.0
+        assert FIG4B_ACCURACY_BY_CONFIGURATION[0.50] == 62.7
+        assert FIG4B_ACCURACY_BY_CONFIGURATION[0.75] == 68.8
+        assert FIG4B_ACCURACY_BY_CONFIGURATION[1.00] == 71.2
+
+    def test_fig4b_accuracy_monotone_in_configuration(self):
+        fractions = sorted(FIG4B_ACCURACY_BY_CONFIGURATION)
+        accuracies = [FIG4B_ACCURACY_BY_CONFIGURATION[f] for f in fractions]
+        assert accuracies == sorted(accuracies)
+
+    def test_fig4b_stddev_decreases_with_capacity(self):
+        fractions = sorted(FIG4B_ACCURACY_STDDEV_BY_CONFIGURATION)
+        stddevs = [FIG4B_ACCURACY_STDDEV_BY_CONFIGURATION[f] for f in fractions]
+        assert stddevs == sorted(stddevs, reverse=True)
+
+    def test_case_study_budgets_reference_known_clusters(self):
+        for target in CASE_STUDY_BUDGETS.values():
+            assert target["cluster"] in {"a7", "a15"}
+            assert 0.0 < float(target["configuration"]) <= 1.0

@@ -1,0 +1,165 @@
+"""Tests for the accuracy model, simulated training and pruning baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data.measurements import FIG4B_ACCURACY_BY_CONFIGURATION
+from repro.dnn.accuracy import AccuracyModel
+from repro.dnn.pruning import filter_prune, magnitude_prune, prune_to_latency
+from repro.dnn.training import IncrementalTrainer
+from repro.dnn.zoo import cifar_group_cnn, make_dynamic_cifar_dnn
+
+
+class TestAccuracyModel:
+    def test_reproduces_fig4b_anchors(self):
+        model = AccuracyModel()
+        for fraction, accuracy in FIG4B_ACCURACY_BY_CONFIGURATION.items():
+            assert model.top1(fraction) == pytest.approx(accuracy)
+
+    def test_monotone_in_capacity(self):
+        model = AccuracyModel()
+        samples = [model.top1(f) for f in np.linspace(0.01, 1.0, 50)]
+        assert all(b >= a - 1e-9 for a, b in zip(samples, samples[1:]))
+
+    def test_zero_capacity_is_chance_level(self):
+        model = AccuracyModel(chance_level=10.0)
+        assert model.top1(0.0) == pytest.approx(10.0)
+
+    def test_confidence_above_accuracy_and_bounded(self):
+        model = AccuracyModel()
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            confidence = model.confidence(fraction)
+            assert confidence >= model.top1(fraction)
+            assert confidence <= 99.0
+
+    def test_class_stddev_shrinks_with_capacity(self):
+        model = AccuracyModel()
+        assert model.class_stddev(0.25) > model.class_stddev(1.0)
+
+    def test_per_class_matches_mean_and_spread(self, validation_set):
+        model = AccuracyModel()
+        per_class = model.per_class(0.5, validation_set)
+        assert per_class.mean_top1 == pytest.approx(model.top1(0.5), abs=0.5)
+        assert per_class.stddev == pytest.approx(model.class_stddev(0.5), abs=0.5)
+        assert len(per_class.by_class) == validation_set.num_classes
+
+    def test_per_class_deterministic(self, validation_set):
+        model = AccuracyModel()
+        a = model.per_class(0.75, validation_set)
+        b = model.per_class(0.75, validation_set)
+        assert a.by_class == b.by_class
+
+    def test_evaluate_predictions_matches_per_class(self, validation_set):
+        model = AccuracyModel()
+        correct = model.evaluate_predictions(1.0, validation_set, seed=1)
+        assert correct.shape == (validation_set.num_images,)
+        overall = correct.mean() * 100.0
+        assert overall == pytest.approx(model.top1(1.0), abs=0.5)
+
+    def test_invalid_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyModel(anchors={})
+        with pytest.raises(ValueError):
+            AccuracyModel(anchors={1.5: 90.0})
+        with pytest.raises(ValueError):
+            AccuracyModel(anchors={0.5: 70.0, 1.0: 60.0})  # decreasing
+
+    def test_out_of_range_fraction_rejected(self):
+        model = AccuracyModel()
+        with pytest.raises(ValueError):
+            model.top1(-0.1)
+        with pytest.raises(ValueError):
+            model.top1(1.2)
+
+
+class TestIncrementalTrainer:
+    def test_one_step_per_group(self, trained_dnn):
+        history = trained_dnn.history
+        assert history.num_steps == 4
+        assert [step.trained_groups for step in history.steps] == [1, 2, 3, 4]
+        assert [step.frozen_groups for step in history.steps] == [0, 1, 2, 3]
+
+    def test_loss_curves_decrease(self, trained_dnn):
+        for step in trained_dnn.history.steps:
+            curve = step.loss_curve
+            assert len(curve) == 60
+            assert curve[-1] < curve[0]
+            assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_resulting_accuracies_match_fig4b(self, trained_dnn):
+        accuracies = trained_dnn.history.final_accuracies()
+        assert accuracies[0.25] == pytest.approx(56.0)
+        assert accuracies[1.0] == pytest.approx(71.2)
+
+    def test_trained_model_queries(self, trained_dnn):
+        assert trained_dnn.top1(0.5) == pytest.approx(62.7)
+        assert trained_dnn.top1(0.6) == pytest.approx(62.7)  # snaps to nearest
+        assert trained_dnn.confidence(0.25) > trained_dnn.top1(0.25)
+        table = trained_dnn.accuracy_table()
+        assert set(table) == {25, 50, 75, 100}
+
+    def test_per_class_spread_grows_for_small_configs(self, trained_dnn):
+        small = trained_dnn.per_class(0.25)
+        large = trained_dnn.per_class(1.0)
+        assert small.stddev > large.stddev
+
+    def test_total_epochs(self, trained_dnn):
+        assert trained_dnn.history.total_epochs() == 4 * 60
+
+    def test_invalid_trainer_args(self):
+        with pytest.raises(ValueError):
+            IncrementalTrainer(epochs_per_step=0)
+
+
+class TestPruning:
+    def test_magnitude_prune_keeps_structure(self, reference_network):
+        result = magnitude_prune(reference_network, 0.8)
+        assert result.sparsity == 0.8
+        assert not result.structured
+        # Dense hardware still issues every MAC; only a sparse accelerator
+        # benefits (the paper's Section III-B argument).
+        assert result.dense_macs == reference_network.total_macs()
+        assert result.effective_macs_on_sparse_hardware < result.dense_macs
+        assert result.remaining_params == pytest.approx(
+            reference_network.total_params() * 0.2, rel=0.01
+        )
+
+    def test_magnitude_prune_invalid_sparsity(self, reference_network):
+        with pytest.raises(ValueError):
+            magnitude_prune(reference_network, 1.0)
+
+    def test_filter_prune_shrinks_macs(self, reference_network):
+        pruned = filter_prune(reference_network, 0.5)
+        assert pruned.total_macs() < reference_network.total_macs()
+        assert pruned.total_params() < reference_network.total_params()
+
+    def test_prune_to_latency_meets_budget_when_possible(self, reference_network, xu3, energy_model):
+        cluster = xu3.cluster("a15")
+
+        def latency(model):
+            return energy_model.latency_model.latency_ms(
+                model, cluster, frequency_mhz=1800.0, cores_used=1, soc_name="odroid_xu3"
+            )
+
+        full_latency = latency(reference_network)
+        budget = full_latency * 0.6
+        pruned = prune_to_latency(reference_network, latency, budget)
+        assert latency(pruned) <= budget
+        assert pruned.total_macs() < reference_network.total_macs()
+
+    def test_prune_to_latency_returns_smallest_when_infeasible(self, reference_network, xu3, energy_model):
+        cluster = xu3.cluster("a7")
+
+        def latency(model):
+            return energy_model.latency_model.latency_ms(
+                model, cluster, frequency_mhz=200.0, cores_used=1, soc_name="odroid_xu3"
+            )
+
+        pruned = prune_to_latency(reference_network, latency, latency_budget_ms=1.0)
+        # Nothing meets a 1 ms budget on the A7 at 200 MHz; the smallest
+        # candidate is returned instead of failing.
+        assert pruned.total_macs() < reference_network.total_macs() * 0.2
+
+    def test_prune_to_latency_invalid_budget(self, reference_network):
+        with pytest.raises(ValueError):
+            prune_to_latency(reference_network, lambda m: 1.0, 0.0)

@@ -1,0 +1,144 @@
+"""Tests for group-convolution transformation and the dynamic DNN."""
+
+import pytest
+
+from repro.dnn.dynamic import DynamicDNN, scale_network_width
+from repro.dnn.groups import (
+    convert_to_group_convolution,
+    group_structure,
+    max_supported_groups,
+)
+from repro.dnn.zoo import cifar_dense_cnn, cifar_group_cnn, make_dynamic_cifar_dnn, tiny_mlp
+
+
+class TestGroupConversion:
+    def test_first_conv_stays_dense(self):
+        grouped = cifar_group_cnn(num_groups=4)
+        groups = group_structure(grouped)
+        assert groups[0] == 1
+        assert all(g == 4 for g in groups[1:])
+
+    def test_grouping_reduces_macs_and_params(self):
+        dense = cifar_dense_cnn()
+        grouped = cifar_group_cnn(num_groups=4)
+        assert grouped.total_macs() < dense.total_macs()
+        assert grouped.total_params() < dense.total_params()
+
+    def test_groups_of_one_is_identity(self):
+        dense = cifar_dense_cnn()
+        same = convert_to_group_convolution(dense, 1)
+        assert same.total_macs() == dense.total_macs()
+
+    def test_indivisible_channels_rejected(self):
+        dense = cifar_dense_cnn()
+        with pytest.raises(ValueError, match="divided"):
+            convert_to_group_convolution(dense, 7)
+
+    def test_max_supported_groups(self):
+        assert max_supported_groups(cifar_dense_cnn()) >= 4
+        assert max_supported_groups(tiny_mlp()) == 1
+
+
+class TestScaleNetworkWidth:
+    def test_full_fraction_preserves_model(self):
+        base = cifar_group_cnn()
+        scaled = scale_network_width(base, 1.0, granularity=4)
+        assert scaled.total_macs() == base.total_macs()
+        assert scaled.total_params() == base.total_params()
+
+    def test_macs_scale_roughly_linearly(self):
+        base = cifar_group_cnn()
+        quarter = scale_network_width(base, 0.25, granularity=4)
+        half = scale_network_width(base, 0.5, granularity=4)
+        assert quarter.total_macs() < half.total_macs() < base.total_macs()
+        # Linear-ish scaling: the 25 % model should be within [15 %, 35 %] of
+        # the full MAC count (the dense first layer and classifier deviate it
+        # slightly from exactly 25 %).
+        ratio = quarter.total_macs() / base.total_macs()
+        assert 0.15 <= ratio <= 0.35
+
+    def test_classifier_output_width_preserved(self):
+        base = cifar_group_cnn()
+        for fraction in (0.25, 0.5, 0.75):
+            scaled = scale_network_width(base, fraction, granularity=4)
+            assert scaled.num_classes == base.num_classes
+
+    def test_shapes_stay_consistent(self):
+        base = cifar_group_cnn()
+        # Construction validates shape propagation; no exception means pass.
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            scale_network_width(base, fraction, granularity=4)
+
+    def test_invalid_fraction_rejected(self):
+        base = cifar_group_cnn()
+        with pytest.raises(ValueError):
+            scale_network_width(base, 0.0)
+        with pytest.raises(ValueError):
+            scale_network_width(base, 1.5)
+
+
+class TestDynamicDNN:
+    def test_four_increments_give_expected_fractions(self, fresh_dynamic_dnn):
+        assert fresh_dynamic_dnn.configurations == [0.25, 0.5, 0.75, 1.0]
+        assert fresh_dynamic_dnn.num_increments == 4
+
+    def test_macs_monotone_in_configuration(self, fresh_dynamic_dnn):
+        macs = fresh_dynamic_dnn.macs_by_configuration()
+        values = [macs[f] for f in sorted(macs)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_params_monotone_in_configuration(self, fresh_dynamic_dnn):
+        params = fresh_dynamic_dnn.params_by_configuration()
+        values = [params[f] for f in sorted(params)]
+        assert values == sorted(values)
+
+    def test_memory_footprint_is_single_model(self, fresh_dynamic_dnn):
+        # The dynamic DNN stores every configuration inside the full model's
+        # footprint (the paper's storage argument vs static pruning).
+        assert fresh_dynamic_dnn.memory_footprint_mb() == pytest.approx(
+            fresh_dynamic_dnn.base_model.model_size_mb()
+        )
+
+    def test_switching_tracks_overhead_and_count(self, fresh_dynamic_dnn):
+        dnn = fresh_dynamic_dnn
+        assert dnn.active_fraction == 1.0
+        overhead = dnn.set_configuration(0.5)
+        assert overhead == dnn.switching_overhead_ms
+        assert dnn.active_fraction == 0.5
+        assert dnn.switch_count == 1
+        # Re-selecting the active configuration is free.
+        assert dnn.set_configuration(0.5) == 0.0
+        assert dnn.switch_count == 1
+
+    def test_scale_up_and_down_clamp(self, fresh_dynamic_dnn):
+        dnn = fresh_dynamic_dnn
+        dnn.set_configuration(0.25)
+        dnn.scale_down()
+        assert dnn.active_fraction == 0.25
+        dnn.scale_up()
+        assert dnn.active_fraction == 0.5
+        dnn.set_configuration(1.0)
+        dnn.scale_up()
+        assert dnn.active_fraction == 1.0
+
+    def test_nearest_configuration_lookup(self, fresh_dynamic_dnn):
+        assert fresh_dynamic_dnn.configuration(0.6).fraction == 0.5
+        assert fresh_dynamic_dnn.configuration(0.95).fraction == 1.0
+        with pytest.raises(ValueError):
+            fresh_dynamic_dnn.configuration(0.0)
+
+    def test_summary_percentages(self, fresh_dynamic_dnn):
+        percents = [p for p, _, _ in fresh_dynamic_dnn.summary()]
+        assert percents == [25, 50, 75, 100]
+
+    def test_other_increment_counts(self):
+        dnn = DynamicDNN(cifar_group_cnn(num_groups=8), num_increments=8)
+        assert len(dnn.configurations) == 8
+        assert dnn.configurations[0] == pytest.approx(0.125)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicDNN(cifar_group_cnn(), num_increments=0)
+        with pytest.raises(ValueError):
+            DynamicDNN(cifar_group_cnn(), switching_overhead_ms=-1.0)

@@ -1,0 +1,164 @@
+"""Tests for structural layers and the network container."""
+
+import pytest
+
+from repro.dnn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+)
+from repro.dnn.model import NetworkModel
+
+
+class TestConv2D:
+    def test_output_shape_same_padding(self):
+        conv = Conv2D(3, 16, kernel_size=3, stride=1, padding=1)
+        assert conv.output_shape((3, 32, 32)) == (16, 32, 32)
+
+    def test_output_shape_stride(self):
+        conv = Conv2D(3, 16, kernel_size=3, stride=2, padding=1)
+        assert conv.output_shape((3, 32, 32)) == (16, 16, 16)
+
+    def test_macs_formula(self):
+        conv = Conv2D(8, 16, kernel_size=3, stride=1, padding=1)
+        # out 16x32x32, each output needs 8*3*3 MACs
+        assert conv.macs((8, 32, 32)) == 32 * 32 * 16 * 8 * 9
+
+    def test_grouping_divides_macs_and_params(self):
+        dense = Conv2D(16, 32, kernel_size=3, padding=1, groups=1)
+        grouped = Conv2D(16, 32, kernel_size=3, padding=1, groups=4)
+        assert grouped.macs((16, 8, 8)) == dense.macs((16, 8, 8)) // 4
+        # Weights shrink by the group count; the bias vector is unaffected.
+        assert dense.params() == 32 * 16 * 9 + 32
+        assert grouped.params() == 32 * (16 // 4) * 9 + 32
+
+    def test_channel_mismatch_raises(self):
+        conv = Conv2D(3, 16)
+        with pytest.raises(ValueError, match="input channels"):
+            conv.output_shape((4, 32, 32))
+
+    def test_indivisible_groups_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Conv2D(6, 16, groups=4)
+
+    def test_kernel_too_large_raises(self):
+        conv = Conv2D(3, 8, kernel_size=7, padding=0)
+        with pytest.raises(ValueError):
+            conv.output_shape((3, 4, 4))
+
+    def test_depthwise_forces_groups(self):
+        dw = DepthwiseConv2D(16, 16, kernel_size=3, padding=1)
+        assert dw.groups == 16
+        assert dw.macs((16, 8, 8)) == 8 * 8 * 16 * 9
+        with pytest.raises(ValueError):
+            DepthwiseConv2D(16, 32)
+
+
+class TestOtherLayers:
+    def test_fully_connected(self):
+        fc = FullyConnected(128, 10)
+        assert fc.output_shape((128,)) == (10,)
+        assert fc.macs((128,)) == 1280
+        assert fc.params() == 128 * 10 + 10
+        with pytest.raises(ValueError):
+            fc.output_shape((64,))
+        with pytest.raises(ValueError):
+            fc.output_shape((128, 1, 1))
+
+    def test_pooling_shapes(self):
+        assert MaxPool2D(kernel_size=2).output_shape((8, 32, 32)) == (8, 16, 16)
+        assert AvgPool2D(kernel_size=3, stride=2).output_shape((8, 33, 33)) == (8, 16, 16)
+        assert MaxPool2D().params() == 0
+
+    def test_global_avg_pool(self):
+        layer = GlobalAvgPool2D()
+        assert layer.output_shape((64, 7, 7)) == (64,)
+        assert layer.macs((64, 7, 7)) == 64 * 49
+
+    def test_batch_norm(self):
+        bn = BatchNorm2D(32)
+        assert bn.output_shape((32, 8, 8)) == (32, 8, 8)
+        assert bn.params() == 64
+        with pytest.raises(ValueError):
+            bn.output_shape((16, 8, 8))
+
+    def test_relu_and_flatten(self):
+        assert ReLU().output_shape((3, 4, 4)) == (3, 4, 4)
+        assert ReLU().macs((3, 4, 4)) == 0
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+    def test_traffic_bytes_positive(self):
+        conv = Conv2D(3, 8, kernel_size=3, padding=1)
+        assert conv.traffic_bytes((3, 8, 8)) > 0
+
+
+class TestNetworkModel:
+    def _small_net(self):
+        return NetworkModel(
+            name="small",
+            input_shape=(3, 8, 8),
+            layers=[
+                Conv2D(3, 8, kernel_size=3, padding=1),
+                ReLU(),
+                MaxPool2D(kernel_size=2),
+                Flatten(),
+                FullyConnected(8 * 4 * 4, 10),
+            ],
+        )
+
+    def test_shape_propagation_and_output(self):
+        net = self._small_net()
+        assert net.output_shape == (10,)
+        assert net.num_classes == 10
+        assert net.layer_input_shape(0) == (3, 8, 8)
+        assert net.layer_input_shape(4) == (128,)
+
+    def test_totals_are_sums_of_layers(self):
+        net = self._small_net()
+        reports = net.layer_summary()
+        assert net.total_macs() == sum(r.macs for r in reports)
+        assert net.total_params() == sum(r.params for r in reports)
+
+    def test_model_size_tracks_precision(self):
+        fp32 = self._small_net()
+        int8 = NetworkModel("q", fp32.input_shape, fp32.layers, bytes_per_param=1)
+        assert int8.model_size_mb() == pytest.approx(fp32.model_size_mb() / 4)
+
+    def test_mismatched_layers_raise_at_construction(self):
+        with pytest.raises(ValueError, match="shape error at layer"):
+            NetworkModel(
+                name="broken",
+                input_shape=(3, 8, 8),
+                layers=[Conv2D(3, 8), Flatten(), FullyConnected(999, 10)],
+            )
+
+    def test_layer_queries(self):
+        net = self._small_net()
+        assert len(net.conv_layers()) == 1
+        assert len(net.fc_layers()) == 1
+        assert net.conv_layers()[0][0] == 0
+
+    def test_summary_table_mentions_every_layer(self):
+        table = self._small_net().summary_table()
+        for kind in ("conv2d", "relu", "max_pool2d", "flatten", "fully_connected"):
+            assert kind in table
+
+    def test_with_layers_creates_new_model(self):
+        net = self._small_net()
+        clone = net.with_layers(net.layers, name="clone")
+        assert clone.name == "clone"
+        assert clone.total_macs() == net.total_macs()
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel("empty", (3, 8, 8), [])
+
+    def test_peak_activation_at_least_input(self):
+        net = self._small_net()
+        assert net.peak_activation_elements() >= 3 * 8 * 8

@@ -1,0 +1,61 @@
+"""Tests for the model zoo."""
+
+import pytest
+
+from repro.dnn.zoo import (
+    MODEL_BUILDERS,
+    alexnet_like,
+    cifar_dense_cnn,
+    cifar_group_cnn,
+    make_dynamic_cifar_dnn,
+    mobilenet_like,
+    tiny_mlp,
+)
+
+
+class TestZoo:
+    def test_every_registered_model_builds(self):
+        for name, builder in MODEL_BUILDERS.items():
+            model = builder()
+            assert model.total_macs() > 0
+            assert model.total_params() > 0
+
+    def test_cifar_group_cnn_scale(self):
+        model = cifar_group_cnn()
+        # The case-study network is a small CIFAR-10 CNN: tens of millions of
+        # MACs and on the order of a million parameters.
+        assert 40e6 < model.total_macs() < 80e6
+        assert 0.5e6 < model.total_params() < 3e6
+        assert model.input_shape == (3, 32, 32)
+        assert model.num_classes == 10
+
+    def test_dense_variant_is_larger(self):
+        assert cifar_dense_cnn().total_macs() > cifar_group_cnn().total_macs()
+
+    def test_dynamic_cifar_dnn_builder(self):
+        dnn = make_dynamic_cifar_dnn()
+        assert dnn.num_increments == 4
+        assert dnn.configurations == [0.25, 0.5, 0.75, 1.0]
+
+    def test_alexnet_like_scale(self):
+        model = alexnet_like()
+        assert model.input_shape == (3, 224, 224)
+        assert model.num_classes == 1000
+        # AlexNet is roughly 0.7 GMACs and ~60 M parameters.
+        assert 0.4e9 < model.total_macs() < 1.5e9
+        assert 40e6 < model.total_params() < 80e6
+
+    def test_mobilenet_like_scale_and_width_multiplier(self):
+        full = mobilenet_like()
+        half = mobilenet_like(width_multiplier=0.5)
+        # MobileNet-v1 is roughly 0.57 GMACs / 4.2 M parameters.
+        assert 0.3e9 < full.total_macs() < 0.9e9
+        assert 2e6 < full.total_params() < 8e6
+        assert half.total_macs() < full.total_macs()
+        with pytest.raises(ValueError):
+            mobilenet_like(width_multiplier=0.0)
+
+    def test_tiny_mlp(self):
+        model = tiny_mlp()
+        assert model.num_classes == 10
+        assert model.total_params() < 10000

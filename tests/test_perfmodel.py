@@ -1,0 +1,160 @@
+"""Tests for the latency and energy estimators, including Table I calibration."""
+
+import pytest
+
+from repro.data.measurements import TABLE1_ROWS
+from repro.dnn.zoo import cifar_group_cnn
+from repro.perfmodel.calibrated import (
+    DEFAULT_CALIBRATIONS,
+    CalibratedLatencyModel,
+    ClusterCalibration,
+)
+from repro.perfmodel.energy import EnergyModel
+from repro.perfmodel.roofline import RooflineLatencyModel, effective_cores
+from repro.platforms.presets import jetson_nano, odroid_xu3
+
+
+class TestRoofline:
+    def test_latency_decreases_with_frequency(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        cluster = xu3.cluster("a15")
+        slow = model.latency_ms(reference_network, cluster, frequency_mhz=200.0)
+        fast = model.latency_ms(reference_network, cluster, frequency_mhz=1800.0)
+        assert fast < slow
+
+    def test_latency_decreases_with_cores(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        cluster = xu3.cluster("a15")
+        one = model.latency_ms(reference_network, cluster, cores_used=1)
+        four = model.latency_ms(reference_network, cluster, cores_used=4)
+        assert four < one
+
+    def test_breakdown_components(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        breakdown = model.breakdown(reference_network, xu3.cluster("a15"), frequency_mhz=1800.0)
+        assert breakdown.compute_ms > 0
+        assert breakdown.memory_ms > 0
+        assert breakdown.total_ms >= max(breakdown.compute_ms, breakdown.memory_ms)
+        # Convolutional CIFAR workload on a CPU cluster is compute bound.
+        assert breakdown.compute_bound
+
+    def test_cores_clamped_to_cluster_size(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        cluster = xu3.cluster("a15")
+        assert model.latency_ms(reference_network, cluster, cores_used=16) == pytest.approx(
+            model.latency_ms(reference_network, cluster, cores_used=4)
+        )
+
+    def test_throughput_is_inverse_latency(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        cluster = xu3.cluster("a7")
+        latency = model.latency_ms(reference_network, cluster)
+        assert model.throughput_fps(reference_network, cluster) == pytest.approx(1000.0 / latency)
+
+    def test_effective_cores(self):
+        assert effective_cores(1, 0.8) == 1.0
+        assert effective_cores(4, 1.0) == 4.0
+        assert effective_cores(4, 0.5) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            effective_cores(0, 0.8)
+
+    def test_invalid_inputs(self, reference_network, xu3):
+        model = RooflineLatencyModel()
+        with pytest.raises(ValueError):
+            model.latency_ms(reference_network, xu3.cluster("a15"), frequency_mhz=-1.0)
+        with pytest.raises(ValueError):
+            model.latency_ms(reference_network, xu3.cluster("a15"), cores_used=0)
+
+
+class TestCalibratedLatency:
+    def test_table1_latencies_within_ten_percent(self, reference_network, energy_model, xu3, nano):
+        socs = {"odroid_xu3": xu3, "jetson_nano": nano}
+        model = energy_model.latency_model
+        for row in TABLE1_ROWS:
+            soc = socs[row.platform]
+            cluster = soc.cluster(row.cluster)
+            frequency = (
+                row.frequency_mhz
+                if cluster.opp_table.contains_frequency(row.frequency_mhz)
+                else cluster.opp_table.nearest(row.frequency_mhz).frequency_mhz
+            )
+            predicted = model.latency_ms(
+                reference_network, cluster, frequency_mhz=frequency, cores_used=1, soc_name=row.platform
+            )
+            assert predicted == pytest.approx(row.execution_time_ms, rel=0.10), row.cores
+
+    def test_latency_scales_with_macs(self, xu3):
+        model = CalibratedLatencyModel()
+        full = cifar_group_cnn()
+        from repro.dnn.dynamic import scale_network_width
+
+        half = scale_network_width(full, 0.5, granularity=4)
+        cluster = xu3.cluster("a15")
+        full_latency = model.latency_ms(full, cluster, 1000.0, soc_name="odroid_xu3")
+        half_latency = model.latency_ms(half, cluster, 1000.0, soc_name="odroid_xu3")
+        assert half_latency < full_latency
+        ratio = half.total_macs() / full.total_macs()
+        # The compute term scales with MACs; the fixed overhead does not.
+        assert half_latency > full_latency * ratio * 0.8
+
+    def test_uncalibrated_cluster_falls_back_to_roofline(self, reference_network, xu3):
+        model = CalibratedLatencyModel()
+        mali = xu3.cluster("mali_gpu")
+        fallback = RooflineLatencyModel().latency_ms(reference_network, mali)
+        assert model.latency_ms(reference_network, mali) == pytest.approx(fallback)
+
+    def test_cluster_name_lookup_without_soc_name(self, reference_network, xu3):
+        model = CalibratedLatencyModel()
+        with_name = model.latency_ms(
+            reference_network, xu3.cluster("a15"), 1000.0, soc_name="odroid_xu3"
+        )
+        without_name = model.latency_ms(reference_network, xu3.cluster("a15"), 1000.0)
+        assert with_name == pytest.approx(without_name)
+
+    def test_calibration_fit_passes_through_anchors(self):
+        calibration = DEFAULT_CALIBRATIONS[("odroid_xu3", "a15")]
+        assert calibration.latency_ms(200.0) == pytest.approx(1020.0, rel=1e-6)
+        assert calibration.latency_ms(1800.0) == pytest.approx(117.0, rel=1e-6)
+
+    def test_calibration_rejects_bad_frequency(self):
+        calibration = ClusterCalibration(compute_ms_mhz=1000.0, overhead_ms=1.0)
+        with pytest.raises(ValueError):
+            calibration.latency_ms(0.0)
+
+
+class TestEnergyModel:
+    def test_cost_consistency(self, reference_network, energy_model, xu3):
+        cost = energy_model.cost(
+            reference_network, xu3.cluster("a15"), frequency_mhz=1000.0, soc_name="odroid_xu3"
+        )
+        assert cost.energy_mj == pytest.approx(cost.power_mw * cost.latency_ms / 1000.0)
+        assert cost.fps == pytest.approx(1000.0 / cost.latency_ms)
+
+    def test_table1_energy_within_twenty_percent(self, reference_network, energy_model, xu3, nano):
+        socs = {"odroid_xu3": xu3, "jetson_nano": nano}
+        for row in TABLE1_ROWS:
+            soc = socs[row.platform]
+            cluster = soc.cluster(row.cluster)
+            frequency = (
+                row.frequency_mhz
+                if cluster.opp_table.contains_frequency(row.frequency_mhz)
+                else cluster.opp_table.nearest(row.frequency_mhz).frequency_mhz
+            )
+            cost = energy_model.cost(
+                reference_network, cluster, frequency_mhz=frequency, cores_used=1, soc_name=row.platform
+            )
+            assert cost.energy_mj == pytest.approx(row.energy_mj, rel=0.20), row.cores
+
+    def test_more_cores_raise_power(self, reference_network, energy_model, xu3):
+        one = energy_model.inference_power_mw(xu3.cluster("a15"), 1800.0, cores_used=1)
+        four = energy_model.inference_power_mw(xu3.cluster("a15"), 1800.0, cores_used=4)
+        assert four > one
+
+    def test_temperature_raises_power(self, reference_network, energy_model, xu3):
+        cold = energy_model.inference_power_mw(xu3.cluster("a15"), 1800.0, temperature_c=40.0)
+        hot = energy_model.inference_power_mw(xu3.cluster("a15"), 1800.0, temperature_c=85.0)
+        assert hot > cold
+
+    def test_invalid_busy_utilisation(self, energy_model):
+        with pytest.raises(ValueError):
+            EnergyModel(energy_model.latency_model, busy_utilisation=0.0)

@@ -1,0 +1,162 @@
+"""Tests for core descriptors and DVFS primitives."""
+
+import pytest
+
+from repro.platforms.core import Core, CoreType
+from repro.platforms.dvfs import (
+    FrequencyDomain,
+    OperatingPerformancePoint,
+    OPPTable,
+    make_opp_table,
+)
+
+
+class TestCoreType:
+    def test_cpu_flavours_are_cpus(self):
+        assert CoreType.CPU_BIG.is_cpu
+        assert CoreType.CPU_MID.is_cpu
+        assert CoreType.CPU_LITTLE.is_cpu
+
+    def test_accelerators_are_not_cpus(self):
+        for core_type in (CoreType.GPU, CoreType.NPU, CoreType.DSP, CoreType.FPGA):
+            assert core_type.is_accelerator
+            assert not core_type.is_cpu
+
+
+class TestCore:
+    def test_reserve_and_release(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        assert core.is_free
+        core.reserve("dnn1")
+        assert not core.is_free
+        assert core.reserved_by == "dnn1"
+        core.release("dnn1")
+        assert core.is_free
+
+    def test_reserve_is_idempotent_for_same_owner(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        core.reserve("dnn1")
+        core.reserve("dnn1")
+        assert core.reserved_by == "dnn1"
+
+    def test_reserve_conflict_raises(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        core.reserve("dnn1")
+        with pytest.raises(RuntimeError, match="already reserved"):
+            core.reserve("dnn2")
+
+    def test_release_by_wrong_owner_raises(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        core.reserve("dnn1")
+        with pytest.raises(RuntimeError):
+            core.release("dnn2")
+
+    def test_offline_core_cannot_be_reserved(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        core.set_online(False)
+        with pytest.raises(RuntimeError, match="offline"):
+            core.reserve("dnn1")
+
+    def test_powering_down_drops_reservation(self):
+        core = Core("a15-0", CoreType.CPU_BIG)
+        core.reserve("dnn1")
+        core.set_online(False)
+        assert core.reserved_by is None
+
+
+class TestOPPTable:
+    def test_sorted_and_queryable(self):
+        table = make_opp_table([800.0, 200.0, 1400.0])
+        assert table.frequencies_mhz == [200.0, 800.0, 1400.0]
+        assert table.min_frequency_mhz == 200.0
+        assert table.max_frequency_mhz == 1400.0
+        assert table.contains_frequency(800.0)
+        assert not table.contains_frequency(801.0)
+
+    def test_voltage_monotone_in_frequency(self):
+        table = make_opp_table([float(f) for f in range(200, 1801, 100)])
+        voltages = [p.voltage_v for p in table]
+        assert voltages == sorted(voltages)
+
+    def test_voltage_exponent_keeps_endpoints(self):
+        linear = make_opp_table([200.0, 1000.0, 1800.0], 0.9, 1.3, voltage_exponent=1.0)
+        convex = make_opp_table([200.0, 1000.0, 1800.0], 0.9, 1.3, voltage_exponent=2.0)
+        assert linear.voltage_at(200.0) == convex.voltage_at(200.0)
+        assert linear.voltage_at(1800.0) == convex.voltage_at(1800.0)
+        assert convex.voltage_at(1000.0) < linear.voltage_at(1000.0)
+
+    def test_nearest_and_bounds(self):
+        table = make_opp_table([200.0, 600.0, 1000.0])
+        assert table.nearest(590.0).frequency_mhz == 600.0
+        assert table.at_or_above(601.0).frequency_mhz == 1000.0
+        assert table.at_or_below(599.0).frequency_mhz == 200.0
+        assert table.at_or_above(2000.0).frequency_mhz == 1000.0
+        assert table.at_or_below(100.0).frequency_mhz == 200.0
+
+    def test_step_clamps_at_edges(self):
+        table = make_opp_table([200.0, 600.0, 1000.0])
+        assert table.step(200.0, -1).frequency_mhz == 200.0
+        assert table.step(1000.0, +5).frequency_mhz == 1000.0
+        assert table.step(600.0, +1).frequency_mhz == 1000.0
+
+    def test_point_at_unknown_frequency_raises(self):
+        table = make_opp_table([200.0, 600.0])
+        with pytest.raises(ValueError, match="not an operating point"):
+            table.point_at(500.0)
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OPPTable(
+                [
+                    OperatingPerformancePoint(200.0, 0.9),
+                    OperatingPerformancePoint(200.0, 0.95),
+                ]
+            )
+
+    def test_decreasing_voltage_rejected(self):
+        with pytest.raises(ValueError, match="voltage"):
+            OPPTable(
+                [
+                    OperatingPerformancePoint(200.0, 1.0),
+                    OperatingPerformancePoint(400.0, 0.9),
+                ]
+            )
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            OPPTable([])
+
+    def test_invalid_opp_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingPerformancePoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPerformancePoint(100.0, -0.1)
+
+
+class TestFrequencyDomain:
+    def test_defaults_to_max_frequency(self):
+        domain = FrequencyDomain("d", make_opp_table([200.0, 600.0, 1000.0]))
+        assert domain.current_frequency_mhz == 1000.0
+
+    def test_set_frequency_counts_transitions(self):
+        domain = FrequencyDomain("d", make_opp_table([200.0, 600.0, 1000.0]))
+        latency = domain.set_frequency(600.0)
+        assert latency == domain.transition_latency_us
+        assert domain.transition_count == 1
+        # Setting the same frequency again is free.
+        assert domain.set_frequency(600.0) == 0.0
+        assert domain.transition_count == 1
+
+    def test_set_invalid_frequency_raises(self):
+        domain = FrequencyDomain("d", make_opp_table([200.0, 600.0]))
+        with pytest.raises(ValueError):
+            domain.set_frequency(500.0)
+
+    def test_set_nearest_frequency(self):
+        domain = FrequencyDomain("d", make_opp_table([200.0, 600.0, 1000.0]))
+        domain.set_nearest_frequency(640.0)
+        assert domain.current_frequency_mhz == 600.0
+
+    def test_invalid_initial_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyDomain("d", make_opp_table([200.0, 600.0]), current_frequency_mhz=300.0)

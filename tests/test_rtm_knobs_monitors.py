@@ -1,0 +1,160 @@
+"""Tests for the knob/monitor abstractions and the Fig 5 interfaces."""
+
+import pytest
+
+from repro.rtm.interfaces import ApplicationInterface, DeviceInterface
+from repro.rtm.knobs import DiscreteKnob, Knob, KnobRegistry
+from repro.rtm.monitors import Monitor, MonitorHistory, MonitorRegistry
+from repro.workloads.requirements import MetricSample, Requirements
+from repro.workloads.tasks import make_dnn_application
+
+
+class TestKnob:
+    def test_get_set_and_count(self):
+        store = {"value": 1}
+        knob = Knob(
+            name="k",
+            owner="app",
+            getter=lambda: store["value"],
+            setter=lambda v: store.update(value=v),
+        )
+        assert knob.value == 1
+        knob.set(5)
+        assert store["value"] == 5
+        assert knob.write_count == 1
+        assert knob.full_name == "app.k"
+
+    def test_discrete_knob_validates_values(self):
+        store = {"value": 0.25}
+        knob = DiscreteKnob(
+            name="configuration",
+            owner="dnn1",
+            getter=lambda: store["value"],
+            setter=lambda v: store.update(value=v),
+            values=(0.25, 0.5, 0.75, 1.0),
+        )
+        knob.set(0.5)
+        assert store["value"] == 0.5
+        with pytest.raises(ValueError, match="not an allowed value"):
+            knob.set(0.6)
+        knob.set_nearest(0.6)
+        assert store["value"] == 0.5
+        assert knob.min_value == 0.25
+        assert knob.max_value == 1.0
+
+    def test_discrete_knob_requires_values(self):
+        with pytest.raises(ValueError):
+            DiscreteKnob(name="k", owner="o", getter=lambda: 1, setter=lambda v: None, values=())
+
+    def test_registry_lookup_and_duplicates(self):
+        registry = KnobRegistry()
+        knob = Knob(name="k", owner="app", getter=lambda: 1, setter=lambda v: None)
+        registry.register(knob)
+        assert registry.get("app", "k") is knob
+        assert registry.for_owner("app") == [knob]
+        assert "app.k" in registry
+        assert len(registry) == 1
+        with pytest.raises(ValueError):
+            registry.register(knob)
+        with pytest.raises(KeyError):
+            registry.get("app", "missing")
+
+
+class TestMonitor:
+    def test_read_and_full_name(self):
+        monitor = Monitor(name="latency_ms", owner="dnn1", reader=lambda: 42.0, unit="ms")
+        assert monitor.read() == 42.0
+        assert monitor.full_name == "dnn1.latency_ms"
+
+    def test_history_bounded_and_statistics(self):
+        history = MonitorHistory(max_samples=3)
+        for index in range(5):
+            history.record(float(index), float(index))
+        assert len(history) == 3
+        assert history.latest == 4.0
+        assert history.mean() == pytest.approx(3.0)
+        assert history.mean(window=2) == pytest.approx(3.5)
+
+    def test_registry_sampling_records_history(self):
+        registry = MonitorRegistry()
+        value = {"v": 1.0}
+        registry.register(Monitor(name="m", owner="o", reader=lambda: value["v"]))
+        registry.register(Monitor(name="none", owner="o", reader=lambda: None))
+        readings = registry.sample_all(time_ms=0.0)
+        assert readings["o.m"] == 1.0
+        assert readings["o.none"] is None
+        value["v"] = 2.0
+        registry.sample_all(time_ms=1.0)
+        assert registry.history("o", "m").mean() == pytest.approx(1.5)
+        # Monitors returning None do not pollute the history.
+        assert len(registry.history("o", "none")) == 0
+
+    def test_registry_duplicate_and_missing(self):
+        registry = MonitorRegistry()
+        monitor = Monitor(name="m", owner="o", reader=lambda: 1.0)
+        registry.register(monitor)
+        with pytest.raises(ValueError):
+            registry.register(monitor)
+        with pytest.raises(KeyError):
+            registry.get("o", "missing")
+
+
+class TestApplicationInterface:
+    def test_exposes_configuration_knob_and_monitors(self, trained_dnn):
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=10.0))
+        interface = ApplicationInterface(app)
+        assert interface.app_id == "dnn1"
+        assert interface.knobs.get("dnn1", "configuration") is interface.configuration_knob
+        accuracy = interface.monitors.get("dnn1", "accuracy_percent").read()
+        assert accuracy == pytest.approx(app.accuracy_of(app.dynamic_dnn.active_fraction))
+        # Latency monitor has no sample yet.
+        assert interface.monitors.get("dnn1", "latency_ms").read() is None
+
+    def test_setting_knob_changes_accuracy_monitor(self, trained_dnn):
+        app = make_dnn_application("dnn_knob", trained_dnn, Requirements(target_fps=10.0))
+        interface = ApplicationInterface(app)
+        original = app.dynamic_dnn.active_fraction
+        try:
+            interface.set_configuration(0.25)
+            assert app.dynamic_dnn.active_fraction == 0.25
+            assert interface.monitors.get("dnn_knob", "accuracy_percent").read() == pytest.approx(56.0)
+        finally:
+            app.dynamic_dnn.set_configuration(original)
+
+    def test_report_sample_feeds_monitors(self, trained_dnn):
+        app = make_dnn_application("dnn1", trained_dnn, Requirements(target_fps=10.0))
+        interface = ApplicationInterface(app)
+        interface.report_sample(MetricSample(latency_ms=12.5, fps=30.0))
+        assert interface.monitors.get("dnn1", "latency_ms").read() == 12.5
+        assert interface.monitors.get("dnn1", "fps").read() == 30.0
+
+
+class TestDeviceInterface:
+    def test_exposes_frequency_knobs_per_cluster(self, xu3):
+        device = DeviceInterface(xu3)
+        for cluster in xu3.clusters:
+            knob = device.knobs.get(cluster.name, "frequency_mhz")
+            assert knob.value == cluster.frequency_mhz
+        device.set_frequency("a15", 1000.0)
+        assert xu3.cluster("a15").frequency_mhz == 1000.0
+
+    def test_online_cores_knob_controls_dpm(self, xu3):
+        device = DeviceInterface(xu3)
+        device.knobs.get("a15", "online_cores").set(2)
+        assert len(xu3.cluster("a15").online_cores) == 2
+        device.knobs.get("a15", "online_cores").set(4)
+        assert len(xu3.cluster("a15").online_cores) == 4
+
+    def test_temperature_and_power_monitors(self, xu3):
+        device = DeviceInterface(xu3)
+        assert device.temperature_c() == pytest.approx(xu3.thermal.temperature_c)
+        total = device.monitors.get("odroid_xu3", "total_power_mw").read()
+        assert total > 0
+        device.report_utilisation("a15", 1.0)
+        busy = device.monitors.get("odroid_xu3", "total_power_mw").read()
+        assert busy > total
+
+    def test_invalid_utilisation_rejected(self, xu3):
+        device = DeviceInterface(xu3)
+        with pytest.raises(ValueError):
+            device.report_utilisation("a15", 1.5)

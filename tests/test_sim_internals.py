@@ -1,0 +1,219 @@
+"""Tests for simulator internals: accounting, penalties, preemption, actions."""
+
+import pytest
+
+from repro.rtm.manager import RuntimeManager
+from repro.rtm.state import MapApplication, Mapping, SetConfiguration, SetFrequency
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.workloads.requirements import Requirements
+from repro.workloads.scenarios import Scenario
+from repro.workloads.tasks import (
+    make_arvr_application,
+    make_background_application,
+    make_dnn_application,
+)
+
+
+def dnn_scenario(trained_dnn, extra_apps=(), duration_ms=3000.0, fps=5.0, **req):
+    app = make_dnn_application(
+        "dnn1", trained_dnn, Requirements(target_fps=fps, priority=3, **req)
+    )
+    return Scenario(
+        name="unit",
+        platform_name="odroid_xu3",
+        applications=[app, *extra_apps],
+        duration_ms=duration_ms,
+    )
+
+
+class _ScriptedManager:
+    """A manager that issues a fixed action script on its first decision."""
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+        self.calls = 0
+
+    def decide(self, state):
+        self.calls += 1
+        actions = self._actions if self.calls == 1 else []
+
+        class _Decision:
+            pass
+
+        decision = _Decision()
+        decision.actions = actions
+        return decision
+
+
+class TestScriptedActions:
+    def test_map_and_configure_actions_are_applied(self, trained_dnn):
+        scenario = dnn_scenario(trained_dnn, duration_ms=2000.0)
+        manager = _ScriptedManager(
+            [
+                MapApplication(app_id="dnn1", cluster_name="a7", cores=2),
+                SetConfiguration(app_id="dnn1", configuration=0.5),
+                SetFrequency(cluster_name="a7", frequency_mhz=1000.0),
+            ]
+        )
+        simulator = Simulator(scenario, manager)
+        trace = simulator.run()
+        jobs = trace.completed_jobs("dnn1")
+        assert jobs
+        assert all(job.cluster == "a7" for job in jobs)
+        assert all(job.cores == 2 for job in jobs)
+        assert all(job.configuration == pytest.approx(0.5) for job in jobs)
+        assert all(job.frequency_mhz == pytest.approx(1000.0) for job in jobs)
+        # The cores are genuinely reserved on the platform.
+        assert len(simulator.soc.cluster("a7").cores_reserved_by("dnn1")) == 2
+
+    def test_unknown_cluster_in_action_is_ignored(self, trained_dnn):
+        scenario = dnn_scenario(trained_dnn, duration_ms=1000.0)
+        manager = _ScriptedManager(
+            [
+                SetFrequency(cluster_name="npu", frequency_mhz=1000.0),
+                MapApplication(app_id="dnn1", cluster_name="npu", cores=1),
+            ]
+        )
+        trace = Simulator(scenario, manager).run()
+        # The bogus actions are dropped; the DNN stays unmapped and its jobs drop.
+        assert all(job.dropped for job in trace.jobs_for("dnn1"))
+
+    def test_migration_penalty_charged_once(self, trained_dnn):
+        scenario = dnn_scenario(trained_dnn, duration_ms=4000.0, fps=2.0)
+        config = SimulatorConfig(migration_penalty_ms=50.0, decision_interval_ms=1000.0)
+
+        class _MigratingManager:
+            """Maps to the GPU first, then migrates to the A15 at the next call."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def decide(self, state):
+                self.calls += 1
+
+                class _Decision:
+                    actions = []
+
+                decision = _Decision()
+                if self.calls == 1:
+                    decision.actions = [MapApplication(app_id="dnn1", cluster_name="mali_gpu", cores=1)]
+                elif self.calls == 2:
+                    decision.actions = [MapApplication(app_id="dnn1", cluster_name="a15", cores=1)]
+                else:
+                    decision.actions = []
+                return decision
+
+        trace = Simulator(scenario, _MigratingManager(), config=config).run()
+        a15_jobs = [job for job in trace.completed_jobs("dnn1") if job.cluster == "a15"]
+        assert len(a15_jobs) >= 2
+        # The first job after migration carries the 50 ms penalty.
+        assert a15_jobs[0].latency_ms > a15_jobs[1].latency_ms + 40.0
+
+    def test_configuration_switch_overhead_charged(self, trained_dnn):
+        scenario = dnn_scenario(trained_dnn, duration_ms=3000.0, fps=2.0)
+
+        class _SwitchingManager:
+            def __init__(self):
+                self.calls = 0
+
+            def decide(self, state):
+                self.calls += 1
+
+                class _Decision:
+                    actions = []
+
+                decision = _Decision()
+                if self.calls == 1:
+                    decision.actions = [
+                        MapApplication(app_id="dnn1", cluster_name="a15", cores=1),
+                        SetConfiguration(app_id="dnn1", configuration=1.0),
+                    ]
+                elif self.calls == 2:
+                    decision.actions = [SetConfiguration(app_id="dnn1", configuration=0.5)]
+                else:
+                    decision.actions = []
+                return decision
+
+        config = SimulatorConfig(decision_interval_ms=600.0)
+        trace = Simulator(scenario, _SwitchingManager(), config=config).run()
+        half_jobs = [j for j in trace.completed_jobs("dnn1") if j.configuration == pytest.approx(0.5)]
+        assert len(half_jobs) >= 2
+        # The switch overhead (1 ms by default) lands on the first 50 % job.
+        assert half_jobs[0].latency_ms > half_jobs[1].latency_ms
+
+
+class TestGenericApplications:
+    def test_arvr_preempts_dnn_from_gpu(self, trained_dnn):
+        arvr = make_arvr_application("arvr", arrival_time_ms=1000.0, priority=9)
+        scenario = dnn_scenario(trained_dnn, extra_apps=[arvr], duration_ms=3000.0, fps=10.0)
+        simulator = Simulator(scenario, RuntimeManager())
+        simulator.run()
+        gpu = simulator.soc.cluster("mali_gpu")
+        # At the end of the run the AR/VR application owns the GPU core.
+        assert gpu.cores_reserved_by("arvr")
+
+    def test_arvr_raises_gpu_frequency_to_its_floor(self, trained_dnn):
+        arvr = make_arvr_application("arvr", arrival_time_ms=500.0, gpu_min_frequency_mhz=600.0)
+        scenario = dnn_scenario(trained_dnn, extra_apps=[arvr], duration_ms=1500.0)
+
+        class _IdleManager:
+            def decide(self, state):
+                class _Decision:
+                    actions = []
+
+                return _Decision()
+
+        simulator = Simulator(scenario, _IdleManager())
+        simulator.soc.cluster("mali_gpu").set_frequency(177.0)
+        simulator.run()
+        assert simulator.soc.cluster("mali_gpu").frequency_mhz >= 600.0
+
+    def test_background_task_occupies_cpu_cores(self, trained_dnn):
+        background = make_background_application(
+            "bg", cores=2, arrival_time_ms=0.0, departure_time_ms=2000.0
+        )
+        scenario = dnn_scenario(trained_dnn, extra_apps=[background], duration_ms=3000.0)
+        simulator = Simulator(scenario, RuntimeManager())
+        simulator.run()
+        # After the background task departs its cores are free again.
+        assert not any(
+            core.reserved_by == "bg" for core in simulator.soc.all_cores
+        )
+
+    def test_memory_accounting_follows_arrivals_and_departures(self, trained_dnn):
+        background = make_background_application(
+            "bg", cores=1, arrival_time_ms=0.0, departure_time_ms=1000.0
+        )
+        scenario = dnn_scenario(trained_dnn, extra_apps=[background], duration_ms=2000.0)
+        simulator = Simulator(scenario, RuntimeManager())
+        simulator.run()
+        # Only the DNN (which never departs) still holds memory at the end.
+        dnn_footprint = scenario.application("dnn1").memory_footprint_mb
+        assert simulator.soc.allocated_memory_mb == pytest.approx(dnn_footprint)
+
+
+class TestPowerIntegration:
+    def test_interval_power_reflects_load(self, trained_dnn):
+        scenario = dnn_scenario(trained_dnn, duration_ms=3000.0, fps=20.0)
+        simulator = Simulator(scenario, RuntimeManager())
+        trace = simulator.run()
+        idle_power = simulator.soc.idle_power_mw()
+        # With a 20 fps DNN running, the mean sampled power must exceed the
+        # idle floor (the busy-time integration must see the jobs even though
+        # the sampling period is a multiple of the job period).
+        assert trace.mean_power_mw() > idle_power * 1.02
+
+    def test_utilisations_exposed_to_manager(self, trained_dnn):
+        seen = {}
+
+        class _SpyManager(RuntimeManager):
+            def decide(self, state):
+                if state.cluster_utilisations:
+                    seen.update(state.cluster_utilisations)
+                return super().decide(state)
+
+        scenario = dnn_scenario(trained_dnn, duration_ms=3000.0, fps=20.0)
+        Simulator(scenario, _SpyManager()).run()
+        assert seen  # utilisation samples reached the manager
+        assert all(0.0 <= value <= 1.0 for value in seen.values())
+        assert max(seen.values()) > 0.0
