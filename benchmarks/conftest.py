@@ -7,6 +7,8 @@ scoped so the benchmark timings measure the experiment itself, not setup.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.dnn.training import IncrementalTrainer
@@ -31,3 +33,10 @@ def reference_network():
 def energy_model():
     """Table-I-calibrated latency model combined with the platform power model."""
     return EnergyModel(CalibratedLatencyModel())
+
+
+@pytest.fixture(scope="session")
+def sweep_workers() -> int:
+    """Worker processes for sweep-based benchmarks (results are worker-count
+    independent, so this only affects wall-clock time)."""
+    return max(1, min(4, os.cpu_count() or 1))

@@ -52,6 +52,7 @@ def print_case_study(selections) -> None:
         )
 
 
+@pytest.mark.smoke
 def test_bench_case_study(benchmark, trained_dnn):
     selections = benchmark(run_case_study, trained_dnn)
     print_case_study(selections)

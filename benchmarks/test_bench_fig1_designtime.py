@@ -69,6 +69,7 @@ def print_design_time(results) -> None:
         )
 
 
+@pytest.mark.smoke
 def test_bench_fig1_designtime(benchmark, reference_network, energy_model):
     results = benchmark(run_design_time_study, reference_network, energy_model)
     print_design_time(results)

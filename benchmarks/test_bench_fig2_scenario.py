@@ -21,28 +21,34 @@ requirements once contention starts.
 
 from __future__ import annotations
 
-import pytest
+from functools import partial
 
+from repro.analysis import ParallelSweepRunner
 from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
 from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
-from repro.sim import simulate_scenario
-from repro.workloads import fig2_scenario
+
+#: Manager factories for the three compared schemes.  Plain classes and
+#: partials so the cases can cross process boundaries; the scenario itself is
+#: referenced by its registry name and rebuilt inside each worker.
+MANAGERS = {
+    "rtm": partial(RuntimeManager, policy_overrides={"dnn2": MinEnergyUnderConstraints()}),
+    "governor_only": GovernorOnlyManager,
+    "static_deployment": StaticDeploymentManager,
+}
 
 
-def run_fig2(trained_dnn):
-    """Run the Fig 2 scenario under the RTM and both baselines."""
-    factory = lambda: trained_dnn  # noqa: E731 - shared trained model
+def run_fig2():
+    """Run the Fig 2 scenario under the RTM and both baselines via the sweep runner.
 
-    def managers():
-        return {
-            "rtm": RuntimeManager(policy_overrides={"dnn2": MinEnergyUnderConstraints()}),
-            "governor_only": GovernorOnlyManager(),
-            "static_deployment": StaticDeploymentManager(),
-        }
+    Uses the runner's serial path so the timing measures the simulations, not
+    process-pool startup (the pool path is benchmarked in
+    test_bench_sweep_smoke.py).
+    """
+    sweep = ParallelSweepRunner(max_workers=1).manager_sweep("fig2", MANAGERS)
+    assert not sweep.errors, sweep.errors
 
     results = {}
-    for name, manager in managers().items():
-        trace = simulate_scenario(fig2_scenario(trained_factory=factory), manager)
+    for name, trace in sweep.traces.items():
         results[name] = {
             "violation_rate": trace.violation_rate(),
             "dnn1_violation_rate": trace.violation_rate("dnn1"),
@@ -75,8 +81,8 @@ def print_fig2(results) -> None:
         )
 
 
-def test_bench_fig2_scenario(benchmark, trained_dnn):
-    results = benchmark.pedantic(run_fig2, args=(trained_dnn,), rounds=1, iterations=1)
+def test_bench_fig2_scenario(benchmark):
+    results = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
     print_fig2(results)
 
     rtm = results["rtm"]

@@ -53,6 +53,7 @@ def print_fig4a(points) -> None:
         )
 
 
+@pytest.mark.smoke
 def test_bench_fig4a(benchmark, trained_dnn, energy_model):
     points = benchmark(regenerate_fig4a, trained_dnn, energy_model)
     print_fig4a(points)

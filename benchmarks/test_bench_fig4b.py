@@ -49,6 +49,7 @@ def print_fig4b(results) -> None:
         )
 
 
+@pytest.mark.smoke
 def test_bench_fig4b(benchmark, trained_dnn):
     results = benchmark(regenerate_fig4b, trained_dnn)
     print_fig4b(results)

@@ -17,12 +17,11 @@ substantially, supporting the paper's argument for managing both sides.
 
 from __future__ import annotations
 
-import pytest
+from functools import partial
 
+from repro.analysis import ParallelSweepRunner
 from repro.baselines import GovernorOnlyManager
 from repro.rtm import MinEnergyUnderConstraints, RTMConfig, RuntimeManager
-from repro.sim import simulate_scenario
-from repro.workloads import fig2_scenario
 
 ABLATIONS = {
     "full_rtm": RTMConfig(),
@@ -31,31 +30,38 @@ ABLATIONS = {
     "no_task_mapping": RTMConfig(enable_task_mapping=False),
 }
 
-
-def run_ablation(trained_dnn):
-    """Run the Fig 2 scenario under each ablated manager configuration."""
-    factory = lambda: trained_dnn  # noqa: E731 - shared trained model
-    results = {}
-    for name, config in ABLATIONS.items():
-        manager = RuntimeManager(
+#: One sweep case per ablated manager, plus the hardware-only baseline.
+MANAGERS = {
+    **{
+        name: partial(
+            RuntimeManager,
             config=config,
             policy_overrides={"dnn2": MinEnergyUnderConstraints()},
         )
-        trace = simulate_scenario(fig2_scenario(trained_factory=factory), manager)
-        results[name] = {
+        for name, config in ABLATIONS.items()
+    },
+    "governor_only": GovernorOnlyManager,
+}
+
+
+def run_ablation():
+    """Run the Fig 2 scenario under each ablated manager configuration.
+
+    Uses the runner's serial path so the timing measures the simulations, not
+    process-pool startup (the pool path is benchmarked in
+    test_bench_sweep_smoke.py).
+    """
+    sweep = ParallelSweepRunner(max_workers=1).manager_sweep("fig2", MANAGERS)
+    assert not sweep.errors, sweep.errors
+    return {
+        name: {
             "violation_rate": trace.violation_rate(),
             "mean_accuracy": trace.mean_accuracy_percent(),
             "total_energy_mj": trace.total_energy_mj(),
             "mean_configuration": trace.mean_configuration(),
         }
-    trace = simulate_scenario(fig2_scenario(trained_factory=factory), GovernorOnlyManager())
-    results["governor_only"] = {
-        "violation_rate": trace.violation_rate(),
-        "mean_accuracy": trace.mean_accuracy_percent(),
-        "total_energy_mj": trace.total_energy_mj(),
-        "mean_configuration": trace.mean_configuration(),
+        for name, trace in sweep.traces.items()
     }
-    return results
 
 
 def print_ablation(results) -> None:
@@ -69,8 +75,8 @@ def print_ablation(results) -> None:
         )
 
 
-def test_bench_rtm_ablation(benchmark, trained_dnn):
-    results = benchmark.pedantic(run_ablation, args=(trained_dnn,), rounds=1, iterations=1)
+def test_bench_rtm_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     print_ablation(results)
 
     full = results["full_rtm"]["violation_rate"]

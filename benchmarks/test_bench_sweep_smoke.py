@@ -1,0 +1,44 @@
+"""Smoke benchmark of the parallel sweep engine.
+
+A deliberately small grid — two short registered scenarios, two managers, one
+seed — so CI can exercise the whole sweep path (scenario registry, process
+fan-out, aggregation) in well under a minute.  The full-size grids live in
+the CLI (``repro-experiments sweep``); this benchmark only guards that the
+machinery works and stays worker-count independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ParallelSweepRunner
+
+SCENARIOS = ["steady", "battery_saver"]
+MANAGERS = ["rtm", "governor_only"]
+SEEDS = [0]
+
+
+def run_smoke_sweep(workers: int):
+    """One short scenario x manager grid with a single seed."""
+    return ParallelSweepRunner(max_workers=workers).grid(SCENARIOS, MANAGERS, SEEDS)
+
+
+@pytest.mark.smoke
+def test_bench_sweep_smoke(benchmark, sweep_workers):
+    result = benchmark.pedantic(run_smoke_sweep, args=(sweep_workers,), rounds=1, iterations=1)
+
+    assert not result.errors, result.errors
+    assert len(result.traces) == len(SCENARIOS) * len(MANAGERS) * len(SEEDS)
+    # Case order is the submission order, independent of completion order.
+    assert list(result.traces) == [
+        f"{scenario}/{manager}/seed{seed}"
+        for scenario in SCENARIOS
+        for manager in MANAGERS
+        for seed in SEEDS
+    ]
+    rates = result.violation_rates()
+    assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+    # The easy scenario separates the managers: the RTM keeps requirements
+    # met while the hardware-only governor misses a substantial fraction.
+    assert rates["steady/rtm/seed0"] < 0.05
+    assert rates["steady/governor_only/seed0"] > 0.1

@@ -79,6 +79,7 @@ def print_table1(rows) -> None:
         )
 
 
+@pytest.mark.smoke
 def test_bench_table1(benchmark, reference_network, energy_model):
     rows = benchmark(regenerate_table1, reference_network, energy_model)
     print_table1(rows)

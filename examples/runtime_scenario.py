@@ -3,23 +3,25 @@
 
 The scenario: a DNN runs alone, a second latency-critical DNN arrives at
 t=5 s, an AR/VR application claims the accelerator at t=15 s, and the user
-relaxes the second DNN's accuracy requirement at t=25 s.  The script runs the
-timeline under the application-aware runtime manager and under the two
-baselines (governor-only and static deployment), prints a phase-by-phase view
-of what the RTM did with each DNN, and compares requirement-violation rates.
+relaxes the second DNN's accuracy requirement at t=25 s.  The script replays
+the timeline under the application-aware runtime manager and under the two
+baselines (governor-only and static deployment) through the parallel sweep
+runner — one worker process per manager — then prints a phase-by-phase view
+of what the RTM did with each DNN and compares requirement-violation rates.
 
 Run with:  python examples/runtime_scenario.py
 """
 
 from __future__ import annotations
 
+import os
+from functools import partial
+
 import numpy as np
 
+from repro.analysis import ParallelSweepRunner
 from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
-from repro.dnn import IncrementalTrainer, make_dynamic_cifar_dnn
 from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
-from repro.sim import simulate_scenario
-from repro.workloads import fig2_scenario
 
 PHASES = [
     ("t=0-5s    (DNN1 alone)", 0.0, 5000.0),
@@ -47,20 +49,19 @@ def describe_phases(trace, app_id: str) -> None:
 
 
 def main() -> None:
-    trained = IncrementalTrainer().train(make_dynamic_cifar_dnn())
-    factory = lambda: trained  # noqa: E731 - share the trained model
-
     managers = {
-        "application-aware RTM": RuntimeManager(
-            policy_overrides={"dnn2": MinEnergyUnderConstraints()}
+        "application-aware RTM": partial(
+            RuntimeManager, policy_overrides={"dnn2": MinEnergyUnderConstraints()}
         ),
-        "governor-only baseline": GovernorOnlyManager(),
-        "static-deployment baseline": StaticDeploymentManager(),
+        "governor-only baseline": GovernorOnlyManager,
+        "static-deployment baseline": StaticDeploymentManager,
     }
 
-    traces = {}
-    for name, manager in managers.items():
-        traces[name] = simulate_scenario(fig2_scenario(trained_factory=factory), manager)
+    workers = max(1, min(len(managers), os.cpu_count() or 1))
+    runner = ParallelSweepRunner(max_workers=workers)
+    sweep = runner.manager_sweep("fig2", managers)
+    assert not sweep.errors, sweep.errors
+    traces = sweep.traces
 
     rtm_trace = traces["application-aware RTM"]
     print("What the RTM did across the Fig 2 timeline:")

@@ -10,6 +10,12 @@ from repro.analysis.report import (
     operating_point_rows,
     trace_comparison_rows,
 )
+from repro.analysis.parallel import (
+    MANAGER_REGISTRY,
+    ParallelSweepRunner,
+    SweepCase,
+    make_manager,
+)
 from repro.analysis.sweep import SweepResult, run_manager_sweep, run_seed_sweep
 from repro.analysis.timeline import (
     AdaptationEvent,
@@ -28,6 +34,10 @@ __all__ = [
     "format_trace_comparison",
     "operating_point_rows",
     "trace_comparison_rows",
+    "MANAGER_REGISTRY",
+    "ParallelSweepRunner",
+    "SweepCase",
+    "make_manager",
     "SweepResult",
     "run_manager_sweep",
     "run_seed_sweep",

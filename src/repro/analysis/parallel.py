@@ -1,0 +1,299 @@
+"""Parallel execution of experiment sweeps.
+
+Large sweeps — every (scenario, manager, seed) combination of a robustness
+check — are embarrassingly parallel: each case builds its own scenario,
+platform and manager, runs one simulation and returns one trace.  This module
+fans those cases out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Design rules that keep parallel runs exactly equivalent to serial ones:
+
+* A case is described by *data* (scenario registry name or picklable
+  callable, manager registry name or picklable callable, seed, platform
+  name), never by live objects, so nothing stateful crosses the process
+  boundary in either direction except the resulting trace.
+* Every case is seeded explicitly; workers share no random state.
+* Results are reassembled in case-definition order, so a
+  :class:`~repro.analysis.sweep.SweepResult` aggregates identically however
+  execution interleaves — ``max_workers=1`` (the in-process serial fallback)
+  and ``max_workers=N`` produce byte-identical statistics.
+* A case that raises is captured per case (``SweepResult.errors``) instead of
+  killing the whole sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.sweep import SweepResult
+from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
+from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
+from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
+from repro.sim.trace import SimulationTrace
+from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+from repro.workloads.scenarios import Scenario, build_scenario
+
+__all__ = [
+    "MANAGER_REGISTRY",
+    "make_manager",
+    "SweepCase",
+    "ParallelSweepRunner",
+]
+
+
+def _rtm_min_energy() -> RuntimeManager:
+    """Runtime manager whose default policy minimises energy under constraints."""
+    return RuntimeManager(policy=MinEnergyUnderConstraints())
+
+
+#: Manager factories selectable by name from the CLI and sweep cases.
+MANAGER_REGISTRY: Dict[str, Callable[[], ManagerProtocol]] = {
+    "rtm": RuntimeManager,
+    "rtm_min_energy": _rtm_min_energy,
+    "governor_only": GovernorOnlyManager,
+    "static_deployment": StaticDeploymentManager,
+}
+
+
+def make_manager(name: str) -> ManagerProtocol:
+    """Instantiate a registered manager by name.
+
+    Raises ``KeyError`` (listing the available names) for unknown managers.
+    """
+    try:
+        factory = MANAGER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown manager {name!r}; available: {', '.join(sorted(MANAGER_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One independently executable case of a sweep.
+
+    Attributes
+    ----------
+    name:
+        Unique case label; keys the resulting trace in the ``SweepResult``.
+    scenario:
+        Scenario registry name (built in the worker with this case's seed and
+        platform) or a zero-argument picklable callable returning a scenario.
+    manager:
+        Manager registry name or a zero-argument picklable callable returning
+        a manager.
+    seed:
+        Seed forwarded to registry scenario builders; callables are expected
+        to close over their own seeding.
+    platform_name:
+        Platform preset forwarded to registry scenario builders.
+    """
+
+    name: str
+    scenario: Union[str, Callable[[], Scenario]]
+    manager: Union[str, Callable[[], ManagerProtocol]]
+    seed: int = 0
+    platform_name: str = "odroid_xu3"
+
+
+def _build_case_scenario(case: SweepCase) -> Scenario:
+    if isinstance(case.scenario, str):
+        return build_scenario(case.scenario, seed=case.seed, platform_name=case.platform_name)
+    return case.scenario()
+
+
+def _build_case_manager(case: SweepCase) -> ManagerProtocol:
+    if isinstance(case.manager, str):
+        return make_manager(case.manager)
+    return case.manager()
+
+
+def _execute_case(case: SweepCase, simulator_config: Optional[SimulatorConfig]) -> SimulationTrace:
+    """Worker entry point: build everything from the case description and run."""
+    scenario = _build_case_scenario(case)
+    manager = _build_case_manager(case)
+    return simulate_scenario(scenario, manager, config=simulator_config)
+
+
+def _generated_scenario(
+    seed: int,
+    generator_config: Optional[WorkloadGeneratorConfig],
+    platform_name: str,
+) -> Scenario:
+    """Scenario factory for seed sweeps (module-level, hence picklable)."""
+    return WorkloadGenerator(generator_config, seed=seed).generate(platform_name=platform_name)
+
+
+class ParallelSweepRunner:
+    """Run sweep cases serially or across a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes.  ``1`` (the default) runs every case
+        in-process, with no executor involved — the deterministic serial
+        fallback.  Results are identical for any worker count.
+    simulator_config:
+        Optional simulator tunables shared by every case.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        simulator_config: Optional[SimulatorConfig] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.simulator_config = simulator_config
+
+    # ------------------------------------------------------------------ core
+
+    def run(self, cases: Sequence[SweepCase]) -> SweepResult:
+        """Execute the cases and aggregate traces in case-definition order.
+
+        One failing case does not abort the sweep: its error message lands in
+        ``SweepResult.errors`` under the case name and the remaining cases
+        still run.
+        """
+        names = [case.name for case in cases]
+        if len(names) != len(set(names)):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(f"duplicate sweep case names: {duplicates}")
+
+        outcomes: Dict[str, SimulationTrace] = {}
+        failures: Dict[str, str] = {}
+        if self.max_workers == 1:
+            for case in cases:
+                try:
+                    outcomes[case.name] = _execute_case(case, self.simulator_config)
+                except Exception as exc:  # noqa: BLE001 - per-case isolation
+                    failures[case.name] = f"{type(exc).__name__}: {exc}"
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+                futures = {
+                    case.name: executor.submit(_execute_case, case, self.simulator_config)
+                    for case in cases
+                }
+                for name, future in futures.items():
+                    exc = future.exception()
+                    if exc is not None:
+                        failures[name] = f"{type(exc).__name__}: {exc}"
+                    else:
+                        outcomes[name] = future.result()
+
+        result = SweepResult()
+        for case in cases:  # reassemble in submission order
+            if case.name in outcomes:
+                result.traces[case.name] = outcomes[case.name]
+            else:
+                result.errors[case.name] = failures[case.name]
+        return result
+
+    # ------------------------------------------------------------ frontends
+
+    def manager_sweep(
+        self,
+        scenario: Union[str, Callable[[], Scenario]],
+        managers: Dict[str, Union[str, Callable[[], ManagerProtocol]]],
+        seed: int = 0,
+        platform_name: str = "odroid_xu3",
+    ) -> SweepResult:
+        """Replay one scenario under several managers (parallel ``run_manager_sweep``).
+
+        Each manager gets a freshly built copy of the scenario, exactly as
+        the serial helper rebuilds it from its factory per case.
+        """
+        cases = [
+            SweepCase(
+                name=name,
+                scenario=scenario,
+                manager=manager,
+                seed=seed,
+                platform_name=platform_name,
+            )
+            for name, manager in managers.items()
+        ]
+        return self.run(cases)
+
+    def grid(
+        self,
+        scenarios: Sequence[str],
+        managers: Sequence[str],
+        seeds: Sequence[int],
+        platform_name: str = "odroid_xu3",
+    ) -> SweepResult:
+        """Cartesian (scenario, manager, seed) sweep over registry names.
+
+        Case names have the form ``scenario/manager/seedN``.
+        """
+        cases = [
+            SweepCase(
+                name=f"{scenario}/{manager}/seed{seed}",
+                scenario=scenario,
+                manager=manager,
+                seed=seed,
+                platform_name=platform_name,
+            )
+            for scenario in scenarios
+            for manager in managers
+            for seed in seeds
+        ]
+        return self.run(cases)
+
+    def seed_sweep(
+        self,
+        manager: Union[str, Callable[[], ManagerProtocol]],
+        seeds: Sequence[int],
+        generator_config: Optional[WorkloadGeneratorConfig] = None,
+        platform_name: str = "odroid_xu3",
+    ) -> Dict[str, object]:
+        """Generated scenarios across seeds under one manager.
+
+        Parallel equivalent of :func:`repro.analysis.sweep.run_seed_sweep`:
+        returns the same aggregate dictionary (plus an ``errors`` entry) so
+        robustness checks can switch runners without changing their readers.
+        """
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        cases = [
+            SweepCase(
+                name=f"seed{seed}",
+                scenario=functools.partial(
+                    _generated_scenario, seed, generator_config, platform_name
+                ),
+                manager=manager,
+                seed=seed,
+                platform_name=platform_name,
+            )
+            for seed in seeds
+        ]
+        result = self.run(cases)
+        per_seed = {
+            seed: result.traces[f"seed{seed}"]
+            for seed in seeds
+            if f"seed{seed}" in result.traces
+        }
+        if not per_seed:
+            raise RuntimeError(f"every seed failed: {result.errors}")
+        violation_rates = [trace.violation_rate() for trace in per_seed.values()]
+        energies = [trace.total_energy_mj() for trace in per_seed.values()]
+        # "seeds" lists only the seeds the aggregates actually cover; failed
+        # seeds are in "errors", so partial coverage is visible to readers of
+        # the statistics, not just to callers that inspect the error dict.
+        return {
+            "seeds": list(per_seed),
+            "violation_rates": {
+                seed: trace.violation_rate() for seed, trace in per_seed.items()
+            },
+            "mean_violation_rate": float(np.mean(violation_rates)),
+            "worst_violation_rate": float(np.max(violation_rates)),
+            "mean_energy_mj": float(np.mean(energies)),
+            "traces": per_seed,
+            "errors": dict(result.errors),
+        }

@@ -9,7 +9,7 @@ so benchmarks and examples do not re-implement it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -23,9 +23,16 @@ __all__ = ["SweepResult", "run_manager_sweep", "run_seed_sweep"]
 
 @dataclass
 class SweepResult:
-    """Results of one sweep: per-case traces plus aggregate statistics."""
+    """Results of one sweep: per-case traces plus aggregate statistics.
+
+    ``traces`` is keyed by case name in case-definition order (the parallel
+    runner reassembles results in submission order, so aggregates do not
+    depend on completion order).  Cases whose execution raised are absent
+    from ``traces`` and recorded in ``errors`` as ``name -> message``.
+    """
 
     traces: Dict[str, SimulationTrace] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
 
     def violation_rates(self) -> Dict[str, float]:
         """Violation rate per case."""

@@ -9,7 +9,10 @@ terminal without going through pytest:
 * ``fig4b``      — print the Fig 4(b) accuracy table;
 * ``case-study`` — run the Section IV budget queries;
 * ``scenario``   — replay a runtime scenario under a chosen manager and print
-  the phase timeline and comparison tables.
+  the phase timeline and comparison tables;
+* ``scenarios``  — list the registered named scenarios;
+* ``sweep``      — run a (scenario, manager, seed) grid, optionally across
+  worker processes, and print per-case and aggregate statistics.
 """
 
 from __future__ import annotations
@@ -19,6 +22,9 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import (
+    MANAGER_REGISTRY,
+    ParallelSweepRunner,
+    SweepCase,
     adaptation_events,
     application_timeline,
     format_operating_points,
@@ -39,8 +45,12 @@ from repro.rtm import (
     RuntimeManager,
     make_policy,
 )
-from repro.sim import simulate_scenario
-from repro.workloads import SCENARIO_BUILDERS, Requirements
+from repro.workloads import (
+    SCENARIO_REGISTRY,
+    Requirements,
+    scenario_is_seeded,
+    scenario_summaries,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -143,9 +153,12 @@ def cmd_case_study(args: argparse.Namespace) -> int:
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Replay a scenario under the RTM and (optionally) the baselines."""
     try:
-        scenario_builder = SCENARIO_BUILDERS[args.name]
+        scenario_builder = SCENARIO_REGISTRY[args.name]
     except KeyError:
-        print(f"unknown scenario {args.name!r}; available: {sorted(SCENARIO_BUILDERS)}", file=sys.stderr)
+        print(
+            f"unknown scenario {args.name!r}; available: {sorted(SCENARIO_REGISTRY)}",
+            file=sys.stderr,
+        )
         return 2
 
     def managers() -> Dict[str, Callable[[], object]]:
@@ -159,11 +172,14 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             cases["static_deployment"] = StaticDeploymentManager
         return cases
 
-    sweep = run_manager_sweep(scenario_builder, managers())
+    def factory():
+        return scenario_builder(seed=args.seed)
+
+    sweep = run_manager_sweep(factory, managers())
     print(format_trace_comparison(sweep.traces))
 
     rtm_trace = sweep.traces["rtm"]
-    scenario = scenario_builder()
+    scenario = factory()
     for app in scenario.dnn_applications:
         print(f"\nTimeline of {app.app_id} under the RTM:")
         for phase in application_timeline(rtm_trace, app.app_id, scenario=scenario):
@@ -177,6 +193,130 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print("\nAdaptation events:")
         for event in adaptation_events(rtm_trace):
             print(f"  {event}")
+    return 0
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    """List the registered named scenarios with their one-line descriptions."""
+    summaries = scenario_summaries()
+    width = max(len(name) for name in summaries)
+    print(f"{len(summaries)} registered scenarios (* = varies with --seed):")
+    for name, summary in summaries.items():
+        marker = "*" if scenario_is_seeded(name) else " "
+        print(f"  {name:<{width}} {marker} {summary}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (scenario, manager, seed) grid, optionally across worker processes."""
+    unknown_scenarios = [name for name in args.scenarios if name not in SCENARIO_REGISTRY]
+    if unknown_scenarios:
+        print(
+            f"unknown scenarios {unknown_scenarios}; available: {sorted(SCENARIO_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    unknown_managers = [name for name in args.managers if name not in MANAGER_REGISTRY]
+    if unknown_managers:
+        print(
+            f"unknown managers {unknown_managers}; available: {sorted(MANAGER_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    for label, names in (("scenario", args.scenarios), ("manager", args.managers)):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            print(f"duplicate {label} names: {duplicates}", file=sys.stderr)
+            return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    # Deterministic scenarios ignore the seed: run them once instead of
+    # repeating the identical simulation and passing the copies off as
+    # cross-seed statistics.
+    seeds_for = {
+        name: seeds if scenario_is_seeded(name) else seeds[:1] for name in args.scenarios
+    }
+    for name in args.scenarios:
+        if len(seeds_for[name]) < len(seeds):
+            print(
+                f"note: scenario {name!r} is seed-insensitive; running 1 case instead "
+                f"of {len(seeds)}",
+                file=sys.stderr,
+            )
+    cases = [
+        SweepCase(
+            name=f"{scenario}/{manager}/seed{seed}",
+            scenario=scenario,
+            manager=manager,
+            seed=seed,
+            platform_name=args.platform,
+        )
+        for scenario in args.scenarios
+        for manager in args.managers
+        for seed in seeds_for[scenario]
+    ]
+    runner = ParallelSweepRunner(max_workers=args.workers)
+    result = runner.run(cases)
+
+    rows = [
+        [
+            name,
+            round(trace.violation_rate(), 4),
+            round(trace.mean_accuracy_percent(), 2),
+            round(trace.total_energy_mj() / 1000.0, 3),
+        ]
+        for name, trace in result.traces.items()
+    ]
+    print(
+        f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
+        f"x {len(seeds)} seeds on {args.platform}"
+    )
+    print(format_table(["case", "violation rate", "mean top-1 (%)", "energy (J)"], rows, precision=4))
+
+    # Aggregate across seeds per (scenario, manager) pair.
+    aggregate_rows = []
+    for scenario in args.scenarios:
+        for manager in args.managers:
+            traces = [
+                result.traces[f"{scenario}/{manager}/seed{seed}"]
+                for seed in seeds_for[scenario]
+                if f"{scenario}/{manager}/seed{seed}" in result.traces
+            ]
+            if not traces:
+                continue
+            violation_rates = [trace.violation_rate() for trace in traces]
+            aggregate_rows.append(
+                [
+                    scenario,
+                    manager,
+                    len(traces),
+                    round(sum(violation_rates) / len(traces), 4),
+                    round(max(violation_rates), 4),
+                    round(sum(trace.total_energy_mj() for trace in traces) / len(traces) / 1000.0, 3),
+                ]
+            )
+    if aggregate_rows:
+        print()
+        print("aggregates across seeds:")
+        print(
+            format_table(
+                ["scenario", "manager", "runs", "mean viol", "worst viol", "mean energy (J)"],
+                aggregate_rows,
+                precision=4,
+            )
+        )
+
+    if result.errors:
+        print(f"\n{len(result.errors)} case(s) failed:", file=sys.stderr)
+        for name, message in result.errors.items():
+            print(f"  {name}: {message}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -213,11 +353,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenario = subparsers.add_parser("scenario", help="replay a runtime scenario")
     scenario.add_argument("--name", default="fig2", help="scenario name (fig2, single_dnn, ...)")
+    scenario.add_argument("--seed", type=int, default=0, help="seed for generated scenarios")
     scenario.add_argument(
         "--baselines", action="store_true", help="also run the governor-only and static baselines"
     )
     scenario.add_argument("--events", action="store_true", help="print adaptation events")
     scenario.set_defaults(func=cmd_scenario)
+
+    scenarios = subparsers.add_parser("scenarios", help="inspect the scenario registry")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_list = scenarios_sub.add_parser("list", help="list registered scenarios")
+    scenarios_list.set_defaults(func=cmd_scenarios_list)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a (scenario, manager, seed) grid, optionally in parallel"
+    )
+    sweep.add_argument(
+        "--scenarios",
+        "--scenario",
+        nargs="+",
+        dest="scenarios",
+        default=["steady"],
+        help="registered scenario names (see 'scenarios list')",
+    )
+    sweep.add_argument(
+        "--managers",
+        nargs="+",
+        default=["rtm", "governor_only", "static_deployment"],
+        help=f"manager names (available: {', '.join(sorted(MANAGER_REGISTRY))})",
+    )
+    sweep.add_argument("--seeds", type=int, default=1, help="number of seeds per combination")
+    sweep.add_argument("--seed-base", type=int, default=0, help="first seed of the range")
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    sweep.set_defaults(func=cmd_sweep)
 
     return parser
 

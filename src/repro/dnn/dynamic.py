@@ -16,7 +16,7 @@ pointer update rather than a model reload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dnn.layers import (
     BatchNorm2D,

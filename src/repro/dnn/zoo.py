@@ -18,7 +18,6 @@ from typing import List
 from repro.dnn.dynamic import DynamicDNN
 from repro.dnn.groups import convert_to_group_convolution
 from repro.dnn.layers import (
-    AvgPool2D,
     BatchNorm2D,
     Conv2D,
     DepthwiseConv2D,

@@ -17,7 +17,7 @@ A cluster combines:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.platforms.core import Core, CoreType

@@ -18,7 +18,7 @@ signal from chattering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = ["ThermalParams", "ThermalModel"]

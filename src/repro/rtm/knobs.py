@@ -15,7 +15,7 @@ framework (Bragg et al. [31]) proposes and the paper adopts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Callable, Generic, List, Sequence, TypeVar
 
 __all__ = ["Knob", "DiscreteKnob", "KnobRegistry"]
 

@@ -11,7 +11,7 @@ requirements to decide which knobs to turn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 __all__ = ["Monitor", "MonitorRegistry", "MonitorHistory"]

@@ -15,7 +15,7 @@ management schemes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Protocol
 
 from repro.perfmodel.calibrated import CalibratedLatencyModel
@@ -32,7 +32,7 @@ from repro.rtm.state import (
     SystemState,
     UnmapApplication,
 )
-from repro.sim.events import EVENT_PRIORITY_DEFAULT, EVENT_PRIORITY_STRUCTURAL, EventQueue
+from repro.sim.events import EVENT_PRIORITY_STRUCTURAL, EventQueue
 from repro.sim.trace import DecisionRecord, JobRecord, PowerSample, SimulationTrace
 from repro.workloads.requirements import MetricSample
 from repro.workloads.scenarios import Scenario, ScenarioEvent, ScenarioEventKind

@@ -9,11 +9,16 @@ from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
 from repro.workloads.requirements import MetricSample, Requirements, Violation
 from repro.workloads.scenarios import (
     SCENARIO_BUILDERS,
+    SCENARIO_REGISTRY,
     Scenario,
     ScenarioEvent,
     ScenarioEventKind,
+    build_scenario,
     fig2_scenario,
     multi_dnn_scenario,
+    register_scenario,
+    scenario_is_seeded,
+    scenario_summaries,
     single_dnn_scenario,
     thermal_stress_scenario,
 )
@@ -35,9 +40,14 @@ __all__ = [
     "Requirements",
     "Violation",
     "SCENARIO_BUILDERS",
+    "SCENARIO_REGISTRY",
     "Scenario",
     "ScenarioEvent",
     "ScenarioEventKind",
+    "build_scenario",
+    "register_scenario",
+    "scenario_is_seeded",
+    "scenario_summaries",
     "fig2_scenario",
     "multi_dnn_scenario",
     "single_dnn_scenario",

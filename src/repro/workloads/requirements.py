@@ -12,7 +12,7 @@ uses (execution time, energy, power, accuracy) plus frame rate, and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 __all__ = ["Requirements", "Violation", "MetricSample"]

@@ -46,6 +46,12 @@ __all__ = [
     "single_dnn_scenario",
     "multi_dnn_scenario",
     "thermal_stress_scenario",
+    "register_scenario",
+    "build_scenario",
+    "scenario_summaries",
+    "scenario_is_seeded",
+    "SEEDED_SCENARIOS",
+    "SCENARIO_REGISTRY",
     "SCENARIO_BUILDERS",
 ]
 
@@ -322,10 +328,350 @@ def thermal_stress_scenario(
     )
 
 
-#: Registry of scenario builders by name.
-SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
-    "fig2": fig2_scenario,
-    "single_dnn": single_dnn_scenario,
-    "multi_dnn": multi_dnn_scenario,
-    "thermal_stress": thermal_stress_scenario,
-}
+# ----------------------------------------------------------------- registry
+#
+# Named scenarios selectable from the CLI (``repro-experiments scenarios
+# list`` / ``sweep --scenarios ...``) and from the parallel sweep runner.
+# Every registered builder has the uniform signature
+# ``builder(seed=0, platform_name="odroid_xu3") -> Scenario`` so that sweep
+# cases can be described by (name, seed, platform) triples that cross process
+# boundaries without pickling closures.  Builders that are deterministic by
+# construction (the hand-written timelines above) simply ignore the seed.
+
+#: Builders of named scenarios, keyed by registry name.
+SCENARIO_REGISTRY: Dict[str, Callable[..., Scenario]] = {}
+
+#: Registry names whose builder actually varies with ``seed``.  Deterministic
+#: timelines (the paper's hand-written scenarios) are absent; sweeping them
+#: across seeds would just repeat the identical simulation.
+SEEDED_SCENARIOS: set = set()
+
+
+def register_scenario(
+    name: str, seeded: bool = True
+) -> Callable[[Callable[..., Scenario]], Callable[..., Scenario]]:
+    """Register a named scenario builder.
+
+    Used as a decorator::
+
+        @register_scenario("steady")
+        def steady_scenario(seed=0, platform_name="odroid_xu3"):
+            \"\"\"One-line workload description shown by ``scenarios list``.\"\"\"
+            ...
+
+    The builder must accept ``seed`` and ``platform_name`` keyword arguments
+    (defaults included, so registry entries are also zero-argument callables)
+    and carry a docstring whose first line describes the workload shape.
+    Pass ``seeded=False`` for deterministic builders that ignore the seed, so
+    sweeps know not to repeat them per seed.
+    """
+
+    def decorator(builder: Callable[..., Scenario]) -> Callable[..., Scenario]:
+        if name in SCENARIO_REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        if not (builder.__doc__ or "").strip():
+            raise ValueError(f"scenario {name!r} needs a docstring describing the workload")
+        SCENARIO_REGISTRY[name] = builder
+        if seeded:
+            SEEDED_SCENARIOS.add(name)
+        return builder
+
+    return decorator
+
+
+def scenario_is_seeded(name: str) -> bool:
+    """True when the named scenario's builder varies with the seed."""
+    if name not in SCENARIO_REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIO_REGISTRY))}"
+        )
+    return name in SEEDED_SCENARIOS
+
+
+def build_scenario(name: str, seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Build a registered scenario by name.
+
+    Raises ``KeyError`` (listing the available names) for unknown scenarios.
+    """
+    try:
+        builder = SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIO_REGISTRY))}"
+        ) from None
+    return builder(seed=seed, platform_name=platform_name)
+
+
+def scenario_summaries() -> Dict[str, str]:
+    """Registry name -> first docstring line of the builder, sorted by name."""
+    return {
+        name: (SCENARIO_REGISTRY[name].__doc__ or "").strip().splitlines()[0]
+        for name in sorted(SCENARIO_REGISTRY)
+    }
+
+
+def _generator_scenario(
+    name: str,
+    seed: int,
+    platform_name: str,
+    **config_kwargs: object,
+) -> Scenario:
+    """Build a seeded random scenario from :class:`WorkloadGenerator` knobs.
+
+    Imported lazily because :mod:`repro.workloads.generator` imports this
+    module for the :class:`Scenario` type.
+    """
+    from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+
+    config = WorkloadGeneratorConfig(**config_kwargs)  # type: ignore[arg-type]
+    generator = WorkloadGenerator(config, seed=seed)
+    return generator.generate(platform_name=platform_name, name=f"{name}_seed{seed}")
+
+
+@register_scenario("fig2", seeded=False)
+def _fig2_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """The paper's Fig 2 timeline: DNN contention, AR/VR arrival, thermal pressure."""
+    return fig2_scenario(platform_name=platform_name)
+
+
+@register_scenario("single_dnn", seeded=False)
+def _single_dnn_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """One DNN with latency/energy/accuracy requirements and no contention."""
+    return single_dnn_scenario(platform_name=platform_name)
+
+
+@register_scenario("multi_dnn", seeded=False)
+def _multi_dnn_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Three DNNs with staggered arrivals competing for the clusters."""
+    return multi_dnn_scenario(platform_name=platform_name)
+
+
+@register_scenario("thermal_stress", seeded=False)
+def _thermal_stress_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """A DNN plus a hot background task that forces thermal throttling."""
+    return thermal_stress_scenario(platform_name=platform_name)
+
+
+@register_scenario("steady")
+def steady_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Two well-spaced, low-rate DNNs with relaxed requirements: the easy baseline load.
+
+    Arrivals are far apart (mean 6 s), frame rates low (3-8 fps) and accuracy
+    floors generous, so a competent manager should hold a near-zero violation
+    rate.  Useful as the control group of a sweep.
+    """
+    return _generator_scenario(
+        "steady",
+        seed,
+        platform_name,
+        num_dnn_apps=2,
+        num_background_apps=0,
+        duration_ms=20000.0,
+        mean_interarrival_ms=6000.0,
+        fps_range=(3.0, 8.0),
+        accuracy_floor_range=(55.0, 60.0),
+        energy_budget_probability=0.3,
+    )
+
+
+@register_scenario("bursty")
+def bursty_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Five DNNs arriving in a tight burst, stressing admission and remapping.
+
+    Mean inter-arrival time is 0.4 s, so nearly the whole application set
+    lands within the first seconds and the manager must remap and compress
+    aggressively before the platform saturates.
+    """
+    return _generator_scenario(
+        "bursty",
+        seed,
+        platform_name,
+        num_dnn_apps=5,
+        num_background_apps=1,
+        duration_ms=20000.0,
+        mean_interarrival_ms=400.0,
+        fps_range=(4.0, 15.0),
+    )
+
+
+@register_scenario("rush_hour")
+def rush_hour_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """A quiet always-on DNN hit by a mid-scenario wave of arrivals that later departs.
+
+    A navigation-style DNN runs for the whole 30 s.  At t=8-9.5 s three
+    camera DNNs (frame rates drawn from the seed) and a CPU background task
+    arrive, and all of them leave again at t=25 s — the manager must scale
+    down through the rush and recover afterwards.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    trained = _default_trained()
+    always_on = make_dnn_application(
+        app_id="nav",
+        trained=trained,
+        requirements=Requirements(
+            target_fps=4.0, min_accuracy_percent=56.0, max_energy_mj=120.0, priority=4
+        ),
+    )
+    applications: List[Application] = [always_on]
+    for index, arrival_ms in enumerate((8000.0, 8600.0, 9300.0)):
+        applications.append(
+            make_dnn_application(
+                app_id=f"cam{index + 1}",
+                trained=trained,
+                requirements=Requirements(
+                    target_fps=round(float(rng.uniform(8.0, 18.0)), 1),
+                    min_accuracy_percent=round(float(rng.uniform(56.0, 64.0)), 1),
+                    priority=int(rng.integers(4, 9)),
+                ),
+                arrival_time_ms=arrival_ms,
+                departure_time_ms=25000.0,
+            )
+        )
+    applications.append(
+        make_background_application(
+            app_id="bg_rush",
+            cores=2,
+            core_type=CoreType.CPU_LITTLE,
+            utilisation=0.7,
+            arrival_time_ms=9000.0,
+            departure_time_ms=25000.0,
+        )
+    )
+    return Scenario(
+        name=f"rush_hour_seed{seed}",
+        platform_name=platform_name,
+        applications=applications,
+        duration_ms=30000.0,
+        description="Always-on DNN plus a t=8-25s wave of camera DNNs and background load.",
+    )
+
+
+@register_scenario("multi_app_contention")
+def multi_app_contention_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Four DNNs and three background tasks oversubscribing every cluster.
+
+    Sustained contention from both managed (DNN) and unmanaged (background)
+    load: the manager has to arbitrate between applications that it controls
+    and tasks that simply take cores away.
+    """
+    return _generator_scenario(
+        "multi_app_contention",
+        seed,
+        platform_name,
+        num_dnn_apps=4,
+        num_background_apps=3,
+        duration_ms=30000.0,
+        mean_interarrival_ms=2500.0,
+    )
+
+
+@register_scenario("accuracy_critical")
+def accuracy_critical_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Three DNNs with high accuracy floors (66-70 %) that forbid deep compression.
+
+    The application knob is almost unusable — accuracy floors sit just under
+    the full model's top-1 — so requirements must be met with mapping and
+    DVFS alone.  Complements ``battery_saver``, where compression is the
+    only way out.
+    """
+    return _generator_scenario(
+        "accuracy_critical",
+        seed,
+        platform_name,
+        num_dnn_apps=3,
+        num_background_apps=0,
+        duration_ms=20000.0,
+        mean_interarrival_ms=3000.0,
+        fps_range=(2.0, 10.0),
+        accuracy_floor_range=(66.0, 70.0),
+        energy_budget_probability=0.2,
+    )
+
+
+@register_scenario("battery_saver")
+def battery_saver_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Three low-rate DNNs that all carry tight per-inference energy budgets.
+
+    Every application has an energy budget of 25-60 mJ — well under the full
+    model's cost on the big cores — so the manager must compress models and
+    prefer the efficient cluster to stay inside the budgets.
+    """
+    return _generator_scenario(
+        "battery_saver",
+        seed,
+        platform_name,
+        num_dnn_apps=3,
+        num_background_apps=0,
+        duration_ms=20000.0,
+        mean_interarrival_ms=3000.0,
+        fps_range=(2.0, 6.0),
+        energy_budget_range_mj=(25.0, 60.0),
+        energy_budget_probability=1.0,
+    )
+
+
+@register_scenario("mixed_criticality")
+def mixed_criticality_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Two best-effort DNNs plus one safety-critical DNN with a hard latency bound.
+
+    The critical application (priority 9, 60 ms latency bound, 68 % accuracy
+    floor) must stay unaffected while the seeded best-effort pair absorbs
+    whatever resources are left.
+    """
+    from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+
+    trained = _default_trained()
+    config = WorkloadGeneratorConfig(
+        num_dnn_apps=2,
+        num_background_apps=1,
+        duration_ms=25000.0,
+        mean_interarrival_ms=4000.0,
+        fps_range=(3.0, 12.0),
+    )
+    generated = WorkloadGenerator(config, seed=seed, trained=trained).generate(
+        platform_name=platform_name
+    )
+    critical = make_dnn_application(
+        app_id="critical",
+        trained=trained,
+        requirements=Requirements(
+            target_fps=15.0,
+            max_latency_ms=60.0,
+            min_accuracy_percent=68.0,
+            priority=9,
+        ),
+    )
+    return Scenario(
+        name=f"mixed_criticality_seed{seed}",
+        platform_name=platform_name,
+        applications=[critical, *generated.applications],
+        duration_ms=config.duration_ms,
+        description="A hard-requirement critical DNN sharing the SoC with best-effort load.",
+    )
+
+
+@register_scenario("overload")
+def overload_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Six high-rate DNNs plus background load demanding more than the SoC can serve.
+
+    Aggregate demand exceeds platform capacity by design; the interesting
+    question is how gracefully a manager degrades (violation rate and
+    delivered accuracy under overload), not whether it meets everything.
+    """
+    return _generator_scenario(
+        "overload",
+        seed,
+        platform_name,
+        num_dnn_apps=6,
+        num_background_apps=2,
+        duration_ms=20000.0,
+        mean_interarrival_ms=1500.0,
+        fps_range=(12.0, 30.0),
+    )
+
+
+#: Backwards-compatible alias: scenario builders by name (all entries are
+#: zero-argument callables; new code should use :func:`build_scenario`).
+SCENARIO_BUILDERS = SCENARIO_REGISTRY

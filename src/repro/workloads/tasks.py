@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.dnn.training import TrainedDynamicDNN
 from repro.platforms.core import CoreType

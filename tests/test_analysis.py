@@ -20,7 +20,6 @@ from repro.analysis.timeline import (
 from repro.baselines import GovernorOnlyManager
 from repro.rtm import RuntimeManager
 from repro.rtm.operating_points import OperatingPoint
-from repro.sim import simulate_scenario
 from repro.sim.trace import JobRecord, SimulationTrace
 from repro.workloads import WorkloadGeneratorConfig, fig2_scenario, single_dnn_scenario
 

@@ -19,9 +19,16 @@ class TestParser:
             ["fig4b"],
             ["case-study", "--platform", "odroid_xu3"],
             ["scenario", "--name", "single_dnn"],
+            ["scenarios", "list"],
+            ["sweep", "--scenarios", "steady", "bursty", "--seeds", "2", "--workers", "4"],
+            ["sweep", "--scenario", "steady"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_scenarios_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
 
 
 class TestCommands:
@@ -68,3 +75,88 @@ class TestCommands:
     def test_scenario_unknown_name_fails(self, capsys):
         assert main(["scenario", "--name", "not_a_scenario"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_list_prints_the_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "registered scenarios" in output
+        for name in (
+            "fig2",
+            "steady",
+            "bursty",
+            "rush_hour",
+            "battery_saver",
+            "mixed_criticality",
+            "overload",
+        ):
+            assert name in output
+        # Every line carries a description next to the name.
+        body_lines = [line for line in output.splitlines()[1:] if line.strip()]
+        assert all(len(line.split(None, 1)) == 2 for line in body_lines)
+
+    def test_sweep_unknown_scenario_fails(self, capsys):
+        assert main(["sweep", "--scenarios", "not_a_scenario"]) == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+    def test_sweep_unknown_manager_fails(self, capsys):
+        assert main(["sweep", "--managers", "not_a_manager"]) == 2
+        assert "unknown managers" in capsys.readouterr().err
+
+    def test_sweep_rejects_zero_seeds(self, capsys):
+        assert main(["sweep", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_sweep_runs_seed_insensitive_scenarios_once(self, capsys):
+        assert (
+            main(
+                ["sweep", "--scenarios", "single_dnn", "--managers", "rtm", "--seeds", "3"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "seed-insensitive" in captured.err
+        assert "single_dnn/rtm/seed0" in captured.out
+        assert "seed1" not in captured.out and "seed2" not in captured.out
+
+    def test_sweep_rejects_duplicate_names(self, capsys):
+        assert main(["sweep", "--scenarios", "steady", "steady"]) == 2
+        assert "duplicate scenario names" in capsys.readouterr().err
+        assert main(["sweep", "--managers", "rtm", "rtm"]) == 2
+        assert "duplicate manager names" in capsys.readouterr().err
+
+    def test_sweep_rejects_zero_workers(self, capsys):
+        assert main(["sweep", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sweep_reports_failing_cases_with_exit_1(self, capsys):
+        code = main(
+            ["sweep", "--scenarios", "steady", "--managers", "rtm", "--seeds", "1",
+             "--platform", "not_a_platform"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 case(s) failed" in captured.err
+        assert "unknown platform preset" in captured.err
+
+    def test_sweep_prints_cases_and_aggregates(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenarios",
+                    "single_dnn",
+                    "--managers",
+                    "rtm",
+                    "governor_only",
+                    "--seeds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "1 seeds on odroid_xu3" in output
+        assert "single_dnn/rtm/seed0" in output
+        assert "single_dnn/governor_only/seed0" in output
+        assert "aggregates across seeds:" in output
+        assert "violation rate" in output

@@ -7,7 +7,6 @@ from repro.data.measurements import FIG4B_ACCURACY_BY_CONFIGURATION
 from repro.dnn.accuracy import AccuracyModel
 from repro.dnn.pruning import filter_prune, magnitude_prune, prune_to_latency
 from repro.dnn.training import IncrementalTrainer
-from repro.dnn.zoo import cifar_group_cnn, make_dynamic_cifar_dnn
 
 
 class TestAccuracyModel:

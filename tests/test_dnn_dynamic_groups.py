@@ -8,7 +8,7 @@ from repro.dnn.groups import (
     group_structure,
     max_supported_groups,
 )
-from repro.dnn.zoo import cifar_dense_cnn, cifar_group_cnn, make_dynamic_cifar_dnn, tiny_mlp
+from repro.dnn.zoo import cifar_dense_cnn, cifar_group_cnn, tiny_mlp
 
 
 class TestGroupConversion:

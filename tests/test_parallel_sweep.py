@@ -1,0 +1,192 @@
+"""Tests for the parallel sweep engine.
+
+The central invariant: sweeps aggregate identically whatever the worker
+count, because cases are seeded explicitly and results are reassembled in
+submission order.  Everything here runs short scenarios so the parallel
+machinery (not the simulations) dominates the test budget.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.analysis import (
+    MANAGER_REGISTRY,
+    ParallelSweepRunner,
+    SweepCase,
+    make_manager,
+    run_seed_sweep,
+)
+from repro.baselines import GovernorOnlyManager
+from repro.rtm import RuntimeManager
+from repro.sim.engine import SimulatorConfig
+from repro.workloads import WorkloadGeneratorConfig
+from repro.workloads.scenarios import single_dnn_scenario
+
+
+def _tiny_scenario():
+    """Module-level (hence picklable) short scenario factory."""
+    return single_dnn_scenario(duration_ms=2000.0)
+
+
+def _failing_scenario():
+    raise RuntimeError("scenario construction exploded")
+
+
+TINY_CASES = [
+    SweepCase(name="rtm", scenario=_tiny_scenario, manager="rtm"),
+    SweepCase(name="governor", scenario=_tiny_scenario, manager="governor_only"),
+]
+
+
+class TestManagerRegistry:
+    def test_known_managers(self):
+        assert {"rtm", "rtm_min_energy", "governor_only", "static_deployment"} <= set(
+            MANAGER_REGISTRY
+        )
+
+    def test_make_manager_builds_fresh_instances(self):
+        a = make_manager("rtm")
+        b = make_manager("rtm")
+        assert isinstance(a, RuntimeManager)
+        assert a is not b
+
+    def test_unknown_manager_raises_with_available_names(self):
+        with pytest.raises(KeyError, match="unknown manager 'nope'.*rtm"):
+            make_manager("nope")
+
+
+class TestRunnerBasics:
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ParallelSweepRunner(max_workers=0)
+
+    def test_rejects_duplicate_case_names(self):
+        runner = ParallelSweepRunner()
+        cases = [TINY_CASES[0], TINY_CASES[0]]
+        with pytest.raises(ValueError, match="duplicate sweep case names"):
+            runner.run(cases)
+
+    def test_serial_run_produces_traces_in_case_order(self):
+        result = ParallelSweepRunner(max_workers=1).run(TINY_CASES)
+        assert list(result.traces) == ["rtm", "governor"]
+        assert not result.errors
+        assert all(len(trace.jobs) > 0 for trace in result.traces.values())
+
+    def test_simulator_config_is_forwarded(self):
+        config = SimulatorConfig(decision_interval_ms=250.0)
+        result = ParallelSweepRunner(max_workers=1, simulator_config=config).run(
+            TINY_CASES[:1]
+        )
+        default = ParallelSweepRunner(max_workers=1).run(TINY_CASES[:1])
+        # Twice the decision epochs in the same simulated time.
+        assert len(result.traces["rtm"].decisions) > len(default.traces["rtm"].decisions)
+
+
+class TestErrorCapture:
+    def test_serial_error_is_captured_per_case(self):
+        cases = [SweepCase(name="bad", scenario=_failing_scenario, manager="rtm"), *TINY_CASES]
+        result = ParallelSweepRunner(max_workers=1).run(cases)
+        assert result.errors == {"bad": "RuntimeError: scenario construction exploded"}
+        assert list(result.traces) == ["rtm", "governor"]
+
+    def test_parallel_error_is_captured_per_case(self):
+        cases = [SweepCase(name="bad", scenario=_failing_scenario, manager="rtm"), *TINY_CASES]
+        result = ParallelSweepRunner(max_workers=2).run(cases)
+        assert result.errors == {"bad": "RuntimeError: scenario construction exploded"}
+        assert list(result.traces) == ["rtm", "governor"]
+
+    def test_unknown_registry_names_fail_only_their_case(self):
+        cases = [SweepCase(name="bad", scenario="not_a_scenario", manager="rtm"), *TINY_CASES]
+        result = ParallelSweepRunner(max_workers=1).run(cases)
+        assert "unknown scenario" in result.errors["bad"]
+        assert list(result.traces) == ["rtm", "governor"]
+
+
+class TestParallelSerialParity:
+    def test_identical_aggregates_for_any_worker_count(self):
+        cases = [
+            SweepCase(name="rtm", scenario=_tiny_scenario, manager="rtm"),
+            SweepCase(
+                name="rtm_partial",
+                scenario=_tiny_scenario,
+                manager=partial(RuntimeManager),
+            ),
+            SweepCase(name="governor_cls", scenario=_tiny_scenario, manager=GovernorOnlyManager),
+        ]
+        serial = ParallelSweepRunner(max_workers=1).run(cases)
+        parallel = ParallelSweepRunner(max_workers=3).run(cases)
+        assert not serial.errors and not parallel.errors
+        assert list(serial.traces) == list(parallel.traces)
+        assert serial.violation_rates() == parallel.violation_rates()
+        assert serial.energies_mj() == parallel.energies_mj()
+        assert serial.mean_accuracies() == parallel.mean_accuracies()
+        assert serial.best_case() == parallel.best_case()
+
+    def test_registry_grid_parity(self):
+        # Registry-name cases resolve entirely inside the worker process.
+        serial = ParallelSweepRunner(max_workers=1).grid(["single_dnn"], ["rtm"], [0, 1])
+        parallel = ParallelSweepRunner(max_workers=2).grid(["single_dnn"], ["rtm"], [0, 1])
+        assert list(serial.traces) == ["single_dnn/rtm/seed0", "single_dnn/rtm/seed1"]
+        assert serial.violation_rates() == parallel.violation_rates()
+        assert serial.energies_mj() == parallel.energies_mj()
+
+
+class TestSeedSweep:
+    CONFIG = WorkloadGeneratorConfig(num_dnn_apps=1, num_background_apps=0, duration_ms=2000.0)
+
+    def test_matches_the_serial_helper(self):
+        legacy = run_seed_sweep(RuntimeManager, seeds=[1, 2], generator_config=self.CONFIG)
+        parallel = ParallelSweepRunner(max_workers=2).seed_sweep(
+            "rtm", seeds=[1, 2], generator_config=self.CONFIG
+        )
+        for key in (
+            "seeds",
+            "violation_rates",
+            "mean_violation_rate",
+            "worst_violation_rate",
+            "mean_energy_mj",
+        ):
+            assert legacy[key] == parallel[key], key
+        assert parallel["errors"] == {}
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            ParallelSweepRunner().seed_sweep("rtm", seeds=[])
+
+    def test_all_seeds_failing_raises(self):
+        runner = ParallelSweepRunner(max_workers=1)
+        with pytest.raises(RuntimeError, match="every seed failed"):
+            runner.seed_sweep("not_a_manager", seeds=[1])
+
+    def test_partial_failures_shrink_the_reported_seed_set(self, monkeypatch):
+        # Aggregates cover only surviving seeds, and "seeds" must say so.
+        import repro.analysis.parallel as parallel_module
+
+        original = parallel_module._generated_scenario
+
+        def flaky(seed, generator_config, platform_name):
+            if seed == 2:
+                raise RuntimeError("seed 2 exploded")
+            return original(seed, generator_config, platform_name)
+
+        monkeypatch.setattr(parallel_module, "_generated_scenario", flaky)
+        result = ParallelSweepRunner(max_workers=1).seed_sweep(
+            "rtm", seeds=[1, 2, 3], generator_config=self.CONFIG
+        )
+        assert result["seeds"] == [1, 3]
+        assert set(result["violation_rates"]) == {1, 3}
+        assert "seed 2 exploded" in result["errors"]["seed2"]
+
+
+class TestCliByteParity:
+    def test_sweep_output_is_identical_across_worker_counts(self, capsys):
+        from repro.cli import main
+
+        # A seeded scenario, so both invocations really run two distinct cases.
+        argv = ["sweep", "--scenarios", "steady", "--managers", "rtm", "--seeds", "2"]
+        assert main([*argv, "--workers", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert serial_output == parallel_output

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.perfmodel import CalibratedLatencyModel, EnergyModel
 from repro.rtm.multi_app import MultiAppAllocator
 from repro.rtm.policies import MaxAccuracyUnderBudget
 from repro.rtm.state import (

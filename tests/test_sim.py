@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rtm.manager import RuntimeManager
-from repro.rtm.state import Action
 from repro.sim.engine import Simulator, SimulatorConfig, simulate_scenario
 from repro.sim.events import EVENT_PRIORITY_STRUCTURAL, EventQueue
 from repro.sim.trace import JobRecord, PowerSample, SimulationTrace

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.rtm.manager import RuntimeManager
-from repro.rtm.state import MapApplication, Mapping, SetConfiguration, SetFrequency
+from repro.rtm.state import MapApplication, SetConfiguration, SetFrequency
 from repro.sim.engine import Simulator, SimulatorConfig
 from repro.workloads.requirements import Requirements
 from repro.workloads.scenarios import Scenario

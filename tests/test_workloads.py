@@ -199,7 +199,10 @@ class TestScenarios:
             Scenario("bad", "odroid_xu3", [app, other], duration_ms=1000.0)
 
     def test_registry_contains_all_builders(self):
-        assert set(SCENARIO_BUILDERS) == {"fig2", "single_dnn", "multi_dnn", "thermal_stress"}
+        # The paper's own timelines are always registered; the registry also
+        # carries the synthetic scenario families (tested in
+        # test_scenario_registry.py).
+        assert {"fig2", "single_dnn", "multi_dnn", "thermal_stress"} <= set(SCENARIO_BUILDERS)
 
 
 class TestWorkloadGenerator:
