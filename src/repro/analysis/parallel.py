@@ -59,10 +59,20 @@ MANAGER_REGISTRY: Dict[str, Callable[[], ManagerProtocol]] = {
 }
 
 
-def make_manager(name: str) -> ManagerProtocol:
+def make_manager(name: str, use_op_cache: bool = True) -> ManagerProtocol:
     """Instantiate a registered manager by name.
 
     Raises ``KeyError`` (listing the available names) for unknown managers.
+
+    Parameters
+    ----------
+    name:
+        Registry name.
+    use_op_cache:
+        When False, managers that carry an operating-point cache have it
+        detached (used by the cached-vs-uncached parity tests and the
+        ``sweep --no-cache`` CLI flag).  Managers without a cache — the
+        baselines — are unaffected.
     """
     try:
         factory = MANAGER_REGISTRY[name]
@@ -70,7 +80,17 @@ def make_manager(name: str) -> ManagerProtocol:
         raise KeyError(
             f"unknown manager {name!r}; available: {', '.join(sorted(MANAGER_REGISTRY))}"
         ) from None
-    return factory()
+    manager = factory()
+    if not use_op_cache:
+        _detach_op_cache(manager)
+    return manager
+
+
+def _detach_op_cache(manager: ManagerProtocol) -> None:
+    """Remove a manager's operating-point cache, if it carries one."""
+    detach = getattr(manager, "set_operating_point_cache", None)
+    if callable(detach):
+        detach(None)
 
 
 @dataclass(frozen=True)
@@ -92,6 +112,10 @@ class SweepCase:
         to close over their own seeding.
     platform_name:
         Platform preset forwarded to registry scenario builders.
+    use_op_cache:
+        Whether the manager keeps its operating-point cache.  Cached and
+        uncached cases produce identical traces; the flag exists for parity
+        tests and benchmarking.
     """
 
     name: str
@@ -99,6 +123,7 @@ class SweepCase:
     manager: Union[str, Callable[[], ManagerProtocol]]
     seed: int = 0
     platform_name: str = "odroid_xu3"
+    use_op_cache: bool = True
 
 
 def _build_case_scenario(case: SweepCase) -> Scenario:
@@ -109,8 +134,11 @@ def _build_case_scenario(case: SweepCase) -> Scenario:
 
 def _build_case_manager(case: SweepCase) -> ManagerProtocol:
     if isinstance(case.manager, str):
-        return make_manager(case.manager)
-    return case.manager()
+        return make_manager(case.manager, use_op_cache=case.use_op_cache)
+    manager = case.manager()
+    if not case.use_op_cache:
+        _detach_op_cache(manager)
+    return manager
 
 
 def _execute_case(case: SweepCase, simulator_config: Optional[SimulatorConfig]) -> SimulationTrace:
@@ -227,6 +255,7 @@ class ParallelSweepRunner:
         managers: Sequence[str],
         seeds: Sequence[int],
         platform_name: str = "odroid_xu3",
+        use_op_cache: bool = True,
     ) -> SweepResult:
         """Cartesian (scenario, manager, seed) sweep over registry names.
 
@@ -239,6 +268,7 @@ class ParallelSweepRunner:
                 manager=manager,
                 seed=seed,
                 platform_name=platform_name,
+                use_op_cache=use_op_cache,
             )
             for scenario in scenarios
             for manager in managers

@@ -256,6 +256,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             manager=manager,
             seed=seed,
             platform_name=args.platform,
+            use_op_cache=not args.no_cache,
         )
         for scenario in args.scenarios
         for manager in args.managers
@@ -309,6 +310,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 ["scenario", "manager", "runs", "mean viol", "worst viol", "mean energy (J)"],
                 aggregate_rows,
                 precision=4,
+            )
+        )
+
+    if args.cache_stats:
+        # Counters are cumulative in the decision records, so they survive
+        # the process boundary of parallel workers inside the trace itself.
+        stats_rows = []
+        for name, trace in result.traces.items():
+            counters = trace.cache_counters()
+            lookups = counters["hits"] + counters["misses"]
+            stats_rows.append(
+                [
+                    name,
+                    counters["hits"],
+                    counters["misses"],
+                    round(counters["hits"] / lookups, 4) if lookups else 0.0,
+                ]
+            )
+        print()
+        print("operating-point cache statistics:")
+        print(
+            format_table(
+                ["case", "cache hits", "cache misses", "hit rate"], stats_rows, precision=4
             )
         )
 
@@ -386,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed-base", type=int, default=0, help="first seed of the range")
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     sweep.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    sweep.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print operating-point cache hit/miss statistics per case",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run managers without the operating-point cache (identical results, slower)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     return parser

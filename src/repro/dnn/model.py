@@ -63,6 +63,11 @@ class NetworkModel:
         self.bytes_per_param = bytes_per_param
         # Validate shape propagation eagerly so malformed networks fail fast.
         self._shapes = self._propagate_shapes()
+        # Lazily computed totals; the layer list is treated as immutable after
+        # construction (shape propagation above already assumes it), and the
+        # operating-point machinery calls these totals once per priced point.
+        self._total_macs: int | None = None
+        self._total_traffic_bytes: int | None = None
 
     # --------------------------------------------------------------- shapes
 
@@ -101,9 +106,11 @@ class NetworkModel:
 
     def total_macs(self) -> int:
         """Total multiply-accumulate operations for one inference."""
-        return sum(
-            layer.macs(self._shapes[index]) for index, layer in enumerate(self.layers)
-        )
+        if self._total_macs is None:
+            self._total_macs = sum(
+                layer.macs(self._shapes[index]) for index, layer in enumerate(self.layers)
+            )
+        return self._total_macs
 
     def total_params(self) -> int:
         """Total learnable parameters."""
@@ -125,10 +132,12 @@ class NetworkModel:
 
     def total_traffic_bytes(self) -> int:
         """Approximate DRAM traffic of one inference (reads + writes + weights)."""
-        return sum(
-            layer.traffic_bytes(self._shapes[index], self.bytes_per_param)
-            for index, layer in enumerate(self.layers)
-        )
+        if self._total_traffic_bytes is None:
+            self._total_traffic_bytes = sum(
+                layer.traffic_bytes(self._shapes[index], self.bytes_per_param)
+                for index, layer in enumerate(self.layers)
+            )
+        return self._total_traffic_bytes
 
     # --------------------------------------------------------------- queries
 

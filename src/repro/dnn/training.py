@@ -92,6 +92,7 @@ class TrainedDynamicDNN:
     accuracy_model: AccuracyModel
     history: TrainingHistory
     dataset: SyntheticCifar10
+    _cache_key: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def configurations(self) -> List[float]:
@@ -112,6 +113,30 @@ class TrainedDynamicDNN:
         """Per-class accuracies of the nearest configuration."""
         nearest = self.dynamic_dnn.configuration(fraction).fraction
         return self.accuracy_model.per_class(nearest, self.dataset)
+
+    def cache_key(self) -> tuple:
+        """Stable identity of this trained model for operating-point caches.
+
+        Covers everything the operating-point machinery reads from the
+        trained model: the network identity and structure (per-configuration
+        MAC counts, which drive the latency predictions), the configuration
+        ladder and the per-configuration accuracy/confidence profile.  Two
+        deterministic training runs of the same network produce equal keys
+        and therefore share cache entries.  Computed once — the trained model
+        is immutable after training.
+        """
+        if self._cache_key is None:
+            fractions = tuple(self.configurations)
+            self._cache_key = (
+                "trained_dnn",
+                self.dynamic_dnn.name,
+                self.dynamic_dnn.num_increments,
+                fractions,
+                tuple(self.dynamic_dnn.model_for(f).total_macs() for f in fractions),
+                tuple(self.top1(fraction) for fraction in fractions),
+                tuple(self.confidence(fraction) for fraction in fractions),
+            )
+        return self._cache_key
 
     def accuracy_table(self) -> Dict[int, float]:
         """Mapping of configuration percent (25, 50, ...) to top-1 accuracy."""

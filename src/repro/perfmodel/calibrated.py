@@ -107,6 +107,18 @@ class CalibratedLatencyModel:
         """The calibration for this cluster, or ``None`` if it is uncalibrated."""
         return self.calibrations.get((soc_name, cluster_name))
 
+    def cache_key(self) -> tuple:
+        """Stable identity of this estimator for operating-point caches.
+
+        Two instances with the same calibration table and reference network
+        predict identical latencies, so they share cache entries.
+        """
+        table = tuple(
+            (soc, cluster, cal.compute_ms_mhz, cal.overhead_ms)
+            for (soc, cluster), cal in sorted(self.calibrations.items())
+        )
+        return ("calibrated", table, self.reference_macs)
+
     def latency_ms(
         self,
         network: NetworkModel,

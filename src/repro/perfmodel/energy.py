@@ -78,6 +78,20 @@ class EnergyModel:
         self.latency_model = latency_model
         self.busy_utilisation = busy_utilisation
 
+    def cache_key(self) -> tuple:
+        """Stable identity of this estimator for operating-point caches.
+
+        Combines the latency model's own key (falling back to the instance
+        identity for estimators without one) with the busy-utilisation
+        parameter the power prediction depends on.
+        """
+        method = getattr(self.latency_model, "cache_key", None)
+        if callable(method):
+            latency_key = method()
+        else:
+            latency_key = (type(self.latency_model).__qualname__, id(self.latency_model))
+        return ("energy", latency_key, self.busy_utilisation)
+
     def inference_power_mw(
         self,
         cluster: Cluster,

@@ -56,6 +56,15 @@ class LatencyBreakdown:
 class RooflineLatencyModel:
     """Latency estimator based on a cluster's roofline."""
 
+    def cache_key(self) -> tuple:
+        """Stable identity for operating-point caches.
+
+        The estimator is stateless — every input lives on the network and the
+        cluster, both of which are part of the cache keys already — so all
+        instances are interchangeable.
+        """
+        return ("roofline",)
+
     def breakdown(
         self,
         network: NetworkModel,

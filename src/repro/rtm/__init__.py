@@ -7,6 +7,16 @@ meeting its latency, energy, power and accuracy requirements as the available
 resources change.
 """
 
+from repro.rtm.cache import (
+    DECISION_MAXIMISE,
+    DECISION_OBJECTIVES,
+    DEFAULT_TEMPERATURE_BUCKET_C,
+    CacheStats,
+    OperatingPointCache,
+    model_cache_key,
+    soc_topology_key,
+    temperature_bucket_c,
+)
 from repro.rtm.governors import (
     GOVERNOR_REGISTRY,
     ConservativeGovernor,
@@ -44,6 +54,14 @@ from repro.rtm.state import (
 )
 
 __all__ = [
+    "DECISION_MAXIMISE",
+    "DECISION_OBJECTIVES",
+    "DEFAULT_TEMPERATURE_BUCKET_C",
+    "CacheStats",
+    "OperatingPointCache",
+    "model_cache_key",
+    "soc_topology_key",
+    "temperature_bucket_c",
     "GOVERNOR_REGISTRY",
     "ConservativeGovernor",
     "Governor",

@@ -23,10 +23,18 @@ from repro.dnn.training import TrainedDynamicDNN
 from repro.perfmodel.calibrated import CalibratedLatencyModel
 from repro.perfmodel.energy import EnergyModel
 from repro.platforms.soc import Soc
+from repro.rtm.cache import (
+    DECISION_MAXIMISE,
+    DECISION_OBJECTIVES,
+    DEFAULT_TEMPERATURE_BUCKET_C,
+    CacheStats,
+    OperatingPointCache,
+    temperature_bucket_c,
+)
 from repro.rtm.multi_app import AllocationResult, MultiAppAllocator
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
+from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
 from repro.rtm.policies import MaxAccuracyUnderBudget, SelectionPolicy
-from repro.rtm.state import Action, SystemState
+from repro.rtm.state import Action, SystemState, UnmapApplication
 from repro.workloads.requirements import Requirements
 
 __all__ = ["RTMConfig", "RTMDecision", "RuntimeManager"]
@@ -47,6 +55,13 @@ class RTMConfig:
         caps from the thermal model.
     max_cores_per_app:
         Upper bound on the cores one DNN application may use.
+    enable_op_cache:
+        Whether the manager memoises operating-point enumerations and Pareto
+        fronts across decision epochs.  Cached and uncached runs produce
+        identical decisions; disabling only costs time.
+    temperature_bucket_width_c:
+        Width of the leakage-temperature buckets the decision path prices
+        candidates at (applied whether or not the cache is enabled).
     """
 
     enable_dnn_scaling: bool = True
@@ -55,12 +70,16 @@ class RTMConfig:
     decision_interval_ms: float = 500.0
     thermal_margin_c: float = 2.0
     max_cores_per_app: int = 4
+    enable_op_cache: bool = True
+    temperature_bucket_width_c: float = DEFAULT_TEMPERATURE_BUCKET_C
 
     def __post_init__(self) -> None:
         if self.decision_interval_ms <= 0:
             raise ValueError("decision_interval_ms must be positive")
         if self.max_cores_per_app <= 0:
             raise ValueError("max_cores_per_app must be positive")
+        if self.temperature_bucket_width_c <= 0:
+            raise ValueError("temperature_bucket_width_c must be positive")
 
 
 @dataclass
@@ -92,6 +111,9 @@ class RuntimeManager:
     policy_overrides:
         Optional per-application policies (app id -> policy) for workloads
         whose applications weight the metric axes differently.
+    cache:
+        Optional shared :class:`OperatingPointCache`.  When omitted, the
+        manager creates its own unless ``config.enable_op_cache`` is False.
     """
 
     def __init__(
@@ -100,10 +122,14 @@ class RuntimeManager:
         energy_model: Optional[EnergyModel] = None,
         config: Optional[RTMConfig] = None,
         policy_overrides: Optional[Dict[str, SelectionPolicy]] = None,
+        cache: Optional[OperatingPointCache] = None,
     ) -> None:
         self.policy = policy or MaxAccuracyUnderBudget()
         self.energy_model = energy_model or EnergyModel(CalibratedLatencyModel())
         self.config = config or RTMConfig()
+        if cache is None and self.config.enable_op_cache:
+            cache = OperatingPointCache()
+        self.cache = cache
         self.allocator = MultiAppAllocator(
             policy=self.policy,
             energy_model=self.energy_model,
@@ -112,8 +138,52 @@ class RuntimeManager:
             allow_dnn_scaling=self.config.enable_dnn_scaling,
             max_cores_per_app=self.config.max_cores_per_app,
             policy_overrides=policy_overrides,
+            cache=cache,
+            temperature_bucket_width_c=self.config.temperature_bucket_width_c,
         )
         self.decisions: List[RTMDecision] = []
+        # Structural snapshots used to invalidate the cache between epochs.
+        self._last_online: Optional[tuple] = None
+        self._last_bucket: Optional[float] = None
+        self._last_mapped: Dict[str, bool] = {}
+
+    # ----------------------------------------------------------------- cache
+
+    def set_operating_point_cache(self, cache: Optional[OperatingPointCache]) -> None:
+        """Attach a (possibly shared) cache, or detach with ``None``."""
+        self.cache = cache
+        self.allocator.cache = cache
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss statistics of the operating-point cache, if one is attached."""
+        return self.cache.stats if self.cache is not None else None
+
+    def _invalidate_on_structural_change(self, state: SystemState) -> None:
+        """Flush the cache when the platform or application set changed shape.
+
+        Keys are complete, so these flushes bound staleness and memory rather
+        than guard correctness (see :mod:`repro.rtm.cache`).
+        """
+        if self.cache is None:
+            return
+        online = tuple(
+            (cluster.name, len(cluster.online_cores)) for cluster in state.soc.clusters
+        )
+        bucket = temperature_bucket_c(
+            state.soc.thermal.temperature_c, self.config.temperature_bucket_width_c
+        )
+        mapped = {s.app_id: s.mapping is not None for s in state.apps.values()}
+        if self._last_online is not None and online != self._last_online:
+            self.cache.invalidate("cores_offline")
+        if self._last_bucket is not None and bucket != self._last_bucket:
+            self.cache.invalidate("thermal_bucket")
+        for app_id, was_mapped in self._last_mapped.items():
+            if was_mapped and not mapped.get(app_id, False):
+                self.cache.invalidate("app_unmapped")
+                break
+        self._last_online = online
+        self._last_bucket = bucket
+        self._last_mapped = mapped
 
     # -------------------------------------------------------------- decisions
 
@@ -123,7 +193,12 @@ class RuntimeManager:
         The returned decision's actions must be applied by the caller (the
         simulator, or a real middleware layer on silicon).
         """
+        self._invalidate_on_structural_change(state)
         allocation = self.allocator.allocate(state)
+        if self.cache is not None and any(
+            isinstance(action, UnmapApplication) for action in allocation.actions
+        ):
+            self.cache.invalidate("app_unmapped")
         decision = RTMDecision(
             time_ms=state.time_ms,
             actions=list(allocation.actions),
@@ -169,16 +244,42 @@ class RuntimeManager:
         power / accuracy budgets, return the (configuration, cluster, cores,
         frequency) combination the policy prefers.
         """
-        space = self.operating_point_space(trained, soc, clusters)
         configurations = None if self.config.enable_dnn_scaling else [1.0]
-        points = space.enumerate(
+        temperature = temperature_bucket_c(
+            soc.thermal.temperature_c, self.config.temperature_bucket_width_c
+        )
+        query = dict(
             configurations=configurations,
             core_counts=core_counts,
-            temperature_c=soc.thermal.temperature_c,
+            temperature_c=temperature,
         )
+        if self.cache is not None:
+            space = self.cache.space_for(
+                trained, soc, self.energy_model, clusters, self.config.max_cores_per_app
+            )
+            points = self.cache.enumerate(space, **query)
+            pareto_key: Optional[tuple] = self.cache.query_key(space, **query)
+        else:
+            space = self.operating_point_space(trained, soc, clusters)
+            points = space.enumerate(**query)
+            pareto_key = None
         if not self.config.enable_dvfs:
             current = {cluster.name: cluster.frequency_mhz for cluster in soc.clusters}
             points = [p for p in points if abs(p.frequency_mhz - current[p.cluster_name]) < 1e-6]
+            if pareto_key is not None:
+                pareto_key = (
+                    "dvfs_pinned",
+                    pareto_key,
+                    tuple(sorted(current.items())),
+                )
+        # The front is taken after any DVFS pinning: a point's dominator may
+        # itself be pinned away, so filtering first would not be equivalent.
+        if self.cache is not None and pareto_key is not None:
+            points = self.cache.pareto_for(pareto_key, points)
+        else:
+            points = pareto_front(
+                points, objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE
+            )
         return self.policy.select(points, requirements, power_cap_mw=power_cap_mw)
 
     def explain(self, point: OperatingPoint, requirements: Requirements) -> Dict[str, object]:

@@ -30,7 +30,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.perfmodel.energy import EnergyModel
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
+from repro.rtm.cache import (
+    DECISION_MAXIMISE,
+    DECISION_OBJECTIVES,
+    DEFAULT_TEMPERATURE_BUCKET_C,
+    OperatingPointCache,
+    temperature_bucket_c,
+)
+from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
 from repro.rtm.policies import SelectionPolicy
 from repro.rtm.state import (
     Action,
@@ -98,6 +105,14 @@ class MultiAppAllocator:
         values; disabling DNN scaling forces the 100 % configuration.
     max_cores_per_app:
         Upper bound on the cores a single DNN may occupy.
+    cache:
+        Optional :class:`OperatingPointCache`; when present, enumerated point
+        lists, Pareto fronts and the per-point pricing are reused across
+        decision epochs.  Cached and uncached allocation are bit-for-bit
+        identical.
+    temperature_bucket_width_c:
+        Width of the leakage-temperature buckets used when pricing candidate
+        points (applied whether or not a cache is attached).
     """
 
     def __init__(
@@ -109,15 +124,21 @@ class MultiAppAllocator:
         allow_dnn_scaling: bool = True,
         max_cores_per_app: int = 4,
         policy_overrides: Optional[Dict[str, SelectionPolicy]] = None,
+        cache: Optional[OperatingPointCache] = None,
+        temperature_bucket_width_c: float = DEFAULT_TEMPERATURE_BUCKET_C,
     ) -> None:
         if max_cores_per_app <= 0:
             raise ValueError("max_cores_per_app must be positive")
+        if temperature_bucket_width_c <= 0:
+            raise ValueError("temperature_bucket_width_c must be positive")
         self.policy = policy
         self.energy_model = energy_model
         self.allow_task_mapping = allow_task_mapping
         self.allow_dvfs = allow_dvfs
         self.allow_dnn_scaling = allow_dnn_scaling
         self.max_cores_per_app = max_cores_per_app
+        self.cache = cache
+        self.temperature_bucket_width_c = temperature_bucket_width_c
         #: Per-application policy overrides (app id -> policy); applications
         #: not listed use the default policy.
         self.policy_overrides: Dict[str, SelectionPolicy] = dict(policy_overrides or {})
@@ -269,24 +290,50 @@ class MultiAppAllocator:
             # else: leave unset -> full OPP table
 
         configurations = None if self.allow_dnn_scaling else [1.0]
-        space = OperatingPointSpace(
-            trained=application.trained,
-            soc=state.soc,
-            energy_model=self.energy_model,
-            clusters=clusters,
-            max_cores_per_cluster=self.max_cores_per_app,
+        assert application.trained is not None
+        if self.cache is not None:
+            space = self.cache.space_for(
+                trained=application.trained,
+                soc=state.soc,
+                energy_model=self.energy_model,
+                max_cores_per_cluster=self.max_cores_per_app,
+            )
+        else:
+            space = OperatingPointSpace(
+                trained=application.trained,
+                soc=state.soc,
+                energy_model=self.energy_model,
+                clusters=clusters,
+                max_cores_per_cluster=self.max_cores_per_app,
+            )
+        temperature = temperature_bucket_c(
+            state.soc.thermal.temperature_c, self.temperature_bucket_width_c
         )
         core_limit = {name: min(available[name], self.max_cores_per_app) for name in clusters}
         points: List[OperatingPoint] = []
+        query_keys: List[tuple] = []
         for name in clusters:
-            points.extend(
-                space.enumerate(
-                    clusters=[name],
-                    configurations=configurations,
-                    core_counts=list(range(1, core_limit[name] + 1)),
-                    frequencies=frequencies if name in frequencies else None,
-                    temperature_c=state.soc.thermal.temperature_c,
-                )
+            kwargs = dict(
+                clusters=[name],
+                configurations=configurations,
+                core_counts=list(range(1, core_limit[name] + 1)),
+                frequencies=frequencies if name in frequencies else None,
+                temperature_c=temperature,
+            )
+            if self.cache is not None:
+                points.extend(self.cache.enumerate(space, **kwargs))
+                query_keys.append(self.cache.query_key(space, **kwargs))
+            else:
+                points.extend(space.enumerate(**kwargs))
+        # Pre-filter to the decision Pareto front: the domination axes cover
+        # every metric the requirements and policies read, so a dominated
+        # point can never win the selection below, and the (memoised) front
+        # is what each epoch actually has to rank.
+        if self.cache is not None:
+            points = self.cache.pareto_for(("union", tuple(query_keys)), points)
+        else:
+            points = pareto_front(
+                points, objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE
             )
         policy = self.policy_for(app_state.app_id)
         chosen = policy.select(points, application.requirements, power_cap_mw=power_cap)

@@ -5,15 +5,27 @@ task mapping and DVFS — into a space of operating points in the (energy,
 power, time, accuracy) space (Fig 4a).  This module enumerates that space for
 a given application and platform, and provides the Pareto and budget-filter
 operations the runtime-management policies are built from.
+
+Enumeration is incremental: the candidate axes (configurations, core counts,
+frequencies) of each cluster are computed once, and every priced point is
+memoised for the lifetime of the space, keyed by everything that determines
+it (cluster, online cores, temperature, configuration, cores, frequency).
+Restricted queries — DVFS disabled, fewer cores available — are assembled as
+views over the already-priced grid instead of re-running the energy model,
+and :class:`~repro.rtm.cache.OperatingPointCache` keeps spaces alive across
+decision epochs so the grid is priced once per scenario, not once per epoch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.dnn.training import TrainedDynamicDNN
 from repro.perfmodel.energy import EnergyModel
+from repro.platforms.cluster import Cluster
 from repro.platforms.soc import Soc
 
 __all__ = ["OperatingPoint", "OperatingPointSpace", "pareto_front"]
@@ -73,7 +85,8 @@ def pareto_front(
 
     A point is dominated if another point is no worse on every objective
     (lower for the minimised metrics, higher for the maximised ones) and
-    strictly better on at least one.
+    strictly better on at least one.  Surviving points keep their input
+    order; duplicate points do not dominate each other, so ties survive.
 
     Parameters
     ----------
@@ -85,27 +98,33 @@ def pareto_front(
         Metric attribute names to maximise.
     """
     candidates = list(points)
-
-    def key(point: OperatingPoint) -> List[float]:
-        values = [getattr(point, name) for name in objectives]
-        values.extend(-getattr(point, name) for name in maximise)
-        return values
-
-    keyed = [(key(point), point) for point in candidates]
-    front: List[OperatingPoint] = []
-    for values, point in keyed:
-        dominated = False
-        for other_values, other in keyed:
-            if other is point:
-                continue
-            if all(o <= v for o, v in zip(other_values, values)) and any(
-                o < v for o, v in zip(other_values, values)
-            ):
-                dominated = True
-                break
-        if not dominated:
-            front.append(point)
-    return front
+    if len(candidates) < 2:
+        return candidates
+    matrix = np.array(
+        [
+            [getattr(point, name) for name in objectives]
+            + [-getattr(point, name) for name in maximise]
+            for point in candidates
+        ],
+        dtype=float,
+    )
+    # A row identical to another is never "strictly better", so a point can
+    # neither dominate itself nor be dominated by its duplicates.
+    if len(candidates) <= 2048:
+        # One broadcast pass: dominated[i] iff some j is no worse everywhere
+        # and strictly better somewhere.
+        no_worse = (matrix[None, :, :] <= matrix[:, None, :]).all(axis=2)
+        strictly = (matrix[None, :, :] < matrix[:, None, :]).any(axis=2)
+        dominated = (no_worse & strictly).any(axis=1)
+    else:
+        # Row-at-a-time fallback bounds the broadcast to O(n) memory.
+        dominated = np.zeros(len(candidates), dtype=bool)
+        for index in range(len(candidates)):
+            row = matrix[index]
+            no_worse = (matrix <= row).all(axis=1)
+            strictly = (matrix < row).any(axis=1)
+            dominated[index] = (no_worse & strictly).any()
+    return [point for point, is_dominated in zip(candidates, dominated) if not is_dominated]
 
 
 class OperatingPointSpace:
@@ -140,6 +159,82 @@ class OperatingPointSpace:
         self.energy_model = energy_model
         self.cluster_names = list(clusters) if clusters is not None else soc.cluster_names
         self.max_cores_per_cluster = max_cores_per_cluster
+        #: Energy-model evaluations performed so far (cache-efficiency probe).
+        self.points_priced = 0
+        # Per-configuration (network, accuracy, confidence) triples.
+        self._fraction_cache: Dict[float, tuple] = {}
+        # Priced points keyed by everything that determines them.
+        self._point_cache: Dict[tuple, OperatingPoint] = {}
+
+    # ------------------------------------------------------------- candidates
+
+    def candidate_axes(
+        self, cluster: Cluster
+    ) -> Tuple[List[float], List[int], List[float]]:
+        """Default (configurations, core counts, frequencies) of one cluster."""
+        counts = list(range(1, min(cluster.num_cores, self.max_cores_per_cluster) + 1))
+        return list(self.trained.configurations), counts, cluster.available_frequencies()
+
+    def _fraction_data(self, fraction: float) -> tuple:
+        data = self._fraction_cache.get(fraction)
+        if data is None:
+            data = (
+                self.trained.dynamic_dnn.model_for(fraction),
+                self.trained.top1(fraction),
+                self.trained.confidence(fraction),
+            )
+            self._fraction_cache[fraction] = data
+        return data
+
+    def _point(
+        self,
+        cluster: Cluster,
+        fraction: float,
+        cores: int,
+        frequency_mhz: float,
+        temperature_c: float,
+    ) -> OperatingPoint:
+        """Memoised pricing of one candidate.
+
+        The key covers every input of the cost model, including the cluster's
+        online-core count (idle power is charged per online core), so a point
+        is priced exactly once per distinct platform condition.
+        """
+        key = (
+            cluster.name,
+            len(cluster.online_cores),
+            temperature_c,
+            fraction,
+            cores,
+            frequency_mhz,
+        )
+        point = self._point_cache.get(key)
+        if point is None:
+            network, accuracy, confidence = self._fraction_data(fraction)
+            cost = self.energy_model.cost(
+                network,
+                cluster,
+                frequency_mhz=frequency_mhz,
+                cores_used=cores,
+                temperature_c=temperature_c,
+                soc_name=self.soc.name,
+            )
+            point = OperatingPoint(
+                cluster_name=cluster.name,
+                frequency_mhz=frequency_mhz,
+                cores=cores,
+                configuration=fraction,
+                latency_ms=cost.latency_ms,
+                power_mw=cost.power_mw,
+                energy_mj=cost.energy_mj,
+                accuracy_percent=accuracy,
+                confidence_percent=confidence,
+            )
+            self._point_cache[key] = point
+            self.points_priced += 1
+        return point
+
+    # ------------------------------------------------------------ enumeration
 
     def enumerate(
         self,
@@ -169,50 +264,28 @@ class OperatingPointSpace:
             Temperature used for leakage in the power prediction.
         """
         cluster_names = list(clusters) if clusters is not None else list(self.cluster_names)
-        fractions = (
-            list(configurations)
-            if configurations is not None
-            else self.trained.configurations
-        )
         points: List[OperatingPoint] = []
         for cluster_name in cluster_names:
             if not self.soc.has_cluster(cluster_name):
                 continue
             cluster = self.soc.cluster(cluster_name)
+            default_fractions, default_counts, default_frequencies = self.candidate_axes(cluster)
+            fractions = (
+                list(configurations) if configurations is not None else default_fractions
+            )
             if frequencies is not None and cluster_name in frequencies:
                 cluster_frequencies = list(frequencies[cluster_name])
             else:
-                cluster_frequencies = cluster.available_frequencies()
+                cluster_frequencies = default_frequencies
             if core_counts is None:
-                counts = list(range(1, min(cluster.num_cores, self.max_cores_per_cluster) + 1))
+                counts = default_counts
             else:
                 counts = [c for c in core_counts if 1 <= c <= cluster.num_cores]
             for fraction in fractions:
-                network = self.trained.dynamic_dnn.model_for(fraction)
-                accuracy = self.trained.top1(fraction)
-                confidence = self.trained.confidence(fraction)
                 for cores in counts:
                     for frequency in cluster_frequencies:
-                        cost = self.energy_model.cost(
-                            network,
-                            cluster,
-                            frequency_mhz=frequency,
-                            cores_used=cores,
-                            temperature_c=temperature_c,
-                            soc_name=self.soc.name,
-                        )
                         points.append(
-                            OperatingPoint(
-                                cluster_name=cluster_name,
-                                frequency_mhz=frequency,
-                                cores=cores,
-                                configuration=fraction,
-                                latency_ms=cost.latency_ms,
-                                power_mw=cost.power_mw,
-                                energy_mj=cost.energy_mj,
-                                accuracy_percent=accuracy,
-                                confidence_percent=confidence,
-                            )
+                            self._point(cluster, fraction, cores, frequency, temperature_c)
                         )
         return points
 

@@ -267,8 +267,19 @@ class Simulator:
         decision = self.manager.decide(state)
         actions = list(getattr(decision, "actions", []) or [])
         self._apply_actions(actions)
+        # Managers with an operating-point cache expose cumulative hit/miss
+        # counters; recording them per decision makes cache behaviour
+        # observable from the (picklable) trace without touching the manager.
+        stats_fn = getattr(self.manager, "cache_stats", None)
+        stats = stats_fn() if callable(stats_fn) else None
         self.trace.record_decision(
-            DecisionRecord(time_ms=self.queue.now_ms, num_actions=len(actions), trigger=trigger)
+            DecisionRecord(
+                time_ms=self.queue.now_ms,
+                num_actions=len(actions),
+                trigger=trigger,
+                cache_hits=stats.hits if stats is not None else 0,
+                cache_misses=stats.misses if stats is not None else 0,
+            )
         )
 
     def _apply_actions(self, actions: List[Action]) -> None:

@@ -8,6 +8,7 @@ the ablation study report.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -83,11 +84,19 @@ class PowerSample:
 
 @dataclass(frozen=True)
 class DecisionRecord:
-    """One runtime-manager decision epoch."""
+    """One runtime-manager decision epoch.
+
+    ``cache_hits`` / ``cache_misses`` are the *cumulative* operating-point
+    cache counters at the time of the decision (0 when the manager has no
+    cache), so the per-epoch delta and the end-of-run totals can both be read
+    off the decision list.
+    """
 
     time_ms: float
     num_actions: int
     trigger: str
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -191,6 +200,69 @@ class SimulationTrace:
             return 0.0
         return sum(1 for s in self.power_samples if s.throttling) / len(self.power_samples)
 
+    def cache_counters(self) -> Dict[str, int]:
+        """Cumulative operating-point cache counters at the end of the run.
+
+        Read from the last decision record (counters are cumulative), so they
+        survive pickling across sweep worker processes.  All-zero when the
+        manager ran without a cache.
+        """
+        if not self.decisions:
+            return {"hits": 0, "misses": 0}
+        last = self.decisions[-1]
+        return {"hits": last.cache_hits, "misses": last.cache_misses}
+
+    # ---------------------------------------------------------- fingerprint
+
+    def fingerprint(self) -> str:
+        """Compact deterministic digest of the behavioural content of the trace.
+
+        Covers every job, power sample and decision (time, action count and
+        trigger).  Cache counters are deliberately excluded: caching must not
+        change behaviour, and the golden-trace regression tests assert
+        exactly that by comparing fingerprints of cached and uncached runs.
+        Floats are rounded to 6 decimals so last-ulp libm differences across
+        platforms cannot flip the digest.
+        """
+        digest = hashlib.sha256()
+
+        def add(*values: object) -> None:
+            rounded = tuple(
+                round(value, 6) if isinstance(value, float) else value for value in values
+            )
+            digest.update(repr(rounded).encode("utf-8"))
+
+        add("duration", self.duration_ms)
+        for job in self.jobs:
+            add(
+                "job",
+                job.app_id,
+                job.job_index,
+                job.release_ms,
+                job.start_ms,
+                job.finish_ms,
+                job.latency_ms,
+                job.energy_mj,
+                job.configuration,
+                job.accuracy_percent,
+                job.cluster,
+                job.cores,
+                job.frequency_mhz,
+                tuple(job.violations),
+                job.dropped,
+            )
+        for sample in self.power_samples:
+            add(
+                "power",
+                sample.time_ms,
+                sample.power_mw,
+                sample.temperature_c,
+                sample.throttling,
+            )
+        for decision in self.decisions:
+            add("decision", decision.time_ms, decision.num_actions, decision.trigger)
+        return digest.hexdigest()[:16]
+
     # -------------------------------------------------------------- summary
 
     def summary(self) -> Dict[str, object]:
@@ -217,5 +289,6 @@ class SimulationTrace:
             "peak_temperature_c": round(self.peak_temperature_c(), 1),
             "throttling_fraction": round(self.throttling_fraction(), 4),
             "decisions": len(self.decisions),
+            "cache": self.cache_counters(),
             "per_app": per_app,
         }

@@ -64,3 +64,23 @@ def nano():
 def fresh_dynamic_dnn():
     """A fresh dynamic DNN whose configuration tests may freely switch."""
     return make_dynamic_cifar_dnn()
+
+
+@pytest.fixture(scope="session")
+def registry_grid_cached():
+    """Traces of every registry scenario x manager at seed 0 (cache enabled).
+
+    Session-scoped because two test modules consume the same 48 simulations:
+    the golden-trace regression locks their fingerprints, and the parity
+    sweep compares them against cache-off / multi-worker reruns.
+    """
+    from repro.analysis import ParallelSweepRunner
+    from repro.analysis.parallel import MANAGER_REGISTRY
+    from repro.workloads.scenarios import SCENARIO_REGISTRY
+
+    runner = ParallelSweepRunner(max_workers=1)
+    result = runner.grid(
+        sorted(SCENARIO_REGISTRY), sorted(MANAGER_REGISTRY), seeds=[0], use_op_cache=True
+    )
+    assert not result.errors, result.errors
+    return result

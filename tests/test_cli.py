@@ -160,3 +160,42 @@ class TestCommands:
         assert "single_dnn/governor_only/seed0" in output
         assert "aggregates across seeds:" in output
         assert "violation rate" in output
+
+    def test_sweep_cache_stats_reports_hits(self, capsys):
+        assert (
+            main(
+                ["sweep", "--scenarios", "single_dnn", "--managers", "rtm", "--cache-stats"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "operating-point cache statistics:" in output
+        assert "cache hits" in output and "hit rate" in output
+        stats_section = output.split("operating-point cache statistics:")[1]
+        row = next(
+            line for line in stats_section.splitlines() if "single_dnn/rtm/seed0" in line
+        )
+        hits, misses = (int(v) for v in row.split()[1:3])
+        assert hits > 0 and misses > 0
+
+    def test_sweep_no_cache_reports_zero_lookups(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenarios",
+                    "single_dnn",
+                    "--managers",
+                    "rtm",
+                    "--no-cache",
+                    "--cache-stats",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        stats_section = output.split("operating-point cache statistics:")[1]
+        row = next(
+            line for line in stats_section.splitlines() if "single_dnn/rtm/seed0" in line
+        )
+        assert row.split()[1:3] == ["0", "0"]

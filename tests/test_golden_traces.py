@@ -1,0 +1,143 @@
+"""Golden-trace regression harness.
+
+Locks a compact fingerprint of the simulation trace of every registry
+scenario under every registered manager at seed 0.  A change in any of these
+digests means simulated *behaviour* changed — job timing, placement,
+configuration choices, power/thermal trajectories or decision cadence — and
+must be deliberate: refactors that intend to be behaviour-preserving (like
+the operating-point cache) must keep this table bit-for-bit stable, and PRs
+that intentionally change policy behaviour must update the table in the same
+commit, making the change loud and reviewable.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m tests.test_golden_traces
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sim.trace import DecisionRecord, SimulationTrace
+
+# Fingerprints of every (scenario, manager) registry combination at seed 0 on
+# the default platform.  Regenerate with the module's __main__ hook.
+GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
+    ("accuracy_critical", "governor_only"): "0880432a318bffdf",
+    ("accuracy_critical", "rtm"): "a248943b58ba5362",
+    ("accuracy_critical", "rtm_min_energy"): "0d3aef99708e903c",
+    ("accuracy_critical", "static_deployment"): "55e6d24ba56de66a",
+    ("battery_saver", "governor_only"): "4afe8967fdb38795",
+    ("battery_saver", "rtm"): "ccb9c346881509c1",
+    ("battery_saver", "rtm_min_energy"): "86a25ef9923baca5",
+    ("battery_saver", "static_deployment"): "029822f9099df0c6",
+    ("bursty", "governor_only"): "98bf7c3992d9fdde",
+    ("bursty", "rtm"): "f9a9999dc96b79f4",
+    ("bursty", "rtm_min_energy"): "75beffb9dbb4d2b2",
+    ("bursty", "static_deployment"): "39e7f51fad0da6a8",
+    ("fig2", "governor_only"): "b3f79d01863fc094",
+    ("fig2", "rtm"): "ae3a41ea769ecf8c",
+    ("fig2", "rtm_min_energy"): "9d0e9d729e270640",
+    ("fig2", "static_deployment"): "6401c0058e7cb6ac",
+    ("mixed_criticality", "governor_only"): "8956ac5e01be6e8b",
+    ("mixed_criticality", "rtm"): "3493d7b90a14d56a",
+    ("mixed_criticality", "rtm_min_energy"): "ef413349ac009b4f",
+    ("mixed_criticality", "static_deployment"): "741211ce3e1feea2",
+    ("multi_app_contention", "governor_only"): "6cb7331797126123",
+    ("multi_app_contention", "rtm"): "d9969b1272b84f16",
+    ("multi_app_contention", "rtm_min_energy"): "45467befb982dcc3",
+    ("multi_app_contention", "static_deployment"): "c0840cc8bb9a89bf",
+    ("multi_dnn", "governor_only"): "a694d76ba8d61ca0",
+    ("multi_dnn", "rtm"): "05b5b46c74e83e6e",
+    ("multi_dnn", "rtm_min_energy"): "9270c7eb5ab2d02d",
+    ("multi_dnn", "static_deployment"): "0799914e790f7aba",
+    ("overload", "governor_only"): "ca6caf043c2ac3dc",
+    ("overload", "rtm"): "dc1afb1139355c27",
+    ("overload", "rtm_min_energy"): "00518213d59560b3",
+    ("overload", "static_deployment"): "01986dbe1c004f38",
+    ("rush_hour", "governor_only"): "a95030ad9358e856",
+    ("rush_hour", "rtm"): "f6a57349578bc914",
+    ("rush_hour", "rtm_min_energy"): "abbaa578a30393a9",
+    ("rush_hour", "static_deployment"): "0d72aaa800ed55c2",
+    ("single_dnn", "governor_only"): "281244cd26fa352b",
+    ("single_dnn", "rtm"): "7f71ab5f7d35f5cd",
+    ("single_dnn", "rtm_min_energy"): "98e5ff6aef9b9476",
+    ("single_dnn", "static_deployment"): "8a07ca660a1b0ffc",
+    ("steady", "governor_only"): "6655b1c0546c8ee0",
+    ("steady", "rtm"): "f007a5d255a0ea13",
+    ("steady", "rtm_min_energy"): "551bd3f241b9a2a9",
+    ("steady", "static_deployment"): "e14f02dabeb160bc",
+    ("thermal_stress", "governor_only"): "2f8fb8a27958d834",
+    ("thermal_stress", "rtm"): "650d8207a230513d",
+    ("thermal_stress", "rtm_min_energy"): "7e5368abe28ba5d5",
+    ("thermal_stress", "static_deployment"): "53961bb17add0232",
+}
+
+
+class TestFingerprint:
+    def test_fingerprint_is_deterministic(self, registry_grid_cached):
+        trace = registry_grid_cached.traces["fig2/rtm/seed0"]
+        assert trace.fingerprint() == trace.fingerprint()
+
+    def test_fingerprint_distinguishes_managers(self, registry_grid_cached):
+        assert (
+            registry_grid_cached.traces["fig2/rtm/seed0"].fingerprint()
+            != registry_grid_cached.traces["fig2/governor_only/seed0"].fingerprint()
+        )
+
+    def test_fingerprint_ignores_cache_counters(self):
+        plain = SimulationTrace(duration_ms=100.0)
+        plain.record_decision(DecisionRecord(time_ms=1.0, num_actions=2, trigger="epoch"))
+        counted = SimulationTrace(duration_ms=100.0)
+        counted.record_decision(
+            DecisionRecord(
+                time_ms=1.0, num_actions=2, trigger="epoch", cache_hits=7, cache_misses=3
+            )
+        )
+        assert plain.fingerprint() == counted.fingerprint()
+
+    def test_fingerprint_sees_behavioural_changes(self):
+        base = SimulationTrace(duration_ms=100.0)
+        base.record_decision(DecisionRecord(time_ms=1.0, num_actions=2, trigger="epoch"))
+        changed = SimulationTrace(duration_ms=100.0)
+        changed.record_decision(DecisionRecord(time_ms=1.0, num_actions=3, trigger="epoch"))
+        assert base.fingerprint() != changed.fingerprint()
+
+
+class TestGoldenTraces:
+    def test_every_combination_is_locked(self, registry_grid_cached):
+        observed = {
+            tuple(name.rsplit("/seed0", 1)[0].split("/")): trace.fingerprint()
+            for name, trace in registry_grid_cached.traces.items()
+        }
+        assert set(observed) == set(GOLDEN_FINGERPRINTS), (
+            "registry changed: regenerate GOLDEN_FINGERPRINTS "
+            "(PYTHONPATH=src python -m tests.test_golden_traces)"
+        )
+        mismatches = {
+            combo: (fingerprint, GOLDEN_FINGERPRINTS[combo])
+            for combo, fingerprint in observed.items()
+            if fingerprint != GOLDEN_FINGERPRINTS[combo]
+        }
+        assert not mismatches, (
+            f"behaviour changed for {sorted(mismatches)}; if intentional, regenerate "
+            "GOLDEN_FINGERPRINTS (PYTHONPATH=src python -m tests.test_golden_traces)"
+        )
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance hook
+    from repro.analysis import ParallelSweepRunner
+    from repro.analysis.parallel import MANAGER_REGISTRY
+    from repro.workloads.scenarios import SCENARIO_REGISTRY
+
+    result = ParallelSweepRunner(max_workers=1).grid(
+        sorted(SCENARIO_REGISTRY), sorted(MANAGER_REGISTRY), seeds=[0]
+    )
+    assert not result.errors, result.errors
+    for name, trace in result.traces.items():
+        scenario, manager = name.rsplit("/seed0", 1)[0].split("/")
+        print(f'    ("{scenario}", "{manager}"): "{trace.fingerprint()}",')
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance hook
+    _regenerate()

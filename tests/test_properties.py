@@ -148,6 +148,60 @@ class TestParetoProperties:
             )
 
 
+class TestParetoAlgebraicProperties:
+    """Structural laws of pareto_front, independent of the objective set."""
+
+    @given(points=st.lists(_point_strategy(), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, points):
+        front = pareto_front(points)
+        assert pareto_front(front) == front
+
+    @given(
+        points=st.lists(_point_strategy(), min_size=1, max_size=25),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_order_insensitive_as_a_set(self, points, seed):
+        import random
+        from dataclasses import astuple
+
+        shuffled = list(points)
+        random.Random(seed).shuffle(shuffled)
+        original = pareto_front(points)
+        reordered = pareto_front(shuffled)
+        assert sorted(original, key=astuple) == sorted(reordered, key=astuple)
+
+    @given(points=st.lists(_point_strategy(), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_decision_axes_front_contains_no_dominated_point(self, points):
+        objectives = ("latency_ms", "energy_mj", "power_mw")
+        maximise = ("accuracy_percent", "confidence_percent")
+        front = pareto_front(points, objectives=objectives, maximise=maximise)
+        assert front
+        assert all(point in points for point in front)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                no_worse = all(getattr(b, m) <= getattr(a, m) for m in objectives) and all(
+                    getattr(b, m) >= getattr(a, m) for m in maximise
+                )
+                strictly = any(getattr(b, m) < getattr(a, m) for m in objectives) or any(
+                    getattr(b, m) > getattr(a, m) for m in maximise
+                )
+                assert not (no_worse and strictly)
+
+    @given(points=st.lists(_point_strategy(), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicates_survive_together(self, points):
+        doubled = points + points
+        front = pareto_front(doubled)
+        # A point never dominates its exact duplicate, so every survivor's
+        # duplicate survives too.
+        assert len(front) % 2 == 0 if front else True
+
+
 class TestRequirementsProperties:
     @given(
         latency_limit=st.floats(1.0, 1000.0),

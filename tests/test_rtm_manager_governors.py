@@ -64,6 +64,101 @@ class TestCaseStudySelection:
         explanation = manager.explain(point, requirements)
         assert explanation["latency_ok"] and explanation["energy_ok"]
 
+    def test_explain_reports_every_metric_and_limit(self, trained_dnn, xu3):
+        manager = RuntimeManager()
+        requirements = Requirements(
+            max_latency_ms=400.0, max_energy_mj=100.0, min_accuracy_percent=60.0
+        )
+        point = manager.select_operating_point(
+            trained_dnn, xu3, requirements, clusters=["a15", "a7"], core_counts=[1]
+        )
+        explanation = manager.explain(point, requirements)
+        assert explanation["operating_point"] == point.describe()
+        assert explanation["latency_ms"] == point.latency_ms
+        assert explanation["latency_limit_ms"] == 400.0
+        assert explanation["energy_mj"] == point.energy_mj
+        assert explanation["energy_limit_mj"] == 100.0
+        assert explanation["accuracy_percent"] == point.accuracy_percent
+        assert explanation["accuracy_floor_percent"] == 60.0
+        assert explanation["accuracy_ok"]
+        assert explanation["power_mw"] == point.power_mw
+        assert explanation["power_limit_mw"] is None
+
+    def test_explain_flags_violated_budgets(self, trained_dnn, xu3):
+        manager = RuntimeManager()
+        # A budget nothing can meet: the policy degrades to the least-bad
+        # point, and explain() must say which checks that point fails.
+        requirements = Requirements(max_latency_ms=0.001, max_energy_mj=0.001)
+        point = manager.select_operating_point(
+            trained_dnn, xu3, requirements, clusters=["a15", "a7"], core_counts=[1]
+        )
+        explanation = manager.explain(point, requirements)
+        assert not explanation["latency_ok"]
+        assert not explanation["energy_ok"]
+        # No accuracy floor was given, so the accuracy check passes vacuously.
+        assert explanation["accuracy_ok"]
+
+    def test_explain_treats_missing_limits_as_satisfied(self, trained_dnn, xu3):
+        manager = RuntimeManager()
+        requirements = Requirements()
+        point = manager.select_operating_point(trained_dnn, xu3, requirements)
+        explanation = manager.explain(point, requirements)
+        assert explanation["latency_ok"] and explanation["energy_ok"]
+        assert explanation["latency_limit_ms"] is None
+        assert explanation["energy_limit_mj"] is None
+
+    def test_select_without_dvfs_uses_current_frequencies(self, trained_dnn, xu3):
+        xu3.cluster("a15").set_frequency(1000.0)
+        xu3.cluster("a7").set_frequency(800.0)
+        manager = RuntimeManager(config=RTMConfig(enable_dvfs=False))
+        point = manager.select_operating_point(
+            trained_dnn,
+            xu3,
+            Requirements(max_latency_ms=2000.0),
+            clusters=["a15", "a7"],
+        )
+        assert point is not None
+        current = {c.name: c.frequency_mhz for c in xu3.clusters}
+        assert point.frequency_mhz == current[point.cluster_name]
+
+    def test_select_without_dvfs_tracks_frequency_changes(self, trained_dnn, xu3):
+        manager = RuntimeManager(config=RTMConfig(enable_dvfs=False))
+        requirements = Requirements(max_latency_ms=2000.0)
+        xu3.cluster("a15").set_frequency(1800.0)
+        fast = manager.select_operating_point(
+            trained_dnn, xu3, requirements, clusters=["a15"]
+        )
+        xu3.cluster("a15").set_frequency(200.0)
+        slow = manager.select_operating_point(
+            trained_dnn, xu3, requirements, clusters=["a15"]
+        )
+        assert fast is not None and slow is not None
+        assert fast.frequency_mhz == 1800.0
+        assert slow.frequency_mhz == 200.0
+        assert slow.latency_ms > fast.latency_ms
+
+    def test_select_without_dnn_scaling_keeps_full_model(self, trained_dnn, xu3):
+        manager = RuntimeManager(config=RTMConfig(enable_dnn_scaling=False))
+        # An energy budget that would normally push the policy to compress.
+        point = manager.select_operating_point(
+            trained_dnn,
+            xu3,
+            Requirements(max_energy_mj=40.0, max_latency_ms=2000.0),
+            clusters=["a15", "a7"],
+        )
+        assert point is not None
+        assert point.configuration == 1.0
+
+    def test_select_with_dnn_scaling_can_compress(self, trained_dnn, xu3):
+        scaling = RuntimeManager().select_operating_point(
+            trained_dnn,
+            xu3,
+            Requirements(max_latency_ms=60.0, max_energy_mj=30.0),
+            clusters=["a15", "a7"],
+        )
+        assert scaling is not None
+        assert scaling.configuration < 1.0
+
 
 class TestRuntimeManagerDecide:
     def test_places_single_app_and_meets_requirements(self, trained_dnn, xu3):
