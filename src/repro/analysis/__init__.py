@@ -1,5 +1,15 @@
 """Analysis and reporting utilities for simulation traces and sweeps."""
 
+from repro.analysis.bench import (
+    DEFAULT_BENCH_PATH,
+    BenchRegression,
+    BenchTimings,
+    compare_bench,
+    load_bench_file,
+    run_bench,
+    run_bench_case,
+    write_bench_file,
+)
 from repro.analysis.report import (
     OPERATING_POINT_HEADERS,
     TRACE_COMPARISON_HEADERS,
@@ -26,6 +36,14 @@ from repro.analysis.timeline import (
 )
 
 __all__ = [
+    "DEFAULT_BENCH_PATH",
+    "BenchRegression",
+    "BenchTimings",
+    "compare_bench",
+    "load_bench_file",
+    "run_bench",
+    "run_bench_case",
+    "write_bench_file",
     "OPERATING_POINT_HEADERS",
     "TRACE_COMPARISON_HEADERS",
     "format_markdown_table",

@@ -1,0 +1,307 @@
+"""Decision-kernel benchmark harness with a tracked JSON trajectory.
+
+``repro-experiments bench`` times the two numbers every performance PR is
+judged on — mean ``decide()`` time per decision epoch (with the
+operating-point cache enabled and disabled) and end-to-end simulation time —
+for a grid of registry scenarios x managers, and writes them to a
+``BENCH_*.json`` file that is committed next to the code.  CI re-runs a smoke
+subset on every push and fails when decide()-per-epoch regresses more than a
+configured fraction against the committed baseline, so the perf trajectory
+of the decision path is enforced, not just observed.
+
+The committed file may carry a ``reference`` section: timings of an older
+implementation measured with this same harness (the pre-columnar-kernel
+profile seeded it).  When present it is preserved across refreshes and the
+report prints speedup factors against it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.parallel import make_manager
+from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
+from repro.workloads.scenarios import build_scenario
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_PATH",
+    "BenchTimings",
+    "BenchRegression",
+    "run_bench_case",
+    "run_bench",
+    "write_bench_file",
+    "load_bench_file",
+    "compare_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Where the committed perf trajectory of the decision kernel lives.
+DEFAULT_BENCH_PATH = "BENCH_decision_kernel.json"
+
+#: Benchmark fields gated by :func:`compare_bench` (lower is better).
+GATED_FIELDS = ("decide_ms_per_epoch_cached", "decide_ms_per_epoch_uncached")
+
+
+class _TimedManager:
+    """Transparent manager wrapper accumulating decide() wall time."""
+
+    def __init__(self, inner: ManagerProtocol) -> None:
+        self._inner = inner
+        self.total_s = 0.0
+        self.count = 0
+
+    def decide(self, state):  # noqa: ANN001 - mirrors ManagerProtocol
+        start = time.perf_counter()
+        decision = self._inner.decide(state)
+        self.total_s += time.perf_counter() - start
+        self.count += 1
+        return decision
+
+    def __getattr__(self, name: str):
+        # The simulator probes optional manager attributes (cache_stats);
+        # forward everything that is not timing bookkeeping.
+        return getattr(self._inner, name)
+
+
+@dataclass
+class BenchTimings:
+    """Timings of one (scenario, manager) benchmark case."""
+
+    scenario: str
+    manager: str
+    decisions: int
+    jobs: int
+    e2e_s: float
+    e2e_s_uncached: float
+    decide_ms_per_epoch_cached: float
+    decide_ms_per_epoch_uncached: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": self.decisions,
+            "jobs": self.jobs,
+            "e2e_s": self.e2e_s,
+            "e2e_s_uncached": self.e2e_s_uncached,
+            "decide_ms_per_epoch_cached": self.decide_ms_per_epoch_cached,
+            "decide_ms_per_epoch_uncached": self.decide_ms_per_epoch_uncached,
+        }
+
+    @property
+    def key(self) -> str:
+        return f"{self.scenario}/{self.manager}"
+
+
+@dataclass
+class BenchRegression:
+    """One gated metric that exceeded the allowed regression."""
+
+    case: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.case} {self.metric}: {self.current:.4f} vs baseline "
+            f"{self.baseline:.4f} ({self.ratio:.2f}x)"
+        )
+
+
+def _one_run(
+    scenario_name: str,
+    manager_name: str,
+    use_op_cache: bool,
+    platform_name: str,
+    seed: int,
+    simulator_config: Optional[SimulatorConfig],
+) -> tuple:
+    """(e2e seconds, decide ms/epoch, decisions, jobs) of one simulation."""
+    scenario = build_scenario(scenario_name, seed=seed, platform_name=platform_name)
+    manager = _TimedManager(make_manager(manager_name, use_op_cache=use_op_cache))
+    start = time.perf_counter()
+    trace = simulate_scenario(scenario, manager, config=simulator_config)
+    e2e_s = time.perf_counter() - start
+    decide_ms = manager.total_s / manager.count * 1000.0 if manager.count else 0.0
+    return e2e_s, decide_ms, manager.count, len(trace.jobs)
+
+
+def run_bench_case(
+    scenario_name: str,
+    manager_name: str,
+    repeats: int = 3,
+    platform_name: str = "odroid_xu3",
+    seed: int = 0,
+    simulator_config: Optional[SimulatorConfig] = None,
+) -> BenchTimings:
+    """Benchmark one (scenario, manager) combination.
+
+    Each configuration runs ``repeats`` times and the best (minimum) timing
+    is kept — the standard way to suppress scheduler noise when the workload
+    is deterministic.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    cached = [
+        _one_run(scenario_name, manager_name, True, platform_name, seed, simulator_config)
+        for _ in range(repeats)
+    ]
+    uncached = [
+        _one_run(scenario_name, manager_name, False, platform_name, seed, simulator_config)
+        for _ in range(repeats)
+    ]
+    decisions, jobs = cached[0][2], cached[0][3]
+    return BenchTimings(
+        scenario=scenario_name,
+        manager=manager_name,
+        decisions=decisions,
+        jobs=jobs,
+        e2e_s=round(min(run[0] for run in cached), 4),
+        e2e_s_uncached=round(min(run[0] for run in uncached), 4),
+        decide_ms_per_epoch_cached=round(min(run[1] for run in cached), 4),
+        decide_ms_per_epoch_uncached=round(min(run[1] for run in uncached), 4),
+    )
+
+
+def run_bench(
+    scenarios: Sequence[str],
+    managers: Sequence[str],
+    repeats: int = 3,
+    platform_name: str = "odroid_xu3",
+    seed: int = 0,
+    simulator_config: Optional[SimulatorConfig] = None,
+    progress=None,
+) -> List[BenchTimings]:
+    """Benchmark a scenarios x managers grid.
+
+    ``progress`` is an optional callable invoked with each finished
+    :class:`BenchTimings` (the CLI prints a row per case).
+    """
+    results = []
+    for scenario_name in scenarios:
+        for manager_name in managers:
+            timings = run_bench_case(
+                scenario_name,
+                manager_name,
+                repeats=repeats,
+                platform_name=platform_name,
+                seed=seed,
+                simulator_config=simulator_config,
+            )
+            if progress is not None:
+                progress(timings)
+            results.append(timings)
+    return results
+
+
+def _speedups(reference: Dict[str, dict], results: Dict[str, dict]) -> Dict[str, dict]:
+    speedups: Dict[str, dict] = {}
+    for key, current in results.items():
+        base = reference.get(key)
+        if not base:
+            continue
+        entry = {}
+        for metric in (
+            "e2e_s",
+            "e2e_s_uncached",
+            "decide_ms_per_epoch_cached",
+            "decide_ms_per_epoch_uncached",
+        ):
+            if base.get(metric) and current.get(metric):
+                entry[metric] = round(base[metric] / current[metric], 2)
+        if entry:
+            speedups[key] = entry
+    return speedups
+
+
+def write_bench_file(
+    path: str,
+    results: Sequence[BenchTimings],
+    repeats: int,
+    platform_name: str,
+    seed: int = 0,
+    reference: Optional[Dict[str, dict]] = None,
+    reference_note: str = "",
+) -> Dict[str, object]:
+    """Write the benchmark JSON (and return the document).
+
+    ``reference`` timings — typically the pre-optimisation profile carried
+    over from the existing file — are embedded unchanged, and speedup factors
+    against them are recomputed from the fresh results.
+    """
+    result_map = {timings.key: timings.as_dict() for timings in results}
+    document: Dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro-experiments bench",
+        "generated_at_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "config": {"repeats": repeats, "platform": platform_name, "seed": seed},
+        "results": result_map,
+    }
+    if reference:
+        document["reference"] = reference
+        if reference_note:
+            document["reference_note"] = reference_note
+        document["speedup_vs_reference"] = _speedups(reference, result_map)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+    return document
+
+
+def load_bench_file(path: str) -> Dict[str, object]:
+    """Load a benchmark JSON document."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def compare_bench(
+    current: Sequence[BenchTimings],
+    baseline: Dict[str, object],
+    max_regression: float = 0.25,
+) -> List[BenchRegression]:
+    """Gate fresh timings against a committed baseline document.
+
+    Returns the decide()-per-epoch metrics that are more than
+    ``max_regression`` (fraction) slower than the baseline for cases present
+    in both.  End-to-end times are not gated: they carry the full simulation
+    noise of the machine, while decide() time is what the decision-kernel
+    trajectory tracks.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    baseline_results = baseline.get("results", {})
+    regressions: List[BenchRegression] = []
+    for timings in current:
+        base = baseline_results.get(timings.key)
+        if not base:
+            continue
+        fresh = timings.as_dict()
+        for metric in GATED_FIELDS:
+            base_value = base.get(metric)
+            value = fresh.get(metric)
+            if not base_value or value is None:
+                continue
+            if value > base_value * (1.0 + max_regression):
+                regressions.append(
+                    BenchRegression(
+                        case=timings.key,
+                        metric=metric,
+                        baseline=float(base_value),
+                        current=float(value),
+                    )
+                )
+    return regressions

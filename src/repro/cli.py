@@ -12,7 +12,10 @@ terminal without going through pytest:
   the phase timeline and comparison tables;
 * ``scenarios``  — list the registered named scenarios;
 * ``sweep``      — run a (scenario, manager, seed) grid, optionally across
-  worker processes, and print per-case and aggregate statistics.
+  worker processes, and print per-case and aggregate statistics;
+* ``bench``      — time decide()-per-epoch and end-to-end simulation across
+  scenarios x managers, write/refresh ``BENCH_decision_kernel.json`` and
+  optionally gate against a committed baseline.
 """
 
 from __future__ import annotations
@@ -22,15 +25,20 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import (
+    DEFAULT_BENCH_PATH,
     MANAGER_REGISTRY,
     ParallelSweepRunner,
     SweepCase,
     adaptation_events,
     application_timeline,
+    compare_bench,
     format_operating_points,
     format_table,
     format_trace_comparison,
+    load_bench_file,
+    run_bench,
     run_manager_sweep,
+    write_bench_file,
 )
 from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
 from repro.data.cifar import make_validation_set
@@ -344,6 +352,124 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scenarios x managers of the default ``bench`` grid: the decision-heavy
+#: scenarios under the RTM family plus one baseline manager for scale.
+BENCH_DEFAULT_SCENARIOS = ["rush_hour", "steady", "multi_app_contention"]
+BENCH_DEFAULT_MANAGERS = ["rtm", "rtm_min_energy", "governor_only", "static_deployment"]
+#: The CI smoke subset: one decision-heavy scenario under the default RTM.
+BENCH_SMOKE_SCENARIOS = ["rush_hour"]
+BENCH_SMOKE_MANAGERS = ["rtm"]
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the decision kernel and track the timings in JSON."""
+    scenarios = args.scenarios or (
+        BENCH_SMOKE_SCENARIOS if args.smoke else BENCH_DEFAULT_SCENARIOS
+    )
+    managers = args.managers or (BENCH_SMOKE_MANAGERS if args.smoke else BENCH_DEFAULT_MANAGERS)
+    unknown = [name for name in scenarios if name not in SCENARIO_REGISTRY]
+    if unknown:
+        print(f"unknown scenarios {unknown}; available: {sorted(SCENARIO_REGISTRY)}", file=sys.stderr)
+        return 2
+    unknown = [name for name in managers if name not in MANAGER_REGISTRY]
+    if unknown:
+        print(f"unknown managers {unknown}; available: {sorted(MANAGER_REGISTRY)}", file=sys.stderr)
+        return 2
+    repeats = 1 if args.smoke and args.repeats is None else (args.repeats or 3)
+
+    def progress(timings) -> None:
+        print(
+            f"  {timings.key:<40} decide {timings.decide_ms_per_epoch_cached:8.3f} ms "
+            f"(cached) {timings.decide_ms_per_epoch_uncached:8.3f} ms (uncached)  "
+            f"e2e {timings.e2e_s:6.3f} s"
+        )
+
+    print(
+        f"bench: {len(scenarios)} scenarios x {len(managers)} managers on "
+        f"{args.platform}, best of {repeats}"
+    )
+    results = run_bench(
+        scenarios,
+        managers,
+        repeats=repeats,
+        platform_name=args.platform,
+        progress=progress,
+    )
+    rows = [
+        [
+            timings.key,
+            timings.decisions,
+            timings.decide_ms_per_epoch_cached,
+            timings.decide_ms_per_epoch_uncached,
+            timings.e2e_s,
+            timings.e2e_s_uncached,
+        ]
+        for timings in results
+    ]
+    print()
+    print(
+        format_table(
+            [
+                "case",
+                "epochs",
+                "decide ms (cached)",
+                "decide ms (uncached)",
+                "e2e s",
+                "e2e s (uncached)",
+            ],
+            rows,
+            precision=4,
+        )
+    )
+
+    exit_code = 0
+    if args.compare is not None:
+        try:
+            baseline = load_bench_file(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline {args.compare!r}: {error}", file=sys.stderr)
+            return 2
+        regressions = compare_bench(results, baseline, max_regression=args.max_regression)
+        if regressions:
+            print(
+                f"\n{len(regressions)} decide()-per-epoch regression(s) beyond "
+                f"{args.max_regression:.0%} of {args.compare}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"\nno regressions beyond {args.max_regression:.0%} of {args.compare}")
+
+    if args.output is not None:
+        reference = None
+        reference_note = ""
+        try:
+            existing = load_bench_file(args.output)
+            reference = existing.get("reference")
+            reference_note = str(existing.get("reference_note", ""))
+        except (OSError, ValueError):
+            pass
+        document = write_bench_file(
+            args.output,
+            results,
+            repeats=repeats,
+            platform_name=args.platform,
+            reference=reference,
+            reference_note=reference_note,
+        )
+        print(f"\nwrote {args.output}")
+        speedups = document.get("speedup_vs_reference") or {}
+        for case, entry in speedups.items():
+            if "decide_ms_per_epoch_uncached" in entry:
+                print(
+                    f"  {case}: {entry['decide_ms_per_epoch_uncached']}x faster uncached "
+                    f"decide, {entry.get('e2e_s', '?')}x faster e2e vs reference"
+                )
+    return exit_code
+
+
 # -------------------------------------------------------------------- parser
 
 
@@ -421,6 +547,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="run managers without the operating-point cache (identical results, slower)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time decide()-per-epoch and end-to-end simulation; track in JSON",
+    )
+    bench.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        help="scenario names (default: the decision-heavy trio; with --smoke: rush_hour)",
+    )
+    bench.add_argument(
+        "--managers",
+        nargs="+",
+        default=None,
+        help=f"manager names (available: {', '.join(sorted(MANAGER_REGISTRY))})",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="runs per configuration, best kept (default 3; 1 with --smoke)",
+    )
+    bench.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: rush_hour x rtm, single repeat",
+    )
+    bench.add_argument(
+        "--output",
+        default=DEFAULT_BENCH_PATH,
+        help=f"JSON file to write (default {DEFAULT_BENCH_PATH})",
+    )
+    bench.add_argument(
+        "--no-write",
+        dest="output",
+        action="store_const",
+        const=None,
+        help="measure and print only; do not write the JSON file",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="gate decide()-per-epoch against this committed baseline file",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed decide()-per-epoch slowdown vs --compare (fraction, default 0.25)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.dnn.model import NetworkModel
 from repro.dnn.zoo import cifar_group_cnn
 from repro.perfmodel.roofline import RooflineLatencyModel, effective_cores
@@ -162,6 +164,41 @@ class CalibratedLatencyModel:
         mac_ratio = network.total_macs() / self.reference_macs
         cores = effective_cores(cores_used, cluster.performance.parallel_efficiency)
         compute_ms = calibration.compute_ms_mhz * mac_ratio / frequency_mhz / cores
+        return compute_ms + calibration.overhead_ms
+
+    def latency_grid_ms(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequencies_mhz: np.ndarray,
+        core_counts: "list[int]",
+        soc_name: str | None = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`latency_ms` over a (cores x frequency) grid.
+
+        Entry ``[c, q]`` is bit-identical to ``latency_ms(network, cluster,
+        frequencies_mhz[q], core_counts[c], soc_name)``: the compute term is
+        assembled with the same multiply/divide order as the scalar path, so
+        the columnar operating-point kernel prices exactly the floats the
+        per-point path would.
+        """
+        if any(count <= 0 for count in core_counts):
+            raise ValueError("cores_used must be positive")
+        calibration = None
+        if soc_name is not None:
+            calibration = self.calibration_for(soc_name, cluster.name)
+        else:
+            for (_, cluster_name), candidate in self.calibrations.items():
+                if cluster_name == cluster.name:
+                    calibration = candidate
+                    break
+        if calibration is None:
+            return self._fallback.latency_grid_ms(network, cluster, frequencies_mhz, core_counts)
+        mac_ratio = network.total_macs() / self.reference_macs
+        clamped = np.minimum(np.asarray(core_counts, dtype=np.int64), cluster.num_cores)
+        cores = 1.0 + (clamped - 1) * cluster.performance.parallel_efficiency
+        per_frequency = calibration.compute_ms_mhz * mac_ratio / frequencies_mhz
+        compute_ms = per_frequency[None, :] / cores[:, None]
         return compute_ms + calibration.overhead_ms
 
     def throughput_fps(

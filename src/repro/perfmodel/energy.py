@@ -14,7 +14,9 @@ that the operating-point machinery in :mod:`repro.rtm` can price every
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
 
 from repro.dnn.model import NetworkModel
 from repro.platforms.cluster import Cluster
@@ -140,3 +142,55 @@ class EnergyModel:
         power_mw = self.inference_power_mw(cluster, frequency_mhz, cores_used, temperature_c)
         energy_mj = power_mw * latency_ms / 1000.0
         return InferenceCost(latency_ms=latency_ms, power_mw=power_mw, energy_mj=energy_mj)
+
+    # ------------------------------------------------------------ grid pricing
+
+    @property
+    def supports_grid_pricing(self) -> bool:
+        """True when the latency estimator can price whole grids at once."""
+        return callable(getattr(self.latency_model, "latency_grid_ms", None))
+
+    def cost_grid(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequencies_mhz: "list[float]",
+        core_counts: "list[int]",
+        temperature_c: float = 45.0,
+        soc_name: Optional[str] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cost` over a (cores x frequency) grid.
+
+        Returns ``(latency_ms, power_mw, energy_mj)`` arrays of shape
+        ``(len(core_counts), len(frequencies_mhz))`` whose entries are
+        bit-identical to per-point :meth:`cost` calls — this is the pricing
+        backend of the columnar operating-point kernel.  Requires a latency
+        estimator with a ``latency_grid_ms`` method (see
+        :attr:`supports_grid_pricing`); callers fall back to per-point
+        pricing for custom estimators without one.
+        """
+        if not self.supports_grid_pricing:
+            raise TypeError(
+                f"latency model {type(self.latency_model).__qualname__} has no "
+                "latency_grid_ms; use per-point cost() instead"
+            )
+        if any(count <= 0 for count in core_counts):
+            raise ValueError("cores_used must be positive")
+        frequencies = np.asarray(frequencies_mhz, dtype=float)
+        voltages = np.array(
+            [cluster.opp_table.point_at(f).voltage_v for f in frequencies_mhz], dtype=float
+        )
+        clamped = [min(count, cluster.num_cores) for count in core_counts]
+        latency = self.latency_model.latency_grid_ms(
+            network, cluster, frequencies, core_counts, soc_name=soc_name
+        )
+        power = cluster.power_model.cluster_power_grid_mw(
+            voltages,
+            frequencies,
+            clamped,
+            busy_utilisation=self.busy_utilisation,
+            temperature_c=temperature_c,
+            online_cores=len(cluster.online_cores),
+        )
+        energy = power * latency / 1000.0
+        return latency, power, energy

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dnn.model import NetworkModel
 from repro.platforms.cluster import Cluster
 
@@ -113,6 +115,32 @@ class RooflineLatencyModel:
     ) -> float:
         """Predicted latency in milliseconds (see :meth:`breakdown`)."""
         return self.breakdown(network, cluster, frequency_mhz, cores_used).total_ms
+
+    def latency_grid_ms(
+        self,
+        network: NetworkModel,
+        cluster: Cluster,
+        frequencies_mhz: np.ndarray,
+        core_counts: "list[int]",
+        soc_name: str | None = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`latency_ms` over a (cores x frequency) grid.
+
+        Entry ``[c, q]`` is bit-identical to
+        ``latency_ms(network, cluster, frequencies_mhz[q], core_counts[c])``.
+        """
+        if np.any(frequencies_mhz <= 0):
+            raise ValueError("frequency must be positive")
+        if any(count <= 0 for count in core_counts):
+            raise ValueError("cores_used must be positive")
+        perf = cluster.performance
+        clamped = np.minimum(np.asarray(core_counts, dtype=np.int64), cluster.num_cores)
+        cores = 1.0 + (clamped - 1) * perf.parallel_efficiency
+        macs_per_second = perf.macs_per_cycle_per_core * frequencies_mhz * 1e6
+        macs_per_second = macs_per_second[None, :] * cores[:, None]
+        compute_ms = network.total_macs() / macs_per_second * 1e3
+        memory_ms = network.total_traffic_bytes() / (perf.memory_bandwidth_gbps * 1e9) * 1e3
+        return np.maximum(compute_ms, memory_ms) + perf.fixed_overhead_ms
 
     def throughput_fps(
         self,

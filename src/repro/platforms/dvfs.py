@@ -75,6 +75,10 @@ class OPPTable:
                     f"({previous} -> {current})"
                 )
         self._points: Tuple[OperatingPerformancePoint, ...] = tuple(opps)
+        # Resolved point_at() queries; the operating-point kernel looks the
+        # same frequencies up every pricing pass, so the tolerant linear scan
+        # runs once per distinct queried value.
+        self._lookup: dict = {}
 
     def __len__(self) -> int:
         return len(self._points)
@@ -117,8 +121,12 @@ class OPPTable:
         ValueError
             If the frequency is not in the table.
         """
+        cached = self._lookup.get(frequency_mhz)
+        if cached is not None:
+            return cached
         for point in self._points:
             if abs(point.frequency_mhz - frequency_mhz) <= 1e-6:
+                self._lookup[frequency_mhz] = point
                 return point
         raise ValueError(
             f"{frequency_mhz} MHz is not an operating point; "

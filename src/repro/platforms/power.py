@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["PowerModelParams", "dynamic_power_mw", "static_power_mw", "ClusterPowerModel"]
 
 
@@ -157,6 +159,52 @@ class ClusterPowerModel:
         if idle_cores > 0:
             total += idle_cores * self.core_dynamic_mw(voltage_v, frequency_mhz, 0.0)
         return total
+
+    def cluster_power_grid_mw(
+        self,
+        voltages_v: np.ndarray,
+        frequencies_mhz: np.ndarray,
+        busy_core_counts: "list[int]",
+        busy_utilisation: float,
+        temperature_c: float,
+        online_cores: int,
+    ) -> np.ndarray:
+        """Vectorised :meth:`cluster_power_mw` over a (cores x frequency) grid.
+
+        Returns an array of shape ``(len(busy_core_counts), len(voltages_v))``
+        where entry ``[c, q]`` equals ``cluster_power_mw(voltages_v[q],
+        frequencies_mhz[q], [busy_utilisation] * busy_core_counts[c], ...)``
+        bit for bit.  The scalar path accumulates the per-core dynamic power
+        with sequential float additions, so this replays the same addition
+        order per core count instead of multiplying once — float addition is
+        not associative and the operating-point kernel must be bit-identical
+        to the per-point path it replaces.
+        """
+        params = self.params
+        if any(count > online_cores for count in busy_core_counts):
+            raise ValueError("more utilisation samples than online cores")
+        # Scalar static_power_mw uses math.exp; the temperature term is a
+        # scalar, so it is computed with math.exp here too (np.exp may differ
+        # in the last ulp).
+        temperature_scale = math.exp(
+            params.leakage_temp_coefficient
+            * (temperature_c - params.reference_temperature_c)
+        )
+        static = params.static_mw * (voltages_v / params.nominal_voltage_v) * temperature_scale
+        busy = max(busy_utilisation, params.idle_fraction)
+        idle = max(0.0, params.idle_fraction)
+        dyn_busy = params.ceff_mw_per_mhz_v2 * voltages_v * voltages_v * frequencies_mhz * busy
+        dyn_idle = params.ceff_mw_per_mhz_v2 * voltages_v * voltages_v * frequencies_mhz * idle
+        rows = []
+        for count in busy_core_counts:
+            total = static.copy()
+            for _ in range(count):
+                total = total + dyn_busy
+            idle_cores = online_cores - count
+            if idle_cores > 0:
+                total = total + idle_cores * dyn_idle
+            rows.append(total)
+        return np.stack(rows)
 
     def energy_mj(self, power_mw: float, duration_ms: float) -> float:
         """Energy in millijoules for running at ``power_mw`` for ``duration_ms``."""

@@ -75,6 +75,10 @@ class Soc:
         self.thermal = ThermalModel(thermal_params or ThermalParams())
         #: Megabytes of DRAM currently allocated to loaded models / apps.
         self.allocated_memory_mb: float = 0.0
+        # Lazily computed by topology_key(); the structural inputs (cluster
+        # set, core counts, OPP tables, power/performance parameters) are all
+        # fixed at construction, so the key never has to be rebuilt.
+        self._topology_key: Optional[tuple] = None
 
     # -------------------------------------------------------------- clusters
 
@@ -114,6 +118,49 @@ class Soc:
     def has_gpu(self) -> bool:
         """True if the SoC contains a GPU cluster."""
         return bool(self.clusters_of_type(CoreType.GPU))
+
+    def topology_key(self) -> tuple:
+        """Stable key of everything about the platform that affects pricing.
+
+        Covers the cluster set, core counts and types, the OPP tables
+        (frequency/voltage pairs), and the power and performance parameters
+        the latency/power models read — all fixed at construction, so the
+        tuple is assembled once and returned by reference afterwards.
+        Per-cluster *online*-core counts are deliberately excluded: they
+        change at runtime and belong in per-query cache keys instead.
+        """
+        if self._topology_key is None:
+            clusters = []
+            for cluster in self._clusters.values():
+                opps = tuple(
+                    (p.frequency_mhz, p.voltage_v) for p in cluster.opp_table.points
+                )
+                power = cluster.power_model.params
+                performance = cluster.performance
+                clusters.append(
+                    (
+                        cluster.name,
+                        cluster.core_type.value,
+                        cluster.num_cores,
+                        opps,
+                        (
+                            power.ceff_mw_per_mhz_v2,
+                            power.static_mw,
+                            power.nominal_voltage_v,
+                            power.reference_temperature_c,
+                            power.leakage_temp_coefficient,
+                            power.idle_fraction,
+                        ),
+                        (
+                            performance.macs_per_cycle_per_core,
+                            performance.memory_bandwidth_gbps,
+                            performance.parallel_efficiency,
+                            performance.fixed_overhead_ms,
+                        ),
+                    )
+                )
+            self._topology_key = (self.name, tuple(clusters))
+        return self._topology_key
 
     # ----------------------------------------------------------------- cores
 

@@ -31,7 +31,13 @@ from repro.rtm.knobs import DiscreteKnob, Knob, KnobRegistry
 from repro.rtm.manager import RTMConfig, RTMDecision, RuntimeManager
 from repro.rtm.monitors import Monitor, MonitorHistory, MonitorRegistry
 from repro.rtm.multi_app import AllocationDecision, AllocationResult, MultiAppAllocator
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
+from repro.rtm.operating_points import (
+    OperatingPoint,
+    OperatingPointSpace,
+    OperatingPointTable,
+    pareto_front,
+    pareto_mask,
+)
 from repro.rtm.policies import (
     POLICY_REGISTRY,
     MaxAccuracyUnderBudget,
@@ -85,7 +91,9 @@ __all__ = [
     "MultiAppAllocator",
     "OperatingPoint",
     "OperatingPointSpace",
+    "OperatingPointTable",
     "pareto_front",
+    "pareto_mask",
     "POLICY_REGISTRY",
     "MaxAccuracyUnderBudget",
     "MaxConfidenceUnderBudget",

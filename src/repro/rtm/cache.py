@@ -36,13 +36,18 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import astuple, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dnn.training import TrainedDynamicDNN
 from repro.perfmodel.energy import EnergyModel
 from repro.platforms.soc import Soc
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
+from repro.rtm.operating_points import (
+    OperatingPoint,
+    OperatingPointSpace,
+    OperatingPointTable,
+    pareto_front,
+)
 
 __all__ = [
     "DECISION_OBJECTIVES",
@@ -103,21 +108,13 @@ def soc_topology_key(soc: Soc) -> tuple:
     (frequency/voltage pairs), and the power and performance parameters that
     the latency/power models read.  Per-cluster *online*-core counts are
     deliberately part of the per-query key instead (they change at runtime).
+
+    Delegates to :meth:`Soc.topology_key`, which assembles the tuple once at
+    first use: the old per-call construction went through
+    ``dataclasses.astuple`` (which deep-copies every field) tens of thousands
+    of times per simulation and dominated the cached decision path.
     """
-    clusters = []
-    for cluster in soc.clusters:
-        opps = tuple((p.frequency_mhz, p.voltage_v) for p in cluster.opp_table.points)
-        clusters.append(
-            (
-                cluster.name,
-                cluster.core_type.value,
-                cluster.num_cores,
-                opps,
-                astuple(cluster.power_model.params),
-                astuple(cluster.performance),
-            )
-        )
-    return (soc.name, tuple(clusters))
+    return soc.topology_key()
 
 
 @dataclass
@@ -188,6 +185,10 @@ class OperatingPointCache:
         self._spaces: Dict[tuple, OperatingPointSpace] = {}
         self._points: "OrderedDict[tuple, List[OperatingPoint]]" = OrderedDict()
         self._pareto: "OrderedDict[tuple, List[OperatingPoint]]" = OrderedDict()
+        # Columnar twins of the two memos above: assembled tables per
+        # enumeration query and Pareto-front tables (index views) per key.
+        self._tables: "OrderedDict[tuple, OperatingPointTable]" = OrderedDict()
+        self._pareto_tables: "OrderedDict[tuple, OperatingPointTable]" = OrderedDict()
 
     # ---------------------------------------------------------------- spaces
 
@@ -328,6 +329,65 @@ class OperatingPointCache:
         self._store(self._points, key, points)
         return list(points)
 
+    def enumerate_table(
+        self,
+        space: OperatingPointSpace,
+        clusters: Optional[Sequence[str]] = None,
+        configurations: Optional[Sequence[float]] = None,
+        core_counts: Optional[Sequence[int]] = None,
+        frequencies: Optional[dict] = None,
+        temperature_c: float = 45.0,
+    ) -> OperatingPointTable:
+        """Memoised :meth:`OperatingPointSpace.enumerate_table`.
+
+        Tables are immutable (read-only columns), so the memoised instance is
+        returned directly — no defensive copy is needed.  Counts into the
+        same ``hits``/``misses`` statistics as the point-list lookups.
+        """
+        key = self.query_key(
+            space, clusters, configurations, core_counts, frequencies, temperature_c
+        )
+        cached = self._tables.get(key)
+        if cached is not None:
+            self._tables.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        table = space.enumerate_table(
+            clusters=clusters,
+            configurations=configurations,
+            core_counts=core_counts,
+            frequencies=frequencies,
+            temperature_c=temperature_c,
+        )
+        self._store_table(self._tables, key, table)
+        return table
+
+    def pareto_table_for(
+        self,
+        key: tuple,
+        table: OperatingPointTable,
+        objectives: Sequence[str] = DECISION_OBJECTIVES,
+        maximise: Sequence[str] = DECISION_MAXIMISE,
+    ) -> OperatingPointTable:
+        """Memoised Pareto front of a table identified by ``key``.
+
+        ``key`` must determine ``table`` (callers pass the query key — or a
+        tuple of query keys for a multi-cluster union — of the enumeration
+        that produced it).  Counts into the ``pareto_hits``/``pareto_misses``
+        statistics alongside the point-list fronts.
+        """
+        full_key = (key, tuple(objectives), tuple(maximise))
+        cached = self._pareto_tables.get(full_key)
+        if cached is not None:
+            self._pareto_tables.move_to_end(full_key)
+            self.stats.pareto_hits += 1
+            return cached
+        self.stats.pareto_misses += 1
+        front = table.pareto(objectives=objectives, maximise=maximise)
+        self._store_table(self._pareto_tables, full_key, front)
+        return front
+
     def pareto_for(
         self,
         key: tuple,
@@ -363,6 +423,17 @@ class OperatingPointCache:
             table.popitem(last=False)
             self.stats.evictions += 1
 
+    def _store_table(
+        self,
+        store: "OrderedDict[tuple, OperatingPointTable]",
+        key: tuple,
+        value: OperatingPointTable,
+    ) -> None:
+        store[key] = value
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+            self.stats.evictions += 1
+
     # ----------------------------------------------------------- maintenance
 
     def invalidate(self, reason: str) -> None:
@@ -376,6 +447,8 @@ class OperatingPointCache:
         """
         self._points.clear()
         self._pareto.clear()
+        self._tables.clear()
+        self._pareto_tables.clear()
         self.stats.invalidations[reason] = self.stats.invalidations.get(reason, 0) + 1
 
     def clear(self) -> None:
@@ -383,12 +456,19 @@ class OperatingPointCache:
         self._spaces.clear()
         self._points.clear()
         self._pareto.clear()
+        self._tables.clear()
+        self._pareto_tables.clear()
         self.stats = CacheStats()
 
     @property
     def entry_count(self) -> int:
-        """Currently memoised enumeration lists plus Pareto fronts."""
-        return len(self._points) + len(self._pareto)
+        """Currently memoised enumeration lists, tables and Pareto fronts."""
+        return (
+            len(self._points)
+            + len(self._pareto)
+            + len(self._tables)
+            + len(self._pareto_tables)
+        )
 
     @property
     def points_priced(self) -> int:

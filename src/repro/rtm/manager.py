@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.dnn.training import TrainedDynamicDNN
 from repro.perfmodel.calibrated import CalibratedLatencyModel
 from repro.perfmodel.energy import EnergyModel
@@ -32,7 +34,7 @@ from repro.rtm.cache import (
     temperature_bucket_c,
 )
 from repro.rtm.multi_app import AllocationResult, MultiAppAllocator
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
+from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
 from repro.rtm.policies import MaxAccuracyUnderBudget, SelectionPolicy
 from repro.rtm.state import Action, SystemState, UnmapApplication
 from repro.workloads.requirements import Requirements
@@ -257,15 +259,18 @@ class RuntimeManager:
             space = self.cache.space_for(
                 trained, soc, self.energy_model, clusters, self.config.max_cores_per_app
             )
-            points = self.cache.enumerate(space, **query)
+            table = self.cache.enumerate_table(space, **query)
             pareto_key: Optional[tuple] = self.cache.query_key(space, **query)
         else:
             space = self.operating_point_space(trained, soc, clusters)
-            points = space.enumerate(**query)
+            table = space.enumerate_table(**query)
             pareto_key = None
         if not self.config.enable_dvfs:
             current = {cluster.name: cluster.frequency_mhz for cluster in soc.clusters}
-            points = [p for p in points if abs(p.frequency_mhz - current[p.cluster_name]) < 1e-6]
+            pinned = np.array(
+                [current[name] for name in table.cluster_names], dtype=float
+            )[table.cluster_index]
+            table = table.take(np.flatnonzero(np.abs(table.frequency_mhz - pinned) < 1e-6))
             if pareto_key is not None:
                 pareto_key = (
                     "dvfs_pinned",
@@ -275,12 +280,10 @@ class RuntimeManager:
         # The front is taken after any DVFS pinning: a point's dominator may
         # itself be pinned away, so filtering first would not be equivalent.
         if self.cache is not None and pareto_key is not None:
-            points = self.cache.pareto_for(pareto_key, points)
+            table = self.cache.pareto_table_for(pareto_key, table)
         else:
-            points = pareto_front(
-                points, objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE
-            )
-        return self.policy.select(points, requirements, power_cap_mw=power_cap_mw)
+            table = table.pareto(objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE)
+        return self.policy.select_table(table, requirements, power_cap_mw=power_cap_mw)
 
     def explain(self, point: OperatingPoint, requirements: Requirements) -> Dict[str, object]:
         """A structured explanation of why a point satisfies (or not) a budget."""

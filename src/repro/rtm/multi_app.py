@@ -37,7 +37,11 @@ from repro.rtm.cache import (
     OperatingPointCache,
     temperature_bucket_c,
 )
-from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace, pareto_front
+from repro.rtm.operating_points import (
+    OperatingPoint,
+    OperatingPointSpace,
+    OperatingPointTable,
+)
 from repro.rtm.policies import SelectionPolicy
 from repro.rtm.state import (
     Action,
@@ -310,7 +314,14 @@ class MultiAppAllocator:
             state.soc.thermal.temperature_c, self.temperature_bucket_width_c
         )
         core_limit = {name: min(available[name], self.max_cores_per_app) for name in clusters}
-        points: List[OperatingPoint] = []
+        # Columnar decision kernel: enumerate each cluster as a
+        # struct-of-arrays table, pre-front it, union the fronts, front the
+        # union, then let the policy score the surviving columns in numpy.
+        # Per-cluster pre-fronting is behaviour-preserving (domination is
+        # transitive, so the front of the union equals the front of the union
+        # of per-cluster fronts, in the same order) and keeps the O(n^2)
+        # domination broadcast on small per-cluster tables.
+        cluster_fronts: List[OperatingPointTable] = []
         query_keys: List[tuple] = []
         for name in clusters:
             kwargs = dict(
@@ -321,22 +332,28 @@ class MultiAppAllocator:
                 temperature_c=temperature,
             )
             if self.cache is not None:
-                points.extend(self.cache.enumerate(space, **kwargs))
-                query_keys.append(self.cache.query_key(space, **kwargs))
+                table = self.cache.enumerate_table(space, **kwargs)
+                key = self.cache.query_key(space, **kwargs)
+                query_keys.append(key)
+                cluster_fronts.append(self.cache.pareto_table_for(key, table))
             else:
-                points.extend(space.enumerate(**kwargs))
-        # Pre-filter to the decision Pareto front: the domination axes cover
-        # every metric the requirements and policies read, so a dominated
-        # point can never win the selection below, and the (memoised) front
-        # is what each epoch actually has to rank.
-        if self.cache is not None:
-            points = self.cache.pareto_for(("union", tuple(query_keys)), points)
+                table = space.enumerate_table(**kwargs)
+                cluster_fronts.append(
+                    table.pareto(objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE)
+                )
+        # The decision front: the domination axes cover every metric the
+        # requirements and policies read, so a dominated point can never win
+        # the selection below, and the (memoised) front is what each epoch
+        # actually has to rank.
+        union = OperatingPointTable.concat(cluster_fronts)
+        if len(cluster_fronts) <= 1:
+            front = union
+        elif self.cache is not None:
+            front = self.cache.pareto_table_for(("union", tuple(query_keys)), union)
         else:
-            points = pareto_front(
-                points, objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE
-            )
+            front = union.pareto(objectives=DECISION_OBJECTIVES, maximise=DECISION_MAXIMISE)
         policy = self.policy_for(app_state.app_id)
-        chosen = policy.select(points, application.requirements, power_cap_mw=power_cap)
+        chosen = policy.select_table(front, application.requirements, power_cap_mw=power_cap)
         if chosen is not None:
             self._home_cluster.setdefault(app_state.app_id, chosen.cluster_name)
         return AllocationDecision(app_state.app_id, chosen, current_mapping)

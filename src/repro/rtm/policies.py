@@ -10,6 +10,14 @@ compares them, and because different applications weight the axes differently.
 All policies degrade gracefully: when no operating point satisfies every
 requirement, they return the least-bad point (smallest total normalised
 violation) rather than failing, which is what a real runtime must do.
+
+Policies score candidates two ways: the classic per-point path
+(:meth:`SelectionPolicy.select` over :class:`OperatingPoint` sequences) and
+the columnar path (:meth:`SelectionPolicy.select_table` over an
+:class:`OperatingPointTable`), which ranks a whole candidate table in a few
+numpy operations.  Both paths are bit-identical: the vectorised scoring
+replays the scalar comparison tolerances, float arithmetic order and
+first-minimum tie-breaking exactly, which the golden-trace suite locks in.
 """
 
 from __future__ import annotations
@@ -17,7 +25,9 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
-from repro.rtm.operating_points import OperatingPoint
+import numpy as np
+
+from repro.rtm.operating_points import OperatingPoint, OperatingPointTable
 from repro.workloads.requirements import MetricSample, Requirements
 
 __all__ = [
@@ -43,6 +53,31 @@ def _violation_score(point: OperatingPoint, requirements: Requirements) -> float
     return sum(violation.magnitude for violation in requirements.check(sample))
 
 
+def _table_violation_scores(table: OperatingPointTable, requirements: Requirements) -> np.ndarray:
+    """Vectorised :func:`_violation_score` over every row of a table."""
+    return requirements.violation_scores(
+        latency_ms=table.latency_ms,
+        energy_mj=table.energy_mj,
+        power_mw=table.power_mw,
+        accuracy_percent=table.accuracy_percent,
+        fps=table.fps,
+    )
+
+
+def _first_lexicographic_min(keys: Sequence[np.ndarray], mask: np.ndarray) -> int:
+    """Index of the first row (in input order) minimising ``keys`` under ``mask``.
+
+    Mirrors ``min(rows, key=lambda r: (k0[r], k1[r], ...))`` with exact float
+    comparisons: filter to the exact minimum of each key in turn, then take
+    the earliest surviving row.
+    """
+    candidates = mask
+    for key in keys:
+        values = key[candidates]
+        candidates = candidates & (key == values.min())
+    return int(np.flatnonzero(candidates)[0])
+
+
 class SelectionPolicy(abc.ABC):
     """Base class of operating-point selection policies."""
 
@@ -52,6 +87,14 @@ class SelectionPolicy(abc.ABC):
     @abc.abstractmethod
     def objective(self, point: OperatingPoint) -> float:
         """Score of a *feasible* point; lower is better."""
+
+    def objective_values(self, table: OperatingPointTable) -> np.ndarray:
+        """Vectorised :meth:`objective` over every row of a table.
+
+        The default materialises each row; built-in policies override with a
+        pure column computation.
+        """
+        return np.array([self.objective(table.point(row)) for row in range(len(table))])
 
     def feasible_points(
         self,
@@ -97,6 +140,59 @@ class SelectionPolicy(abc.ABC):
             key=lambda point: (_violation_score(point, requirements), self.objective(point)),
         )
 
+    # ------------------------------------------------------------- table path
+
+    def _select_row(
+        self,
+        table: OperatingPointTable,
+        requirements: Requirements,
+        power_cap_mw: Optional[float],
+    ) -> int:
+        """Row index the base :meth:`select` semantics would pick."""
+        scores = _table_violation_scores(table, requirements)
+        under_cap = (
+            np.ones(len(table), dtype=bool)
+            if power_cap_mw is None
+            else ~(table.power_mw > power_cap_mw)
+        )
+        feasible = under_cap & (scores == 0.0)
+        if feasible.any():
+            return _first_lexicographic_min([self.objective_values(table)], feasible)
+        if not under_cap.any():
+            under_cap = np.ones(len(table), dtype=bool)
+        return _first_lexicographic_min([scores, self.objective_values(table)], under_cap)
+
+    def _overrides_point_path(self, select_owner: type) -> bool:
+        """True when a subclass customised the per-point scoring hooks.
+
+        Checks both :meth:`select` (against the implementation the calling
+        ``select_table`` mirrors) and :meth:`feasible_points` — a subclass
+        adding, say, a thermal filter to ``feasible_points`` must not be
+        bypassed by the inline vectorised feasibility test.
+        """
+        return (
+            type(self).select is not select_owner.select
+            or type(self).feasible_points is not SelectionPolicy.feasible_points
+        )
+
+    def select_table(
+        self,
+        table: OperatingPointTable,
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        """Columnar :meth:`select`: identical choice, scored in numpy.
+
+        Subclasses that override :meth:`select` or :meth:`feasible_points`
+        with custom semantics but do not override this method fall back to
+        the per-point path, so the two entry points can never disagree.
+        """
+        if len(table) == 0:
+            return None
+        if self._overrides_point_path(SelectionPolicy):
+            return self.select(table.points, requirements, power_cap_mw)
+        return table.point(self._select_row(table, requirements, power_cap_mw))
+
 
 class MaxAccuracyUnderBudget(SelectionPolicy):
     """Meet every budget, then maximise accuracy (ties: minimise energy).
@@ -111,6 +207,9 @@ class MaxAccuracyUnderBudget(SelectionPolicy):
     def objective(self, point: OperatingPoint) -> float:
         # Accuracy dominates; energy breaks ties among equally accurate points.
         return -point.accuracy_percent * 1e6 + point.energy_mj
+
+    def objective_values(self, table: OperatingPointTable) -> np.ndarray:
+        return -table.accuracy_percent * 1e6 + table.energy_mj
 
     def select(
         self,
@@ -128,6 +227,30 @@ class MaxAccuracyUnderBudget(SelectionPolicy):
             return min(top, key=lambda point: (point.energy_mj, point.latency_ms))
         return super().select(candidates, requirements, power_cap_mw)
 
+    def select_table(
+        self,
+        table: OperatingPointTable,
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        if len(table) == 0:
+            return None
+        if self._overrides_point_path(MaxAccuracyUnderBudget):
+            return self.select(table.points, requirements, power_cap_mw)
+        scores = _table_violation_scores(table, requirements)
+        under_cap = (
+            np.ones(len(table), dtype=bool)
+            if power_cap_mw is None
+            else ~(table.power_mw > power_cap_mw)
+        )
+        feasible = under_cap & (scores == 0.0)
+        if feasible.any():
+            best_accuracy = table.accuracy_percent[feasible].max()
+            top = feasible & (table.accuracy_percent >= best_accuracy - 1e-9)
+            row = _first_lexicographic_min([table.energy_mj, table.latency_ms], top)
+            return table.point(row)
+        return table.point(self._select_row(table, requirements, power_cap_mw))
+
 
 class MinEnergyUnderConstraints(SelectionPolicy):
     """Meet every requirement (including accuracy floor), then minimise energy."""
@@ -137,6 +260,9 @@ class MinEnergyUnderConstraints(SelectionPolicy):
     def objective(self, point: OperatingPoint) -> float:
         return point.energy_mj
 
+    def objective_values(self, table: OperatingPointTable) -> np.ndarray:
+        return table.energy_mj
+
 
 class MinLatencyUnderPowerCap(SelectionPolicy):
     """Meet every requirement, then minimise latency (responsiveness first)."""
@@ -145,6 +271,9 @@ class MinLatencyUnderPowerCap(SelectionPolicy):
 
     def objective(self, point: OperatingPoint) -> float:
         return point.latency_ms
+
+    def objective_values(self, table: OperatingPointTable) -> np.ndarray:
+        return table.latency_ms
 
 
 class MaxConfidenceUnderBudget(SelectionPolicy):
@@ -159,6 +288,9 @@ class MaxConfidenceUnderBudget(SelectionPolicy):
 
     def objective(self, point: OperatingPoint) -> float:
         return -point.confidence_percent
+
+    def objective_values(self, table: OperatingPointTable) -> np.ndarray:
+        return -table.confidence_percent
 
     def select(
         self,
@@ -175,6 +307,30 @@ class MaxConfidenceUnderBudget(SelectionPolicy):
             top = [p for p in feasible if p.confidence_percent >= best - 1e-9]
             return min(top, key=lambda point: (point.energy_mj, point.latency_ms))
         return super().select(candidates, requirements, power_cap_mw)
+
+    def select_table(
+        self,
+        table: OperatingPointTable,
+        requirements: Requirements,
+        power_cap_mw: Optional[float] = None,
+    ) -> Optional[OperatingPoint]:
+        if len(table) == 0:
+            return None
+        if self._overrides_point_path(MaxConfidenceUnderBudget):
+            return self.select(table.points, requirements, power_cap_mw)
+        scores = _table_violation_scores(table, requirements)
+        under_cap = (
+            np.ones(len(table), dtype=bool)
+            if power_cap_mw is None
+            else ~(table.power_mw > power_cap_mw)
+        )
+        feasible = under_cap & (scores == 0.0)
+        if feasible.any():
+            best = table.confidence_percent[feasible].max()
+            top = feasible & (table.confidence_percent >= best - 1e-9)
+            row = _first_lexicographic_min([table.energy_mj, table.latency_ms], top)
+            return table.point(row)
+        return table.point(self._select_row(table, requirements, power_cap_mw))
 
 
 #: Mapping of policy name to class, used by benchmarks and the CLI examples.

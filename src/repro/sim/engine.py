@@ -86,6 +86,11 @@ class SimulatorConfig:
             raise ValueError("max_backlog must be non-negative")
         if not 0.0 < self.busy_utilisation <= 1.0:
             raise ValueError("busy_utilisation must be in (0, 1]")
+        # A non-positive retry interval would let an unmapped best-effort
+        # application reschedule itself forever at the same timestamp,
+        # livelocking the event loop.
+        if self.retry_interval_ms <= 0:
+            raise ValueError("retry_interval_ms must be positive")
 
 
 @dataclass

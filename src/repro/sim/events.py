@@ -4,6 +4,10 @@ Events are (time, priority, sequence, callback) tuples on a binary heap.  The
 sequence number makes ordering deterministic for events scheduled at the same
 time, and the priority field lets structural events (arrivals, manager
 decisions) run before job releases scheduled at the same instant.
+
+Cancellation is lazy: cancelled events stay on the heap and are discarded
+when they surface at the top, and a live-event counter keeps ``__len__`` /
+``empty`` O(1) — neither operation scans or sorts the heap.
 """
 
 from __future__ import annotations
@@ -28,6 +32,9 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # True once the event has left the heap (executed or discarded); a
+    # cancel() arriving afterwards must not touch the live counter again.
+    popped: bool = field(default=False, compare=False)
 
 
 class EventQueue:
@@ -36,6 +43,7 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[_ScheduledEvent] = []
         self._counter = itertools.count()
+        self._live = 0
         self.now_ms: float = 0.0
 
     def schedule(
@@ -56,26 +64,43 @@ class EventQueue:
             callback=callback,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def cancel(self, event: _ScheduledEvent) -> None:
-        """Cancel a scheduled event (it is skipped when popped)."""
+        """Cancel a scheduled event (it is skipped when popped).
+
+        Cancelling twice, or cancelling an event that already ran, is a
+        no-op.
+        """
+        if event.cancelled or event.popped:
+            return
         event.cancelled = True
+        self._live -= 1
+
+    def _discard_cancelled_top(self) -> None:
+        """Pop cancelled events off the heap top until a live one surfaces."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap).popped = True
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     @property
     def empty(self) -> bool:
         """True when no live events remain."""
-        return len(self) == 0
+        return self._live == 0
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or ``None`` when empty."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time_ms
-        return None
+        """Time of the next live event, or ``None`` when empty.
+
+        Lazily discards cancelled events from the heap top — O(log n) per
+        cancelled event, amortised over the events that were cancelled, with
+        no full-heap sort.
+        """
+        self._discard_cancelled_top()
+        return self._heap[0].time_ms if self._heap else None
 
     def run_until(self, end_time_ms: float) -> int:
         """Run events in order until the queue is empty or ``end_time_ms`` is reached.
@@ -86,13 +111,15 @@ class EventQueue:
         """
         executed = 0
         while self._heap:
+            self._discard_cancelled_top()
+            if not self._heap:
+                break
             event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
             if event.time_ms > end_time_ms:
                 break
             heapq.heappop(self._heap)
+            event.popped = True
+            self._live -= 1
             self.now_ms = event.time_ms
             event.callback()
             executed += 1

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 __all__ = ["Requirements", "Violation", "MetricSample"]
 
 
@@ -100,6 +102,27 @@ class Requirements:
                 raise ValueError(f"{name} must be positive when given")
         if self.min_accuracy_percent is not None and not 0.0 <= self.min_accuracy_percent <= 100.0:
             raise ValueError("min_accuracy_percent must be in [0, 100]")
+        # Precomputed stable identity for cache layers that key work by
+        # requirement set (e.g. decision memos): the frozen limits never
+        # change, so the tuple is assembled once instead of round-tripping
+        # through dataclasses.astuple (which deep-copies) per lookup.
+        object.__setattr__(
+            self,
+            "_cache_key",
+            (
+                "requirements",
+                self.max_latency_ms,
+                self.max_energy_mj,
+                self.max_power_mw,
+                self.min_accuracy_percent,
+                self.target_fps,
+                self.priority,
+            ),
+        )
+
+    def cache_key(self) -> tuple:
+        """Stable identity of this requirement set (precomputed, no copies)."""
+        return self._cache_key  # type: ignore[attr-defined]
 
     # ---------------------------------------------------------------- limits
 
@@ -160,6 +183,58 @@ class Requirements:
     def is_satisfied_by(self, sample: MetricSample) -> bool:
         """True when the measurement meets every requirement it reports."""
         return not self.check(sample)
+
+    def violation_scores(
+        self,
+        *,
+        latency_ms: Optional[np.ndarray] = None,
+        energy_mj: Optional[np.ndarray] = None,
+        power_mw: Optional[np.ndarray] = None,
+        accuracy_percent: Optional[np.ndarray] = None,
+        fps: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorised total normalised violation per candidate.
+
+        Entry ``i`` is bit-identical to
+        ``sum(v.magnitude for v in self.check(sample_i))`` for the sample
+        assembled from row ``i`` of the given metric columns: contributions
+        are accumulated in the same metric order as :meth:`check` emits
+        violations, with the same comparison tolerances and the same
+        magnitude arithmetic, and a missing (``None``) column skips its
+        check exactly like a ``None`` sample field.  This is the scoring
+        kernel of the columnar decision path.
+        """
+        columns = [
+            column
+            for column in (latency_ms, energy_mj, power_mw, accuracy_percent, fps)
+            if column is not None
+        ]
+        if not columns:
+            raise ValueError("at least one metric column is required")
+        scores = np.zeros(len(columns[0]), dtype=float)
+
+        def over(actual: np.ndarray, limit: float) -> np.ndarray:
+            exceeded = actual > limit * (1.0 + 1e-9)
+            magnitude = np.abs(actual) if limit == 0 else np.abs(actual - limit) / abs(limit)
+            return np.where(exceeded, magnitude, 0.0)
+
+        def under(actual: np.ndarray, limit: float) -> np.ndarray:
+            missed = actual < limit * (1.0 - 1e-9)
+            magnitude = np.abs(actual) if limit == 0 else np.abs(actual - limit) / abs(limit)
+            return np.where(missed, magnitude, 0.0)
+
+        latency_limit = self.effective_latency_limit_ms
+        if latency_limit is not None and latency_ms is not None:
+            scores = scores + over(latency_ms, latency_limit)
+        if self.max_energy_mj is not None and energy_mj is not None:
+            scores = scores + over(energy_mj, self.max_energy_mj)
+        if self.max_power_mw is not None and power_mw is not None:
+            scores = scores + over(power_mw, self.max_power_mw)
+        if self.min_accuracy_percent is not None and accuracy_percent is not None:
+            scores = scores + under(accuracy_percent, self.min_accuracy_percent)
+        if self.target_fps is not None and fps is not None:
+            scores = scores + under(fps, self.target_fps)
+        return scores
 
     # -------------------------------------------------------------- editing
 

@@ -22,6 +22,8 @@ class TestParser:
             ["scenarios", "list"],
             ["sweep", "--scenarios", "steady", "bursty", "--seeds", "2", "--workers", "4"],
             ["sweep", "--scenario", "steady"],
+            ["bench", "--smoke", "--no-write"],
+            ["bench", "--scenarios", "steady", "--managers", "rtm", "--repeats", "1"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -199,3 +201,137 @@ class TestCommands:
             line for line in stats_section.splitlines() if "single_dnn/rtm/seed0" in line
         )
         assert row.split()[1:3] == ["0", "0"]
+
+
+class TestBenchCommand:
+    def test_bench_unknown_scenario_fails(self, capsys):
+        assert main(["bench", "--scenarios", "nope", "--repeats", "1"]) == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+    def test_bench_unknown_manager_fails(self, capsys):
+        assert main(["bench", "--managers", "nope", "--repeats", "1"]) == 2
+        assert "unknown managers" in capsys.readouterr().err
+
+    def test_bench_runs_and_writes_json(self, capsys, tmp_path):
+        from repro.analysis import load_bench_file
+
+        output_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scenarios",
+                    "steady",
+                    "--managers",
+                    "rtm",
+                    "--repeats",
+                    "1",
+                    "--output",
+                    str(output_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "steady/rtm" in output
+        assert "decide ms (uncached)" in output
+        document = load_bench_file(str(output_path))
+        results = document["results"]["steady/rtm"]
+        assert results["decide_ms_per_epoch_uncached"] > 0
+        assert results["e2e_s"] > 0
+
+    def test_bench_compare_gate_passes_against_self(self, capsys, tmp_path):
+        output_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scenarios",
+                    "steady",
+                    "--managers",
+                    "rtm",
+                    "--repeats",
+                    "1",
+                    "--output",
+                    str(output_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # A generous tolerance against the just-written file must pass.
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scenarios",
+                    "steady",
+                    "--managers",
+                    "rtm",
+                    "--repeats",
+                    "1",
+                    "--no-write",
+                    "--compare",
+                    str(output_path),
+                    "--max-regression",
+                    "5.0",
+                ]
+            )
+            == 0
+        )
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_fails_on_regression(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "results": {
+                        "steady/rtm": {
+                            "decide_ms_per_epoch_cached": 1e-9,
+                            "decide_ms_per_epoch_uncached": 1e-9,
+                        }
+                    }
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scenarios",
+                    "steady",
+                    "--managers",
+                    "rtm",
+                    "--repeats",
+                    "1",
+                    "--no-write",
+                    "--compare",
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "regression" in capsys.readouterr().err
+
+    def test_bench_compare_missing_baseline_fails(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--scenarios",
+                    "steady",
+                    "--managers",
+                    "rtm",
+                    "--repeats",
+                    "1",
+                    "--no-write",
+                    "--compare",
+                    str(tmp_path / "missing.json"),
+                ]
+            )
+            == 2
+        )
+        assert "cannot load baseline" in capsys.readouterr().err

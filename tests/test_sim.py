@@ -86,6 +86,125 @@ class TestEventQueue:
         assert queue.empty
 
 
+class TestEventQueueSemantics:
+    """Cancellation, boundary and tie-break semantics of the event queue."""
+
+    def test_same_time_orders_by_priority_then_sequence(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(10.0, lambda: order.append("d1"))
+        queue.schedule(10.0, lambda: order.append("s1"), priority=EVENT_PRIORITY_STRUCTURAL)
+        queue.schedule(10.0, lambda: order.append("d2"))
+        queue.schedule(10.0, lambda: order.append("s2"), priority=EVENT_PRIORITY_STRUCTURAL)
+        queue.run_until(100.0)
+        assert order == ["s1", "s2", "d1", "d2"]
+
+    def test_sequence_tie_break_is_deterministic(self):
+        def run_once():
+            queue = EventQueue()
+            order = []
+            for label in range(8):
+                queue.schedule(5.0, lambda label=label: order.append(label))
+            queue.run_until(10.0)
+            return order
+
+        assert run_once() == run_once() == list(range(8))
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        first = queue.schedule(10.0, lambda: None)
+        queue.schedule(20.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 20.0
+        assert len(queue) == 1
+
+    def test_peek_time_none_when_all_cancelled(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(t), lambda: None) for t in (10, 20, 30)]
+        for handle in handles:
+            queue.cancel(handle)
+        assert queue.peek_time() is None
+        assert queue.empty
+        assert len(queue) == 0
+
+    def test_cancel_twice_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.schedule(10.0, lambda: None)
+        queue.schedule(20.0, lambda: None)
+        queue.cancel(handle)
+        queue.cancel(handle)
+        assert len(queue) == 1
+
+    def test_cancel_after_execution_is_a_noop(self):
+        queue = EventQueue()
+        ran = []
+        handle = queue.schedule(10.0, lambda: ran.append(True))
+        queue.schedule(20.0, lambda: None)
+        queue.run_until(15.0)
+        assert ran == [True]
+        queue.cancel(handle)  # already executed: must not corrupt the counter
+        assert len(queue) == 1
+        assert queue.run_until(100.0) == 1
+
+    def test_cancelled_events_do_not_count_as_executed(self):
+        queue = EventQueue()
+        keep = []
+        cancelled = queue.schedule(10.0, lambda: keep.append("no"))
+        queue.schedule(10.0, lambda: keep.append("yes"))
+        queue.cancel(cancelled)
+        assert queue.run_until(100.0) == 1
+        assert keep == ["yes"]
+
+    def test_run_until_executes_event_exactly_at_boundary(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(100.0, lambda: order.append("boundary"))
+        executed = queue.run_until(100.0)
+        assert executed == 1
+        assert order == ["boundary"]
+        assert queue.now_ms == 100.0
+
+    def test_run_until_leaves_post_boundary_events_live(self):
+        queue = EventQueue()
+        queue.schedule(100.0 + 1e-9, lambda: None)
+        assert queue.run_until(100.0) == 0
+        assert len(queue) == 1
+        assert queue.peek_time() == pytest.approx(100.0 + 1e-9)
+
+    def test_boundary_event_scheduling_at_boundary_runs_in_same_pass(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(
+            100.0, lambda: (order.append("a"), queue.schedule(100.0, lambda: order.append("b")))
+        )
+        assert queue.run_until(100.0) == 2
+        assert order == ["a", "b"]
+        assert queue.now_ms == 100.0
+
+    def test_len_stays_consistent_through_mixed_operations(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(t), lambda: None) for t in (10, 20, 30, 40)]
+        queue.cancel(handles[1])
+        assert len(queue) == 3
+        queue.run_until(25.0)  # runs t=10 and t=20-cancelled is skipped
+        assert len(queue) == 2
+        queue.cancel(handles[2])
+        assert len(queue) == 1
+        assert queue.peek_time() == 40.0
+
+
+class TestSimulatorConfigValidation:
+    def test_rejects_non_positive_retry_interval(self):
+        with pytest.raises(ValueError, match="retry_interval_ms"):
+            SimulatorConfig(retry_interval_ms=0.0)
+        with pytest.raises(ValueError, match="retry_interval_ms"):
+            SimulatorConfig(retry_interval_ms=-5.0)
+
+    def test_default_config_is_valid(self):
+        config = SimulatorConfig()
+        assert config.retry_interval_ms > 0
+
+
 class TestSimulationTrace:
     def _job(self, app_id="app", violations=(), dropped=False, energy=10.0, latency=20.0):
         return JobRecord(
