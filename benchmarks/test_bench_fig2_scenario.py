@@ -21,34 +21,35 @@ requirements once contention starts.
 
 from __future__ import annotations
 
-from functools import partial
+from repro.experiments import ExperimentSpec, run_many
 
-from repro.analysis import ParallelSweepRunner
-from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
-from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
-
-#: Manager factories for the three compared schemes.  Plain classes and
-#: partials so the cases can cross process boundaries; the scenario itself is
-#: referenced by its registry name and rebuilt inside each worker.
-MANAGERS = {
-    "rtm": partial(RuntimeManager, policy_overrides={"dnn2": MinEnergyUnderConstraints()}),
-    "governor_only": GovernorOnlyManager,
-    "static_deployment": StaticDeploymentManager,
-}
+#: One declarative spec per compared scheme.  Specs are pure data — registry
+#: references and override tables — so the cases cross process boundaries
+#: without pickling closures and replay bit-identically from a file.
+SPECS = [
+    ExperimentSpec(
+        name="rtm",
+        scenario="fig2",
+        manager="rtm",
+        policy_overrides={"dnn2": "min_energy"},
+    ),
+    ExperimentSpec(name="governor_only", scenario="fig2", manager="governor_only"),
+    ExperimentSpec(name="static_deployment", scenario="fig2", manager="static_deployment"),
+]
 
 
 def run_fig2():
-    """Run the Fig 2 scenario under the RTM and both baselines via the sweep runner.
+    """Run the Fig 2 scenario under the RTM and both baselines via the spec runner.
 
     Uses the runner's serial path so the timing measures the simulations, not
     process-pool startup (the pool path is benchmarked in
     test_bench_sweep_smoke.py).
     """
-    sweep = ParallelSweepRunner(max_workers=1).manager_sweep("fig2", MANAGERS)
-    assert not sweep.errors, sweep.errors
+    batch = run_many(SPECS, workers=1)
+    assert not batch.errors, batch.errors
 
     results = {}
-    for name, trace in sweep.traces.items():
+    for name, trace in batch.traces.items():
         results[name] = {
             "violation_rate": trace.violation_rate(),
             "dnn1_violation_rate": trace.violation_rate("dnn1"),

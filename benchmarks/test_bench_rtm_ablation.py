@@ -17,31 +17,31 @@ substantially, supporting the paper's argument for managing both sides.
 
 from __future__ import annotations
 
-from functools import partial
+from repro.experiments import ExperimentSpec, run_many
 
-from repro.analysis import ParallelSweepRunner
-from repro.baselines import GovernorOnlyManager
-from repro.rtm import MinEnergyUnderConstraints, RTMConfig, RuntimeManager
-
+#: RTMConfig overrides per ablated knob — expressed as the spec's ``rtm``
+#: table, exactly what a committed ablation spec file would carry.
 ABLATIONS = {
-    "full_rtm": RTMConfig(),
-    "no_dnn_scaling": RTMConfig(enable_dnn_scaling=False),
-    "no_dvfs": RTMConfig(enable_dvfs=False),
-    "no_task_mapping": RTMConfig(enable_task_mapping=False),
+    "full_rtm": {},
+    "no_dnn_scaling": {"enable_dnn_scaling": False},
+    "no_dvfs": {"enable_dvfs": False},
+    "no_task_mapping": {"enable_task_mapping": False},
 }
 
-#: One sweep case per ablated manager, plus the hardware-only baseline.
-MANAGERS = {
-    **{
-        name: partial(
-            RuntimeManager,
-            config=config,
-            policy_overrides={"dnn2": MinEnergyUnderConstraints()},
+#: One declarative spec per ablated manager, plus the hardware-only baseline.
+SPECS = [
+    *(
+        ExperimentSpec(
+            name=name,
+            scenario="fig2",
+            manager="rtm",
+            rtm=overrides,
+            policy_overrides={"dnn2": "min_energy"},
         )
-        for name, config in ABLATIONS.items()
-    },
-    "governor_only": GovernorOnlyManager,
-}
+        for name, overrides in ABLATIONS.items()
+    ),
+    ExperimentSpec(name="governor_only", scenario="fig2", manager="governor_only"),
+]
 
 
 def run_ablation():
@@ -51,8 +51,8 @@ def run_ablation():
     process-pool startup (the pool path is benchmarked in
     test_bench_sweep_smoke.py).
     """
-    sweep = ParallelSweepRunner(max_workers=1).manager_sweep("fig2", MANAGERS)
-    assert not sweep.errors, sweep.errors
+    batch = run_many(SPECS, workers=1)
+    assert not batch.errors, batch.errors
     return {
         name: {
             "violation_rate": trace.violation_rate(),
@@ -60,7 +60,7 @@ def run_ablation():
             "total_energy_mj": trace.total_energy_mj(),
             "mean_configuration": trace.mean_configuration(),
         }
-        for name, trace in sweep.traces.items()
+        for name, trace in batch.traces.items()
     }
 
 

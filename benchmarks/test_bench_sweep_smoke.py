@@ -1,17 +1,17 @@
-"""Smoke benchmark of the parallel sweep engine.
+"""Smoke benchmark of the experiment-spec sweep engine.
 
 A deliberately small grid — two short registered scenarios, two managers, one
-seed — so CI can exercise the whole sweep path (scenario registry, process
+seed — so CI can exercise the whole spec path (registry resolution, process
 fan-out, aggregation) in well under a minute.  The full-size grids live in
-the CLI (``repro-experiments sweep``); this benchmark only guards that the
-machinery works and stays worker-count independent.
+the CLI (``repro-experiments sweep`` / ``run``); this benchmark only guards
+that the machinery works and stays worker-count independent.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ParallelSweepRunner
+from repro.experiments import grid_specs, run_many
 
 SCENARIOS = ["steady", "battery_saver"]
 MANAGERS = ["rtm", "governor_only"]
@@ -20,7 +20,7 @@ SEEDS = [0]
 
 def run_smoke_sweep(workers: int):
     """One short scenario x manager grid with a single seed."""
-    return ParallelSweepRunner(max_workers=workers).grid(SCENARIOS, MANAGERS, SEEDS)
+    return run_many(grid_specs(SCENARIOS, MANAGERS, SEEDS), workers=workers)
 
 
 @pytest.mark.smoke

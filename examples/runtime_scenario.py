@@ -3,11 +3,16 @@
 
 The scenario: a DNN runs alone, a second latency-critical DNN arrives at
 t=5 s, an AR/VR application claims the accelerator at t=15 s, and the user
-relaxes the second DNN's accuracy requirement at t=25 s.  The script replays
-the timeline under the application-aware runtime manager and under the two
-baselines (governor-only and static deployment) through the parallel sweep
-runner — one worker process per manager — then prints a phase-by-phase view
-of what the RTM did with each DNN and compares requirement-violation rates.
+relaxes the second DNN's accuracy requirement at t=25 s.  The script loads
+the committed experiment specs (examples/specs/fig2_managers.toml) — one
+serialisable :class:`~repro.experiments.ExperimentSpec` per manager — and
+executes the batch through :func:`repro.experiments.run_many`, one worker
+process per spec.  It then prints a phase-by-phase view of what the RTM did
+with each DNN and compares requirement-violation rates.
+
+The same batch runs from the command line with::
+
+    repro-experiments run examples/specs/fig2_managers.toml --workers 3
 
 Run with:  python examples/runtime_scenario.py
 """
@@ -15,13 +20,13 @@ Run with:  python examples/runtime_scenario.py
 from __future__ import annotations
 
 import os
-from functools import partial
+from pathlib import Path
 
 import numpy as np
 
-from repro.analysis import ParallelSweepRunner
-from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
-from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
+from repro.experiments import load_specs, run_many
+
+SPEC_FILE = Path(__file__).parent / "specs" / "fig2_managers.toml"
 
 PHASES = [
     ("t=0-5s    (DNN1 alone)", 0.0, 5000.0),
@@ -49,22 +54,18 @@ def describe_phases(trace, app_id: str) -> None:
 
 
 def main() -> None:
-    managers = {
-        "application-aware RTM": partial(
-            RuntimeManager, policy_overrides={"dnn2": MinEnergyUnderConstraints()}
-        ),
-        "governor-only baseline": GovernorOnlyManager,
-        "static-deployment baseline": StaticDeploymentManager,
-    }
+    specs = load_specs(SPEC_FILE)
+    print(f"Loaded {len(specs)} experiment specs from {SPEC_FILE.name}:")
+    for spec in specs:
+        print(f"  {spec.spec_id()}  {spec.label}")
 
-    workers = max(1, min(len(managers), os.cpu_count() or 1))
-    runner = ParallelSweepRunner(max_workers=workers)
-    sweep = runner.manager_sweep("fig2", managers)
-    assert not sweep.errors, sweep.errors
-    traces = sweep.traces
+    workers = max(1, min(len(specs), os.cpu_count() or 1))
+    batch = run_many(specs, workers=workers)
+    assert not batch.errors, batch.errors
+    traces = batch.traces
 
     rtm_trace = traces["application-aware RTM"]
-    print("What the RTM did across the Fig 2 timeline:")
+    print("\nWhat the RTM did across the Fig 2 timeline:")
     describe_phases(rtm_trace, "dnn1")
     describe_phases(rtm_trace, "dnn2")
 

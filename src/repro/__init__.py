@@ -14,10 +14,15 @@ Embedded Machine Learning" (DATE 2020).  The package provides:
 * the runtime resource manager (knobs/monitors, operating-point search,
   policies, multi-application arbitration) — :mod:`repro.rtm`;
 * the static-pruning and governor-only baselines — :mod:`repro.baselines`;
-* the paper's published measurements — :mod:`repro.data`.
+* the paper's published measurements — :mod:`repro.data`;
+* declarative, serialisable experiment specs and their runner —
+  :mod:`repro.experiments`.
 """
 
 from repro.dnn import DynamicDNN, IncrementalTrainer, NetworkModel, make_dynamic_cifar_dnn
+from repro.experiments import ExperimentSpec
+from repro.experiments import run as run_experiment
+from repro.experiments import run_many as run_experiments
 from repro.perfmodel import CalibratedLatencyModel, EnergyModel
 from repro.platforms import Soc, build_preset, jetson_nano, odroid_xu3
 from repro.rtm import (
@@ -36,6 +41,9 @@ __all__ = [
     "IncrementalTrainer",
     "NetworkModel",
     "make_dynamic_cifar_dnn",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_experiments",
     "CalibratedLatencyModel",
     "EnergyModel",
     "Soc",

@@ -8,6 +8,8 @@ from repro.analysis.bench import (
     load_bench_file,
     run_bench,
     run_bench_case,
+    run_bench_spec,
+    run_bench_specs,
     write_bench_file,
 )
 from repro.analysis.report import (
@@ -43,6 +45,8 @@ __all__ = [
     "load_bench_file",
     "run_bench",
     "run_bench_case",
+    "run_bench_spec",
+    "run_bench_specs",
     "write_bench_file",
     "OPERATING_POINT_HEADERS",
     "TRACE_COMPARISON_HEADERS",

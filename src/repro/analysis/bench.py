@@ -17,21 +17,28 @@ report prints speedup factors against it.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.parallel import make_manager
+from repro.experiments.runner import (
+    build_manager_from_spec,
+    build_scenario_from_spec,
+    build_simulator_config,
+)
+from repro.experiments.spec import ExperimentSpec
 from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
-from repro.workloads.scenarios import build_scenario
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_BENCH_PATH",
     "BenchTimings",
     "BenchRegression",
+    "run_bench_spec",
+    "run_bench_specs",
     "run_bench_case",
     "run_bench",
     "write_bench_file",
@@ -117,22 +124,64 @@ class BenchRegression:
         )
 
 
-def _one_run(
-    scenario_name: str,
-    manager_name: str,
-    use_op_cache: bool,
-    platform_name: str,
-    seed: int,
-    simulator_config: Optional[SimulatorConfig],
-) -> tuple:
-    """(e2e seconds, decide ms/epoch, decisions, jobs) of one simulation."""
-    scenario = build_scenario(scenario_name, seed=seed, platform_name=platform_name)
-    manager = _TimedManager(make_manager(manager_name, use_op_cache=use_op_cache))
+def _one_run(spec: ExperimentSpec) -> tuple:
+    """(e2e seconds, decide ms/epoch, decisions, jobs) of one spec execution."""
+    scenario = build_scenario_from_spec(spec)
+    manager = _TimedManager(build_manager_from_spec(spec))
+    simulator_config = build_simulator_config(spec)
     start = time.perf_counter()
     trace = simulate_scenario(scenario, manager, config=simulator_config)
     e2e_s = time.perf_counter() - start
     decide_ms = manager.total_s / manager.count * 1000.0 if manager.count else 0.0
     return e2e_s, decide_ms, manager.count, len(trace.jobs)
+
+
+def run_bench_spec(spec: ExperimentSpec, repeats: int = 3) -> BenchTimings:
+    """Benchmark one experiment spec (cached and uncached decision path).
+
+    The spec's ``use_op_cache`` flag is overridden both ways: every case is
+    timed with the operating-point cache enabled *and* disabled, since the
+    two decide()-per-epoch numbers are the benchmark's payload.  Each
+    configuration runs ``repeats`` times and the best (minimum) timing is
+    kept — the standard way to suppress scheduler noise when the workload is
+    deterministic.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    cached_spec = dataclasses.replace(spec, use_op_cache=True)
+    uncached_spec = dataclasses.replace(spec, use_op_cache=False)
+    cached = [_one_run(cached_spec) for _ in range(repeats)]
+    uncached = [_one_run(uncached_spec) for _ in range(repeats)]
+    decisions, jobs = cached[0][2], cached[0][3]
+    return BenchTimings(
+        scenario=spec.scenario,
+        manager=spec.manager,
+        decisions=decisions,
+        jobs=jobs,
+        e2e_s=round(min(run[0] for run in cached), 4),
+        e2e_s_uncached=round(min(run[0] for run in uncached), 4),
+        decide_ms_per_epoch_cached=round(min(run[1] for run in cached), 4),
+        decide_ms_per_epoch_uncached=round(min(run[1] for run in uncached), 4),
+    )
+
+
+def run_bench_specs(
+    specs: Sequence[ExperimentSpec],
+    repeats: int = 3,
+    progress=None,
+) -> List[BenchTimings]:
+    """Benchmark a sequence of experiment specs.
+
+    ``progress`` is an optional callable invoked with each finished
+    :class:`BenchTimings` (the CLI prints a row per case).
+    """
+    results = []
+    for spec in specs:
+        timings = run_bench_spec(spec, repeats=repeats)
+        if progress is not None:
+            progress(timings)
+        results.append(timings)
+    return results
 
 
 def run_bench_case(
@@ -143,33 +192,15 @@ def run_bench_case(
     seed: int = 0,
     simulator_config: Optional[SimulatorConfig] = None,
 ) -> BenchTimings:
-    """Benchmark one (scenario, manager) combination.
-
-    Each configuration runs ``repeats`` times and the best (minimum) timing
-    is kept — the standard way to suppress scheduler noise when the workload
-    is deterministic.
-    """
-    if repeats < 1:
-        raise ValueError("repeats must be at least 1")
-    cached = [
-        _one_run(scenario_name, manager_name, True, platform_name, seed, simulator_config)
-        for _ in range(repeats)
-    ]
-    uncached = [
-        _one_run(scenario_name, manager_name, False, platform_name, seed, simulator_config)
-        for _ in range(repeats)
-    ]
-    decisions, jobs = cached[0][2], cached[0][3]
-    return BenchTimings(
+    """Benchmark one (scenario, manager) combination (spec-backed front-end)."""
+    spec = ExperimentSpec(
         scenario=scenario_name,
         manager=manager_name,
-        decisions=decisions,
-        jobs=jobs,
-        e2e_s=round(min(run[0] for run in cached), 4),
-        e2e_s_uncached=round(min(run[0] for run in uncached), 4),
-        decide_ms_per_epoch_cached=round(min(run[1] for run in cached), 4),
-        decide_ms_per_epoch_uncached=round(min(run[1] for run in uncached), 4),
+        platform=platform_name,
+        seed=seed,
+        simulator=dataclasses.asdict(simulator_config) if simulator_config else {},
     )
+    return run_bench_spec(spec, repeats=repeats)
 
 
 def run_bench(
@@ -186,21 +217,19 @@ def run_bench(
     ``progress`` is an optional callable invoked with each finished
     :class:`BenchTimings` (the CLI prints a row per case).
     """
-    results = []
-    for scenario_name in scenarios:
-        for manager_name in managers:
-            timings = run_bench_case(
-                scenario_name,
-                manager_name,
-                repeats=repeats,
-                platform_name=platform_name,
-                seed=seed,
-                simulator_config=simulator_config,
-            )
-            if progress is not None:
-                progress(timings)
-            results.append(timings)
-    return results
+    simulator = dataclasses.asdict(simulator_config) if simulator_config else {}
+    specs = [
+        ExperimentSpec(
+            scenario=scenario_name,
+            manager=manager_name,
+            platform=platform_name,
+            seed=seed,
+            simulator=simulator,
+        )
+        for scenario_name in scenarios
+        for manager_name in managers
+    ]
+    return run_bench_specs(specs, repeats=repeats, progress=progress)
 
 
 def _speedups(reference: Dict[str, dict], results: Dict[str, dict]) -> Dict[str, dict]:

@@ -22,6 +22,7 @@ Design rules that keep parallel runs exactly equivalent to serial ones:
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -30,8 +31,10 @@ from typing import Callable, Dict, Optional, Sequence, Union
 import numpy as np
 
 from repro.analysis.sweep import SweepResult
-from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
-from repro.rtm import MinEnergyUnderConstraints, RuntimeManager
+from repro.experiments.managers import MANAGER_REGISTRY, detach_op_cache, make_manager
+from repro.experiments.runner import run as run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import find_duplicates
 from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
 from repro.sim.trace import SimulationTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
@@ -44,53 +47,9 @@ __all__ = [
     "ParallelSweepRunner",
 ]
 
-
-def _rtm_min_energy() -> RuntimeManager:
-    """Runtime manager whose default policy minimises energy under constraints."""
-    return RuntimeManager(policy=MinEnergyUnderConstraints())
-
-
-#: Manager factories selectable by name from the CLI and sweep cases.
-MANAGER_REGISTRY: Dict[str, Callable[[], ManagerProtocol]] = {
-    "rtm": RuntimeManager,
-    "rtm_min_energy": _rtm_min_energy,
-    "governor_only": GovernorOnlyManager,
-    "static_deployment": StaticDeploymentManager,
-}
-
-
-def make_manager(name: str, use_op_cache: bool = True) -> ManagerProtocol:
-    """Instantiate a registered manager by name.
-
-    Raises ``KeyError`` (listing the available names) for unknown managers.
-
-    Parameters
-    ----------
-    name:
-        Registry name.
-    use_op_cache:
-        When False, managers that carry an operating-point cache have it
-        detached (used by the cached-vs-uncached parity tests and the
-        ``sweep --no-cache`` CLI flag).  Managers without a cache — the
-        baselines — are unaffected.
-    """
-    try:
-        factory = MANAGER_REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown manager {name!r}; available: {', '.join(sorted(MANAGER_REGISTRY))}"
-        ) from None
-    manager = factory()
-    if not use_op_cache:
-        _detach_op_cache(manager)
-    return manager
-
-
-def _detach_op_cache(manager: ManagerProtocol) -> None:
-    """Remove a manager's operating-point cache, if it carries one."""
-    detach = getattr(manager, "set_operating_point_cache", None)
-    if callable(detach):
-        detach(None)
+# Backwards-compatible alias: the detach helper moved to the unified manager
+# registry with the experiment-spec redesign.
+_detach_op_cache = detach_op_cache
 
 
 @dataclass(frozen=True)
@@ -125,6 +84,30 @@ class SweepCase:
     platform_name: str = "odroid_xu3"
     use_op_cache: bool = True
 
+    def to_spec(
+        self, simulator_config: Optional[SimulatorConfig] = None
+    ) -> ExperimentSpec:
+        """The :class:`ExperimentSpec` equivalent of this case.
+
+        Only cases described by registry names convert; cases built around
+        callables carry live objects that a serialisable spec cannot
+        reference, and raise ``ValueError``.
+        """
+        if not isinstance(self.scenario, str) or not isinstance(self.manager, str):
+            raise ValueError(
+                f"sweep case {self.name!r} uses callable scenario/manager factories; "
+                "only registry-name cases convert to an ExperimentSpec"
+            )
+        return ExperimentSpec(
+            name=self.name,
+            scenario=self.scenario,
+            manager=self.manager,
+            seed=self.seed,
+            platform=self.platform_name,
+            use_op_cache=self.use_op_cache,
+            simulator=dataclasses.asdict(simulator_config) if simulator_config else {},
+        )
+
 
 def _build_case_scenario(case: SweepCase) -> Scenario:
     if isinstance(case.scenario, str):
@@ -137,12 +120,20 @@ def _build_case_manager(case: SweepCase) -> ManagerProtocol:
         return make_manager(case.manager, use_op_cache=case.use_op_cache)
     manager = case.manager()
     if not case.use_op_cache:
-        _detach_op_cache(manager)
+        detach_op_cache(manager)
     return manager
 
 
 def _execute_case(case: SweepCase, simulator_config: Optional[SimulatorConfig]) -> SimulationTrace:
-    """Worker entry point: build everything from the case description and run."""
+    """Worker entry point: build everything from the case description and run.
+
+    Registry-name cases execute through the experiment-spec runner (the
+    single execution path shared with ``repro-experiments run``); cases that
+    carry callable factories use the legacy direct path, which builds the
+    same objects.
+    """
+    if isinstance(case.scenario, str) and isinstance(case.manager, str):
+        return run_experiment(case.to_spec(simulator_config), validate=False).trace
     scenario = _build_case_scenario(case)
     manager = _build_case_manager(case)
     return simulate_scenario(scenario, manager, config=simulator_config)
@@ -189,9 +180,8 @@ class ParallelSweepRunner:
         ``SweepResult.errors`` under the case name and the remaining cases
         still run.
         """
-        names = [case.name for case in cases]
-        if len(names) != len(set(names)):
-            duplicates = sorted({name for name in names if names.count(name) > 1})
+        duplicates = find_duplicates(case.name for case in cases)
+        if duplicates:
             raise ValueError(f"duplicate sweep case names: {duplicates}")
 
         outcomes: Dict[str, SimulationTrace] = {}

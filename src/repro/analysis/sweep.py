@@ -4,10 +4,19 @@ The ablation study and the robustness checks need the same loop: run a family
 of (scenario, manager) combinations, collect the headline statistics of every
 run, and aggregate across seeds.  This module provides that loop in one place
 so benchmarks and examples do not re-implement it.
+
+.. deprecated::
+    :func:`run_manager_sweep` and :func:`run_seed_sweep` predate the
+    declarative experiment layer.  New code should describe experiments as
+    :class:`repro.experiments.ExperimentSpec` objects and execute them with
+    :func:`repro.experiments.run_many` (or, for live callables that cannot be
+    named in a spec, :class:`repro.analysis.parallel.ParallelSweepRunner`).
+    The helpers remain as thin shims and emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
@@ -76,6 +85,13 @@ def run_manager_sweep(
     simulator_config:
         Optional simulator tunables shared by every run.
     """
+    warnings.warn(
+        "run_manager_sweep is deprecated; describe the cases as "
+        "repro.experiments.ExperimentSpec objects and execute them with "
+        "repro.experiments.run_many",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     result = SweepResult()
     for name, manager_factory in managers.items():
         trace = simulate_scenario(
@@ -98,6 +114,12 @@ def run_seed_sweep(
     plus the per-seed values, so robustness claims can be checked rather than
     asserted from a single draw.
     """
+    warnings.warn(
+        "run_seed_sweep is deprecated; use ParallelSweepRunner.seed_sweep or "
+        "repro.experiments.run_many over seeded ExperimentSpecs",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not seeds:
         raise ValueError("at least one seed is required")
     per_seed: Dict[int, SimulationTrace] = {}

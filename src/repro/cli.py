@@ -11,24 +11,31 @@ terminal without going through pytest:
 * ``scenario``   — replay a runtime scenario under a chosen manager and print
   the phase timeline and comparison tables;
 * ``scenarios``  — list the registered named scenarios;
+* ``managers``   — list the registered runtime managers;
+* ``platforms``  — list the platform presets with their cluster topology;
+* ``run``        — execute experiment spec files (TOML/JSON), optionally
+  across worker processes;
 * ``sweep``      — run a (scenario, manager, seed) grid, optionally across
   worker processes, and print per-case and aggregate statistics;
 * ``bench``      — time decide()-per-epoch and end-to-end simulation across
   scenarios x managers, write/refresh ``BENCH_decision_kernel.json`` and
   optionally gate against a committed baseline.
+
+The ``scenario``, ``sweep`` and ``bench`` commands are thin front-ends over
+:mod:`repro.experiments`: they assemble :class:`ExperimentSpec` objects and
+hand them to the spec runner.  Pass ``--dump-spec FILE`` (or ``-`` for
+stdout) to export the specs a command would run instead of running them; the
+resulting file replays bit-identically via ``repro-experiments run FILE``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional, Sequence
 
 from repro.analysis import (
     DEFAULT_BENCH_PATH,
-    MANAGER_REGISTRY,
-    ParallelSweepRunner,
-    SweepCase,
     adaptation_events,
     application_timeline,
     compare_bench,
@@ -36,17 +43,33 @@ from repro.analysis import (
     format_table,
     format_trace_comparison,
     load_bench_file,
-    run_bench,
-    run_manager_sweep,
+    run_bench_specs,
     write_bench_file,
 )
-from repro.baselines import GovernorOnlyManager, StaticDeploymentManager
 from repro.data.cifar import make_validation_set
 from repro.data.measurements import CASE_STUDY_BUDGETS, TABLE1_ROWS
 from repro.dnn import IncrementalTrainer, make_dynamic_cifar_dnn
 from repro.dnn.zoo import cifar_group_cnn
+from repro.experiments import (
+    MANAGER_REGISTRY,
+    ExperimentSpec,
+    SpecError,
+    build_scenario_from_spec,
+    dump_specs,
+    grid_specs,
+    load_specs,
+    run_many,
+    specs_to_toml,
+)
 from repro.perfmodel import CalibratedLatencyModel, EnergyModel
-from repro.platforms import build_preset, jetson_nano, odroid_xu3
+from repro.platforms import (
+    PLATFORM_REGISTRY,
+    build_preset,
+    jetson_nano,
+    odroid_xu3,
+    preset_summaries,
+)
+from repro.registry import Registry, find_duplicates
 from repro.rtm import (
     MinEnergyUnderConstraints,
     OperatingPointSpace,
@@ -60,7 +83,7 @@ from repro.workloads import (
     scenario_summaries,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "resolve_managers", "resolve_scenarios"]
 
 
 def _energy_model() -> EnergyModel:
@@ -69,6 +92,67 @@ def _energy_model() -> EnergyModel:
 
 def _trained_dnn():
     return IncrementalTrainer().train(make_dynamic_cifar_dnn())
+
+
+# ------------------------------------------------------------- name resolving
+
+
+def _resolve_names(label: str, names: Sequence[str], registry: Registry) -> bool:
+    """Validate registry names from the command line.
+
+    Prints unknown names (with did-you-mean suggestions) and duplicates to
+    stderr; returns True when every name resolves exactly once.
+    """
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(
+            f"unknown {label}s {unknown}; available: {sorted(registry)}",
+            file=sys.stderr,
+        )
+        for name in unknown:
+            suggestions = registry.suggest(name)
+            if suggestions:
+                print(
+                    f"  did you mean {', '.join(repr(s) for s in suggestions)} "
+                    f"instead of {name!r}?",
+                    file=sys.stderr,
+                )
+        return False
+    duplicates = find_duplicates(names)
+    if duplicates:
+        print(f"duplicate {label} names: {duplicates}", file=sys.stderr)
+        return False
+    return True
+
+
+def resolve_managers(names: Sequence[str]) -> bool:
+    """Validate manager names against the unified registry (see above)."""
+    return _resolve_names("manager", names, MANAGER_REGISTRY)
+
+
+def resolve_scenarios(names: Sequence[str]) -> bool:
+    """Validate scenario names against the unified registry (see above)."""
+    return _resolve_names("scenario", names, SCENARIO_REGISTRY)
+
+
+def _resolve_platform(name: str) -> bool:
+    """Validate one platform preset name, with suggestions on a near-miss."""
+    if name in PLATFORM_REGISTRY:
+        return True
+    print(PLATFORM_REGISTRY.describe_unknown(name), file=sys.stderr)
+    return False
+
+
+def _dump_specs_and_exit(specs: List[ExperimentSpec], destination: str) -> int:
+    """Write the specs a command would run to a file (or stdout for ``-``)."""
+    if destination == "-":
+        sys.stdout.write(specs_to_toml(specs))
+    else:
+        dump_specs(specs, destination)
+        plural = "experiment" if len(specs) == 1 else "experiments"
+        print(f"wrote {len(specs)} {plural} to {destination}")
+        print(f"replay with: repro-experiments run {destination}")
+    return 0
 
 
 # ------------------------------------------------------------------ commands
@@ -140,6 +224,8 @@ def cmd_fig4b(args: argparse.Namespace) -> int:
 
 def cmd_case_study(args: argparse.Namespace) -> int:
     """Run the Section IV budget queries (or a custom budget)."""
+    if not _resolve_platform(args.platform):
+        return 2
     trained = _trained_dnn()
     platform = build_preset(args.platform)
     manager = RuntimeManager(policy=make_policy(args.policy))
@@ -158,36 +244,49 @@ def cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_specs(args: argparse.Namespace) -> List[ExperimentSpec]:
+    """The spec set the ``scenario`` command replays."""
+    specs = [
+        ExperimentSpec(
+            name="rtm",
+            scenario=args.name,
+            manager="rtm",
+            platform=args.platform,
+            seed=args.seed,
+            policy_overrides={"dnn2": MinEnergyUnderConstraints.name},
+        )
+    ]
+    if args.baselines:
+        for manager in ("governor_only", "static_deployment"):
+            specs.append(
+                ExperimentSpec(
+                    name=manager,
+                    scenario=args.name,
+                    manager=manager,
+                    platform=args.platform,
+                    seed=args.seed,
+                )
+            )
+    return specs
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Replay a scenario under the RTM and (optionally) the baselines."""
-    try:
-        scenario_builder = SCENARIO_REGISTRY[args.name]
-    except KeyError:
-        print(
-            f"unknown scenario {args.name!r}; available: {sorted(SCENARIO_REGISTRY)}",
-            file=sys.stderr,
-        )
+    if not resolve_scenarios([args.name]) or not _resolve_platform(args.platform):
         return 2
+    specs = _scenario_specs(args)
+    if args.dump_spec is not None:
+        return _dump_specs_and_exit(specs, args.dump_spec)
 
-    def managers() -> Dict[str, Callable[[], object]]:
-        cases: Dict[str, Callable[[], object]] = {
-            "rtm": lambda: RuntimeManager(
-                policy_overrides={"dnn2": MinEnergyUnderConstraints()}
-            )
-        }
-        if args.baselines:
-            cases["governor_only"] = GovernorOnlyManager
-            cases["static_deployment"] = StaticDeploymentManager
-        return cases
+    batch = run_many(specs)
+    if batch.errors:
+        for name, message in batch.errors.items():
+            print(f"{name}: {message}", file=sys.stderr)
+        return 1
+    print(format_trace_comparison(batch.traces))
 
-    def factory():
-        return scenario_builder(seed=args.seed)
-
-    sweep = run_manager_sweep(factory, managers())
-    print(format_trace_comparison(sweep.traces))
-
-    rtm_trace = sweep.traces["rtm"]
-    scenario = factory()
+    rtm_trace = batch.traces["rtm"]
+    scenario = build_scenario_from_spec(specs[0])
     for app in scenario.dnn_applications:
         print(f"\nTimeline of {app.app_id} under the RTM:")
         for phase in application_timeline(rtm_trace, app.app_id, scenario=scenario):
@@ -215,34 +314,93 @@ def cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a (scenario, manager, seed) grid, optionally across worker processes."""
-    unknown_scenarios = [name for name in args.scenarios if name not in SCENARIO_REGISTRY]
-    if unknown_scenarios:
-        print(
-            f"unknown scenarios {unknown_scenarios}; available: {sorted(SCENARIO_REGISTRY)}",
-            file=sys.stderr,
+def cmd_managers_list(args: argparse.Namespace) -> int:
+    """List the registered runtime managers with their one-line descriptions."""
+    entries = MANAGER_REGISTRY.list()
+    width = max(len(entry.name) for entry in entries)
+    print(f"{len(entries)} registered managers (* = accepts policy/rtm overrides):")
+    for entry in entries:
+        marker = "*" if entry.metadata.get("configurable") else " "
+        print(f"  {entry.name:<{width}} {marker} {entry.summary}")
+    return 0
+
+
+def cmd_platforms_list(args: argparse.Namespace) -> int:
+    """List the platform presets with cluster topology and core counts."""
+    summaries = preset_summaries()
+    width = max(len(name) for name in summaries)
+    print(f"{len(summaries)} platform presets (* = calibrated against the paper):")
+    for name, info in summaries.items():
+        clusters = " + ".join(
+            f"{cluster_name}:{payload['num_cores']}x{payload['core_type']}"
+            for cluster_name, payload in info["clusters"].items()
         )
-        return 2
-    unknown_managers = [name for name in args.managers if name not in MANAGER_REGISTRY]
-    if unknown_managers:
-        print(
-            f"unknown managers {unknown_managers}; available: {sorted(MANAGER_REGISTRY)}",
-            file=sys.stderr,
-        )
-        return 2
-    for label, names in (("scenario", args.scenarios), ("manager", args.managers)):
-        duplicates = sorted({name for name in names if names.count(name) > 1})
-        if duplicates:
-            print(f"duplicate {label} names: {duplicates}", file=sys.stderr)
-            return 2
-    if args.seeds < 1:
-        print("--seeds must be at least 1", file=sys.stderr)
+        marker = "*" if info["calibrated"] else " "
+        print(f"  {name:<{width}} {marker} {info['total_cores']:>2} cores  {clusters}")
+        print(f"  {'':<{width}}   {info['summary']}")
+    return 0
+
+
+def _print_case_table(traces, show_spec_ids=None) -> None:
+    """Per-case headline statistics shared by ``run`` and ``sweep``."""
+    headers = ["case", "violation rate", "mean top-1 (%)", "energy (J)"]
+    if show_spec_ids:
+        headers.insert(1, "spec id")
+    rows = []
+    for name, trace in traces.items():
+        row = [
+            name,
+            round(trace.violation_rate(), 4),
+            round(trace.mean_accuracy_percent(), 2),
+            round(trace.total_energy_mj() / 1000.0, 3),
+        ]
+        if show_spec_ids:
+            row.insert(1, show_spec_ids[name])
+        rows.append(row)
+    print(format_table(headers, rows, precision=4))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute experiment spec files through the spec runner."""
+    specs: List[ExperimentSpec] = []
+    try:
+        for path in args.specs:
+            specs.extend(load_specs(path))
+        for spec in specs:
+            spec.validate()
+    except SpecError as error:
+        print(f"invalid spec: {error}", file=sys.stderr)
         return 2
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
 
+    duplicates = find_duplicates(spec.label for spec in specs)
+    if duplicates:
+        print(
+            f"duplicate experiment labels {duplicates}; give repeated entries "
+            "distinct 'name' keys",
+            file=sys.stderr,
+        )
+        return 2
+
+    plural = "experiment" if len(specs) == 1 else "experiments"
+    source = ", ".join(args.specs)
+    print(f"run: {len(specs)} {plural} from {source} (workers={args.workers})")
+    batch = run_many(specs, workers=args.workers, validate=False)
+    spec_ids = {spec.label: spec.spec_id() for spec in specs}
+    _print_case_table(batch.traces, show_spec_ids=spec_ids)
+
+    if batch.errors:
+        print(f"\n{len(batch.errors)} experiment(s) failed:", file=sys.stderr)
+        for name, message in batch.errors.items():
+            print(f"  {name}: {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _sweep_specs(args: argparse.Namespace) -> tuple:
+    """(specs, seeds, seeds_for) of a ``sweep`` invocation."""
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     # Deterministic scenarios ignore the seed: run them once instead of
     # repeating the identical simulation and passing the copies off as
@@ -250,6 +408,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     seeds_for = {
         name: seeds if scenario_is_seeded(name) else seeds[:1] for name in args.scenarios
     }
+    specs = [
+        ExperimentSpec(
+            scenario=scenario,
+            manager=manager,
+            seed=seed,
+            platform=args.platform,
+            use_op_cache=not args.no_cache,
+        )
+        for scenario in args.scenarios
+        for manager in args.managers
+        for seed in seeds_for[scenario]
+    ]
+    return specs, seeds, seeds_for
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (scenario, manager, seed) grid, optionally across worker processes."""
+    if not resolve_scenarios(args.scenarios) or not resolve_managers(args.managers):
+        return 2
+    if not _resolve_platform(args.platform):
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+
+    specs, seeds, seeds_for = _sweep_specs(args)
     for name in args.scenarios:
         if len(seeds_for[name]) < len(seeds):
             print(
@@ -257,36 +444,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"of {len(seeds)}",
                 file=sys.stderr,
             )
-    cases = [
-        SweepCase(
-            name=f"{scenario}/{manager}/seed{seed}",
-            scenario=scenario,
-            manager=manager,
-            seed=seed,
-            platform_name=args.platform,
-            use_op_cache=not args.no_cache,
-        )
-        for scenario in args.scenarios
-        for manager in args.managers
-        for seed in seeds_for[scenario]
-    ]
-    runner = ParallelSweepRunner(max_workers=args.workers)
-    result = runner.run(cases)
+    if args.dump_spec is not None:
+        return _dump_specs_and_exit(specs, args.dump_spec)
 
-    rows = [
-        [
-            name,
-            round(trace.violation_rate(), 4),
-            round(trace.mean_accuracy_percent(), 2),
-            round(trace.total_energy_mj() / 1000.0, 3),
-        ]
-        for name, trace in result.traces.items()
-    ]
+    result = run_many(specs, workers=args.workers, validate=False)
+
     print(
         f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
         f"x {len(seeds)} seeds on {args.platform}"
     )
-    print(format_table(["case", "violation rate", "mean top-1 (%)", "energy (J)"], rows, precision=4))
+    _print_case_table(result.traces)
 
     # Aggregate across seeds per (scenario, manager) pair.
     aggregate_rows = []
@@ -367,15 +534,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         BENCH_SMOKE_SCENARIOS if args.smoke else BENCH_DEFAULT_SCENARIOS
     )
     managers = args.managers or (BENCH_SMOKE_MANAGERS if args.smoke else BENCH_DEFAULT_MANAGERS)
-    unknown = [name for name in scenarios if name not in SCENARIO_REGISTRY]
-    if unknown:
-        print(f"unknown scenarios {unknown}; available: {sorted(SCENARIO_REGISTRY)}", file=sys.stderr)
+    if not resolve_scenarios(scenarios) or not resolve_managers(managers):
         return 2
-    unknown = [name for name in managers if name not in MANAGER_REGISTRY]
-    if unknown:
-        print(f"unknown managers {unknown}; available: {sorted(MANAGER_REGISTRY)}", file=sys.stderr)
+    if not _resolve_platform(args.platform):
         return 2
     repeats = 1 if args.smoke and args.repeats is None else (args.repeats or 3)
+    specs = grid_specs(scenarios, managers, seeds=[0], platform=args.platform)
+    if args.dump_spec is not None:
+        return _dump_specs_and_exit(specs, args.dump_spec)
 
     def progress(timings) -> None:
         print(
@@ -388,13 +554,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"bench: {len(scenarios)} scenarios x {len(managers)} managers on "
         f"{args.platform}, best of {repeats}"
     )
-    results = run_bench(
-        scenarios,
-        managers,
-        repeats=repeats,
-        platform_name=args.platform,
-        progress=progress,
-    )
+    results = run_bench_specs(specs, repeats=repeats, progress=progress)
     rows = [
         [
             timings.key,
@@ -504,16 +664,42 @@ def build_parser() -> argparse.ArgumentParser:
     scenario = subparsers.add_parser("scenario", help="replay a runtime scenario")
     scenario.add_argument("--name", default="fig2", help="scenario name (fig2, single_dnn, ...)")
     scenario.add_argument("--seed", type=int, default=0, help="seed for generated scenarios")
+    scenario.add_argument("--platform", default="odroid_xu3", help="platform preset")
     scenario.add_argument(
         "--baselines", action="store_true", help="also run the governor-only and static baselines"
     )
     scenario.add_argument("--events", action="store_true", help="print adaptation events")
+    scenario.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="FILE",
+        help="write the experiment spec(s) to FILE ('-' for stdout) instead of running",
+    )
     scenario.set_defaults(func=cmd_scenario)
 
     scenarios = subparsers.add_parser("scenarios", help="inspect the scenario registry")
     scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
     scenarios_list = scenarios_sub.add_parser("list", help="list registered scenarios")
     scenarios_list.set_defaults(func=cmd_scenarios_list)
+
+    managers = subparsers.add_parser("managers", help="inspect the manager registry")
+    managers_sub = managers.add_subparsers(dest="managers_command", required=True)
+    managers_list = managers_sub.add_parser("list", help="list registered managers")
+    managers_list.set_defaults(func=cmd_managers_list)
+
+    platforms = subparsers.add_parser("platforms", help="inspect the platform presets")
+    platforms_sub = platforms.add_subparsers(dest="platforms_command", required=True)
+    platforms_list = platforms_sub.add_parser(
+        "list", help="list platform presets with cluster topology"
+    )
+    platforms_list.set_defaults(func=cmd_platforms_list)
+
+    run = subparsers.add_parser(
+        "run", help="execute experiment spec files (TOML or JSON)"
+    )
+    run.add_argument("specs", nargs="+", metavar="SPEC", help="spec files to execute")
+    run.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    run.set_defaults(func=cmd_run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a (scenario, manager, seed) grid, optionally in parallel"
@@ -530,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--managers",
         nargs="+",
         default=["rtm", "governor_only", "static_deployment"],
-        help=f"manager names (available: {', '.join(sorted(MANAGER_REGISTRY))})",
+        help="manager names (see 'managers list')",
     )
     sweep.add_argument("--seeds", type=int, default=1, help="number of seeds per combination")
     sweep.add_argument("--seed-base", type=int, default=0, help="first seed of the range")
@@ -545,6 +731,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="run managers without the operating-point cache (identical results, slower)",
+    )
+    sweep.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="FILE",
+        help="write the sweep's experiment specs to FILE ('-' for stdout) instead of running",
     )
     sweep.set_defaults(func=cmd_sweep)
 
@@ -562,7 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--managers",
         nargs="+",
         default=None,
-        help=f"manager names (available: {', '.join(sorted(MANAGER_REGISTRY))})",
+        help="manager names (see 'managers list')",
     )
     bench.add_argument(
         "--repeats",
@@ -599,6 +791,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed decide()-per-epoch slowdown vs --compare (fraction, default 0.25)",
+    )
+    bench.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="FILE",
+        help="write the bench grid's experiment specs to FILE ('-' for stdout) instead of running",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,258 @@
+"""Execute experiment specs: ``run(spec)`` and ``run_many(specs, workers=N)``.
+
+The runner is the single execution path behind the CLI (``scenario``,
+``sweep``, ``run``), the parallel sweep engine and the benchmark harness:
+every component of a run — scenario, platform, manager, simulator config —
+is built from the spec's registry references inside the executing process, so
+a spec crosses process (and machine) boundaries as pure data and replays
+bit-identically wherever it lands.
+
+Design rules inherited from the parallel sweep engine:
+
+* every spec is seeded explicitly; workers share no random state;
+* results are reassembled in submission order, so aggregates are identical
+  for any worker count;
+* a spec that raises is captured per case (``ExperimentBatch.errors``)
+  instead of killing the batch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.managers import MANAGER_REGISTRY, detach_op_cache, make_manager
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import find_duplicates
+from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
+from repro.sim.trace import SimulationTrace
+from repro.workloads.scenarios import Scenario, build_scenario
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentBatch",
+    "build_scenario_from_spec",
+    "build_manager_from_spec",
+    "build_simulator_config",
+    "run",
+    "run_many",
+    "grid_specs",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one executed spec."""
+
+    spec: ExperimentSpec
+    trace: SimulationTrace
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def spec_id(self) -> str:
+        return self.spec.spec_id()
+
+
+@dataclass
+class ExperimentBatch:
+    """Results of ``run_many``: per-spec results plus per-spec errors.
+
+    ``results`` is keyed by spec label in submission order; specs whose
+    execution raised are absent from ``results`` and recorded in ``errors``
+    as ``label -> message``.
+    """
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def traces(self) -> Dict[str, SimulationTrace]:
+        """Per-case traces, keyed by label (submission order)."""
+        return {label: result.trace for label, result in self.results.items()}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # Aggregates mirroring repro.analysis.sweep.SweepResult, so readers of
+    # the legacy sweep statistics switch runners without changing.
+
+    def violation_rates(self) -> Dict[str, float]:
+        """Violation rate per case."""
+        return {label: result.trace.violation_rate() for label, result in self.results.items()}
+
+    def energies_mj(self) -> Dict[str, float]:
+        """Total inference energy per case."""
+        return {label: result.trace.total_energy_mj() for label, result in self.results.items()}
+
+    def mean_accuracies(self) -> Dict[str, float]:
+        """Mean delivered accuracy per case."""
+        return {
+            label: result.trace.mean_accuracy_percent()
+            for label, result in self.results.items()
+        }
+
+    def best_case(self) -> str:
+        """Case with the lowest violation rate (ties broken by energy)."""
+        if not self.results:
+            raise ValueError("the batch produced no results")
+        return min(
+            self.results,
+            key=lambda label: (
+                self.results[label].trace.violation_rate(),
+                self.results[label].trace.total_energy_mj(),
+            ),
+        )
+
+
+# ------------------------------------------------------------------ builders
+
+
+def build_scenario_from_spec(spec: ExperimentSpec) -> Scenario:
+    """Instantiate the spec's scenario (seed and platform applied)."""
+    return build_scenario(
+        spec.scenario,
+        seed=spec.seed,
+        platform_name=spec.platform,
+        **spec.scenario_params,
+    )
+
+
+def build_manager_from_spec(spec: ExperimentSpec) -> ManagerProtocol:
+    """Instantiate the spec's manager, applying policy and RTM overrides.
+
+    A spec without overrides goes through the plain registry factory — the
+    exact objects the legacy ``SweepCase`` path built, so unadorned specs are
+    bit-identical to it.
+    """
+    if not (spec.policy or spec.policy_overrides or spec.rtm):
+        return make_manager(spec.manager, use_op_cache=spec.use_op_cache)
+
+    entry = MANAGER_REGISTRY.entry(spec.manager)
+    if not entry.metadata.get("configurable"):
+        raise ValueError(
+            f"manager {spec.manager!r} is not configurable: it accepts no "
+            "policy/policy_overrides/rtm overrides"
+        )
+    from repro.rtm import RTMConfig, RuntimeManager
+    from repro.rtm.policies import make_policy
+
+    policy_name = spec.policy or entry.metadata.get("default_policy")
+    policy = make_policy(str(policy_name)) if policy_name else None
+    config = RTMConfig(**spec.rtm) if spec.rtm else None
+    overrides = {
+        app_id: make_policy(name) for app_id, name in spec.policy_overrides.items()
+    }
+    manager = RuntimeManager(
+        policy=policy,
+        config=config,
+        policy_overrides=overrides or None,
+    )
+    if not spec.use_op_cache:
+        detach_op_cache(manager)
+    return manager
+
+
+def build_simulator_config(spec: ExperimentSpec) -> Optional[SimulatorConfig]:
+    """The spec's simulator tunables (``None`` means engine defaults)."""
+    return SimulatorConfig(**spec.simulator) if spec.simulator else None
+
+
+# ----------------------------------------------------------------- execution
+
+
+def run(spec: ExperimentSpec, validate: bool = True) -> ExperimentResult:
+    """Execute one spec and return its result.
+
+    Everything is built from the spec in this process: scenario (seeded),
+    platform preset, manager (with policy/RTM overrides) and simulator
+    config.  With ``validate`` (the default) the spec's registry references
+    are checked up front so misspelled names fail with a suggestion instead
+    of deep inside a worker.
+    """
+    if validate:
+        spec.validate()
+    scenario = build_scenario_from_spec(spec)
+    manager = build_manager_from_spec(spec)
+    trace = simulate_scenario(scenario, manager, config=build_simulator_config(spec))
+    return ExperimentResult(spec=spec, trace=trace)
+
+
+def _run_one(spec: ExperimentSpec) -> ExperimentResult:
+    """Worker entry point (module-level, hence picklable)."""
+    return run(spec, validate=False)
+
+
+def run_many(
+    specs: Sequence[ExperimentSpec],
+    workers: int = 1,
+    validate: bool = True,
+) -> ExperimentBatch:
+    """Execute specs serially (``workers=1``) or across a process pool.
+
+    Results are keyed by :attr:`ExperimentSpec.label` and reassembled in
+    submission order, so aggregates are byte-identical for any worker count.
+    One failing spec does not abort the batch: its error message lands in
+    ``ExperimentBatch.errors`` under the label and the remaining specs still
+    run.  Duplicate labels are rejected up front (give batch entries explicit
+    ``name``\\ s to disambiguate repeats).
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    duplicates = find_duplicates(spec.label for spec in specs)
+    if duplicates:
+        raise ValueError(f"duplicate experiment labels: {duplicates}")
+    if validate:
+        for spec in specs:
+            spec.validate()
+
+    outcomes: Dict[str, ExperimentResult] = {}
+    failures: Dict[str, str] = {}
+    if workers == 1:
+        for spec in specs:
+            try:
+                outcomes[spec.label] = _run_one(spec)
+            except Exception as exc:  # noqa: BLE001 - per-spec isolation
+                failures[spec.label] = f"{type(exc).__name__}: {exc}"
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {spec.label: executor.submit(_run_one, spec) for spec in specs}
+            for label, future in futures.items():
+                exc = future.exception()
+                if exc is not None:
+                    failures[label] = f"{type(exc).__name__}: {exc}"
+                else:
+                    outcomes[label] = future.result()
+
+    batch = ExperimentBatch()
+    for spec in specs:  # reassemble in submission order
+        if spec.label in outcomes:
+            batch.results[spec.label] = outcomes[spec.label]
+        else:
+            batch.errors[spec.label] = failures[spec.label]
+    return batch
+
+
+def grid_specs(
+    scenarios: Sequence[str],
+    managers: Sequence[str],
+    seeds: Sequence[int],
+    platform: str = "odroid_xu3",
+    use_op_cache: bool = True,
+) -> List[ExperimentSpec]:
+    """Cartesian (scenario, manager, seed) batch with ``s/m/seedN`` labels."""
+    return [
+        ExperimentSpec(
+            scenario=scenario,
+            manager=manager,
+            seed=seed,
+            platform=platform,
+            use_op_cache=use_op_cache,
+        )
+        for scenario in scenarios
+        for manager in managers
+        for seed in seeds
+    ]

@@ -16,6 +16,7 @@ from repro.platforms.dvfs import (
 )
 from repro.platforms.power import ClusterPowerModel, PowerModelParams, dynamic_power_mw, static_power_mw
 from repro.platforms.presets import (
+    PLATFORM_REGISTRY,
     PRESET_BUILDERS,
     a13_like,
     build_preset,
@@ -23,6 +24,7 @@ from repro.platforms.presets import (
     jetson_nano,
     kirin990_like,
     odroid_xu3,
+    preset_summaries,
 )
 from repro.platforms.soc import MemorySpec, Soc
 from repro.platforms.thermal import ThermalModel, ThermalParams
@@ -44,8 +46,10 @@ __all__ = [
     "Soc",
     "ThermalModel",
     "ThermalParams",
+    "PLATFORM_REGISTRY",
     "PRESET_BUILDERS",
     "build_preset",
+    "preset_summaries",
     "odroid_xu3",
     "jetson_nano",
     "kirin990_like",

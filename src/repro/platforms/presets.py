@@ -34,12 +34,15 @@ reproduces Table I within a few percent.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.platforms.cluster import Cluster, ClusterPerformanceParams
 from repro.platforms.core import CoreType
 from repro.platforms.dvfs import make_opp_table
 from repro.platforms.power import PowerModelParams
 from repro.platforms.soc import MemorySpec, Soc
 from repro.platforms.thermal import ThermalParams
+from repro.registry import Registry
 
 __all__ = [
     "odroid_xu3",
@@ -47,8 +50,10 @@ __all__ = [
     "kirin990_like",
     "a13_like",
     "generic_quad",
+    "PLATFORM_REGISTRY",
     "PRESET_BUILDERS",
     "build_preset",
+    "preset_summaries",
 ]
 
 #: MAC count of the reference CIFAR-10 network used for calibration.  The
@@ -341,14 +346,17 @@ def generic_quad() -> Soc:
     return Soc(name="generic_quad", clusters=[cpu])
 
 
-#: Registry of preset builders by name.
-PRESET_BUILDERS = {
-    "odroid_xu3": odroid_xu3,
-    "jetson_nano": jetson_nano,
-    "kirin990_like": kirin990_like,
-    "a13_like": a13_like,
-    "generic_quad": generic_quad,
-}
+#: Registry of preset builders by name (calibrated = fitted against the
+#: paper's measurements, as opposed to the representative flagship models).
+PLATFORM_REGISTRY: Registry[Soc] = Registry("platform preset")
+PLATFORM_REGISTRY.register("odroid_xu3", odroid_xu3, calibrated=True)
+PLATFORM_REGISTRY.register("jetson_nano", jetson_nano, calibrated=True)
+PLATFORM_REGISTRY.register("kirin990_like", kirin990_like, calibrated=False)
+PLATFORM_REGISTRY.register("a13_like", a13_like, calibrated=False)
+PLATFORM_REGISTRY.register("generic_quad", generic_quad, calibrated=False)
+
+#: Backwards-compatible alias (a mapping of ``name -> builder``).
+PRESET_BUILDERS = PLATFORM_REGISTRY
 
 
 def build_preset(name: str) -> Soc:
@@ -356,13 +364,33 @@ def build_preset(name: str) -> Soc:
 
     Raises
     ------
-    ValueError
-        If the name is not a known preset.
+    KeyError
+        If the name is not a known preset; the message lists the available
+        preset names (and suggests the closest match for near-misses).
     """
-    try:
-        builder = PRESET_BUILDERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown platform preset {name!r}; available: {sorted(PRESET_BUILDERS)}"
-        ) from None
-    return builder()
+    return PLATFORM_REGISTRY.get(name)()
+
+
+def preset_summaries() -> Dict[str, Dict[str, object]]:
+    """Topology metadata of every preset, keyed by name.
+
+    Builds each preset once and reports its cluster layout (name, core type
+    and core count per cluster), total core count and one-line description —
+    the payload of ``repro-experiments platforms list``.
+    """
+    summaries: Dict[str, Dict[str, object]] = {}
+    for entry in PLATFORM_REGISTRY.list():
+        soc = entry.factory()
+        summaries[entry.name] = {
+            "summary": entry.summary,
+            "calibrated": bool(entry.metadata.get("calibrated")),
+            "clusters": {
+                cluster.name: {
+                    "core_type": cluster.core_type.value,
+                    "num_cores": cluster.num_cores,
+                }
+                for cluster in soc.clusters
+            },
+            "total_cores": sum(cluster.num_cores for cluster in soc.clusters),
+        }
+    return summaries

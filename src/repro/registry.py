@@ -1,0 +1,173 @@
+"""A generic named-component registry.
+
+Every axis of an experiment — scenarios, managers, platform presets,
+selection policies — is a family of named factories.  Before this module each
+family kept its own ad-hoc dict with its own lookup helper and its own error
+message; :class:`Registry` unifies them behind one small, typed container so
+that experiment specs (:mod:`repro.experiments`) can reference any component
+by name and the CLI can enumerate every axis the same way.
+
+A :class:`Registry` behaves like a read-only mapping of ``name -> factory``
+(so existing ``name in REGISTRY`` / ``sorted(REGISTRY)`` / ``REGISTRY[name]``
+call sites keep working), and additionally carries per-entry metadata and a
+one-line summary used by the ``repro-experiments ... list`` subcommands.
+Unknown names raise a ``KeyError`` that lists the available names and, when a
+close match exists, suggests it.
+
+One deliberate deviation from ``Mapping``: ``registry.get(name)`` *without a
+default* is the raising lookup (the suggestion-bearing ``KeyError`` above),
+not ``None`` — a silent ``None`` for a misspelled component name is exactly
+the failure mode the registry exists to prevent.  Pass an explicit default
+(``registry.get(name, None)``) for the classic dict behaviour.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterable, Iterator, List, Mapping, Optional, TypeVar
+
+__all__ = ["Registry", "RegistryEntry", "find_duplicates"]
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+def find_duplicates(names: Iterable[str]) -> List[str]:
+    """Names appearing more than once, sorted (linear, unlike count() loops)."""
+    return sorted(name for name, count in Counter(names).items() if count > 1)
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One named component: a factory plus free-form metadata."""
+
+    name: str
+    factory: Callable[..., T]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> str:
+        """One-line description: explicit metadata first, else the docstring."""
+        summary = self.metadata.get("summary")
+        if summary:
+            return str(summary)
+        doc = (self.factory.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+class Registry(Mapping[str, Callable[..., T]], Generic[T]):
+    """Named factories with metadata, lookup suggestions and listing.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind ("scenario", "manager", ...) used in
+        error messages: ``unknown scenario 'x'; available: ...``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry[T]] = {}
+
+    # -------------------------------------------------------------- mutation
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., T]] = None,
+        **metadata: object,
+    ):
+        """Register a factory under ``name`` (directly or as a decorator).
+
+        Direct form::
+
+            REGISTRY.register("rtm", RuntimeManager, configurable=True)
+
+        Decorator form::
+
+            @REGISTRY.register("steady", seeded=True)
+            def steady_scenario(...): ...
+
+        Raises ``ValueError`` when the name is already registered.
+        """
+
+        def record(target: Callable[..., T]) -> Callable[..., T]:
+            if name in self._entries:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._entries[name] = RegistryEntry(name=name, factory=target, metadata=dict(metadata))
+            return target
+
+        if factory is not None:
+            return record(factory)
+        return record
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (used by tests that register throwaway components)."""
+        self._entries.pop(name, None)
+
+    # --------------------------------------------------------------- lookup
+
+    def get(self, name: str, default: object = _MISSING) -> Callable[..., T]:
+        """The factory registered under ``name``.
+
+        Without ``default`` an unknown name raises a ``KeyError`` listing the
+        available names (and the closest match, when one exists); with
+        ``default`` this behaves like ``Mapping.get``.
+        """
+        entry = self._entries.get(name)
+        if entry is not None:
+            return entry.factory
+        if default is not _MISSING:
+            return default  # type: ignore[return-value]
+        raise KeyError(self.describe_unknown(name))
+
+    def entry(self, name: str) -> RegistryEntry[T]:
+        """The full entry (factory + metadata) registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(self.describe_unknown(name)) from None
+
+    def metadata(self, name: str) -> Dict[str, object]:
+        """Metadata of the entry registered under ``name``."""
+        return self.entry(name).metadata
+
+    def list(self) -> List[RegistryEntry[T]]:
+        """All entries, sorted by name."""
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def suggest(self, name: str, cutoff: float = 0.6) -> List[str]:
+        """Registered names close to a (presumably misspelled) ``name``."""
+        return difflib.get_close_matches(name, sorted(self._entries), n=3, cutoff=cutoff)
+
+    def describe_unknown(self, name: str) -> str:
+        """Error message for an unknown name, with suggestions when close."""
+        message = f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+        suggestions = self.suggest(name)
+        if suggestions:
+            message += f" (did you mean {', '.join(repr(s) for s in suggestions)}?)"
+        return message
+
+    # ------------------------------------------------------ mapping protocol
+
+    def __getitem__(self, name: str) -> Callable[..., T]:
+        try:
+            return self._entries[name].factory
+        except KeyError:
+            raise KeyError(self.describe_unknown(name)) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.registry import Registry
 from repro.rtm.operating_points import OperatingPoint, OperatingPointTable
 from repro.workloads.requirements import MetricSample, Requirements
 
@@ -333,20 +334,24 @@ class MaxConfidenceUnderBudget(SelectionPolicy):
         return table.point(self._select_row(table, requirements, power_cap_mw))
 
 
-#: Mapping of policy name to class, used by benchmarks and the CLI examples.
-POLICY_REGISTRY = {
-    MaxAccuracyUnderBudget.name: MaxAccuracyUnderBudget,
-    MinEnergyUnderConstraints.name: MinEnergyUnderConstraints,
-    MinLatencyUnderPowerCap.name: MinLatencyUnderPowerCap,
-    MaxConfidenceUnderBudget.name: MaxConfidenceUnderBudget,
-}
+#: Mapping of policy name to class, used by experiment specs, benchmarks and
+#: the CLI examples.
+POLICY_REGISTRY: Registry[SelectionPolicy] = Registry("policy")
+for _policy_class in (
+    MaxAccuracyUnderBudget,
+    MinEnergyUnderConstraints,
+    MinLatencyUnderPowerCap,
+    MaxConfidenceUnderBudget,
+):
+    POLICY_REGISTRY.register(_policy_class.name, _policy_class)
+del _policy_class
 
 
 def make_policy(name: str) -> SelectionPolicy:
-    """Instantiate a policy by registry name."""
-    try:
-        return POLICY_REGISTRY[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
-        ) from None
+    """Instantiate a policy by registry name.
+
+    Raises ``ValueError`` (listing the available names) for unknown policies.
+    """
+    if name not in POLICY_REGISTRY:
+        raise ValueError(POLICY_REGISTRY.describe_unknown(name))
+    return POLICY_REGISTRY[name]()

@@ -30,6 +30,7 @@ from repro.dnn.zoo import make_dynamic_cifar_dnn
 from repro.platforms.core import CoreType
 from repro.platforms.presets import build_preset
 from repro.platforms.soc import Soc
+from repro.registry import Registry
 from repro.workloads.requirements import Requirements
 from repro.workloads.tasks import (
     Application,
@@ -331,24 +332,31 @@ def thermal_stress_scenario(
 # ----------------------------------------------------------------- registry
 #
 # Named scenarios selectable from the CLI (``repro-experiments scenarios
-# list`` / ``sweep --scenarios ...``) and from the parallel sweep runner.
-# Every registered builder has the uniform signature
+# list`` / ``sweep --scenarios ...``), from experiment specs
+# (:mod:`repro.experiments`) and from the parallel sweep runner.  Every
+# registered builder has the uniform signature
 # ``builder(seed=0, platform_name="odroid_xu3") -> Scenario`` so that sweep
 # cases can be described by (name, seed, platform) triples that cross process
 # boundaries without pickling closures.  Builders that are deterministic by
 # construction (the hand-written timelines above) simply ignore the seed.
 
-#: Builders of named scenarios, keyed by registry name.
-SCENARIO_REGISTRY: Dict[str, Callable[..., Scenario]] = {}
+#: Builders of named scenarios, keyed by registry name.  A mapping of
+#: ``name -> builder`` with per-entry metadata (``seeded``).
+SCENARIO_REGISTRY: Registry[Scenario] = Registry("scenario")
 
 #: Registry names whose builder actually varies with ``seed``.  Deterministic
 #: timelines (the paper's hand-written scenarios) are absent; sweeping them
-#: across seeds would just repeat the identical simulation.
+#: across seeds would just repeat the identical simulation.  This is a
+#: legacy public mirror of the registry's ``seeded`` metadata (the source of
+#: truth read by :func:`scenario_is_seeded`), kept in sync by
+#: :func:`register_scenario` — the only supported registration path.
 SEEDED_SCENARIOS: set = set()
 
 
 def register_scenario(
-    name: str, seeded: bool = True
+    name: str,
+    seeded: bool = True,
+    params: object = None,
 ) -> Callable[[Callable[..., Scenario]], Callable[..., Scenario]]:
     """Register a named scenario builder.
 
@@ -364,14 +372,20 @@ def register_scenario(
     and carry a docstring whose first line describes the workload shape.
     Pass ``seeded=False`` for deterministic builders that ignore the seed, so
     sweeps know not to repeat them per seed.
+
+    ``params`` declares which extra keyword arguments (an experiment spec's
+    ``scenario_params``) the builder accepts — an iterable of names, or a
+    zero-argument callable returning one (for sets that would require an
+    import cycle at registration time).  When omitted, spec validation falls
+    back to inspecting the builder's signature; builders that take ``**extra``
+    should declare ``params`` explicitly so misspelled keys are rejected up
+    front instead of failing inside a worker.
     """
 
     def decorator(builder: Callable[..., Scenario]) -> Callable[..., Scenario]:
-        if name in SCENARIO_REGISTRY:
-            raise ValueError(f"scenario {name!r} is already registered")
         if not (builder.__doc__ or "").strip():
             raise ValueError(f"scenario {name!r} needs a docstring describing the workload")
-        SCENARIO_REGISTRY[name] = builder
+        SCENARIO_REGISTRY.register(name, builder, seeded=seeded, params=params)
         if seeded:
             SEEDED_SCENARIOS.add(name)
         return builder
@@ -379,35 +393,59 @@ def register_scenario(
     return decorator
 
 
+def _params_of(function: Callable[..., Scenario], exclude: tuple = ()) -> tuple:
+    """Keyword-parameter names of a wrapped scenario function.
+
+    Used to declare a registered wrapper's accepted ``scenario_params`` from
+    the function it forwards to; ``exclude`` drops parameters a serialisable
+    spec cannot carry (live objects such as ``trained_factory``).
+    """
+    import inspect
+
+    signature = inspect.signature(function)
+    return tuple(
+        parameter.name
+        for parameter in signature.parameters.values()
+        if parameter.kind in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        and parameter.name not in ("platform_name", *exclude)
+    )
+
+
+def _generator_param_names() -> tuple:
+    """Accepted ``scenario_params`` of the generator-backed builders.
+
+    A callable (evaluated lazily at validation time) because importing
+    :class:`WorkloadGeneratorConfig` at registration time would cycle with
+    :mod:`repro.workloads.generator`.
+    """
+    import dataclasses
+
+    from repro.workloads.generator import WorkloadGeneratorConfig
+
+    return tuple(field.name for field in dataclasses.fields(WorkloadGeneratorConfig))
+
+
 def scenario_is_seeded(name: str) -> bool:
     """True when the named scenario's builder varies with the seed."""
-    if name not in SCENARIO_REGISTRY:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIO_REGISTRY))}"
-        )
-    return name in SEEDED_SCENARIOS
+    return bool(SCENARIO_REGISTRY.metadata(name).get("seeded"))
 
 
-def build_scenario(name: str, seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+def build_scenario(
+    name: str, seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Build a registered scenario by name.
 
-    Raises ``KeyError`` (listing the available names) for unknown scenarios.
+    Extra keyword arguments (an experiment spec's ``scenario_params``) are
+    forwarded to the builder.  Raises ``KeyError`` (listing the available
+    names, with a suggestion for near-misses) for unknown scenarios.
     """
-    try:
-        builder = SCENARIO_REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIO_REGISTRY))}"
-        ) from None
-    return builder(seed=seed, platform_name=platform_name)
+    builder = SCENARIO_REGISTRY.get(name)
+    return builder(seed=seed, platform_name=platform_name, **params)
 
 
 def scenario_summaries() -> Dict[str, str]:
     """Registry name -> first docstring line of the builder, sorted by name."""
-    return {
-        name: (SCENARIO_REGISTRY[name].__doc__ or "").strip().splitlines()[0]
-        for name in sorted(SCENARIO_REGISTRY)
-    }
+    return {entry.name: entry.summary for entry in SCENARIO_REGISTRY.list()}
 
 
 def _generator_scenario(
@@ -428,32 +466,53 @@ def _generator_scenario(
     return generator.generate(platform_name=platform_name, name=f"{name}_seed{seed}")
 
 
-@register_scenario("fig2", seeded=False)
-def _fig2_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+# The deterministic wrappers forward extra keyword arguments (an experiment
+# spec's ``scenario_params``) to the underlying scenario function, so a spec
+# can customise e.g. ``duration_ms`` or ``target_fps`` without a new builder.
+
+
+@register_scenario("fig2", seeded=False, params=_params_of(fig2_scenario, exclude=("trained_factory",)))
+def _fig2_registered(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """The paper's Fig 2 timeline: DNN contention, AR/VR arrival, thermal pressure."""
-    return fig2_scenario(platform_name=platform_name)
+    return fig2_scenario(platform_name=platform_name, **params)  # type: ignore[arg-type]
 
 
-@register_scenario("single_dnn", seeded=False)
-def _single_dnn_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("single_dnn", seeded=False, params=_params_of(single_dnn_scenario))
+def _single_dnn_registered(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """One DNN with latency/energy/accuracy requirements and no contention."""
-    return single_dnn_scenario(platform_name=platform_name)
+    return single_dnn_scenario(platform_name=platform_name, **params)  # type: ignore[arg-type]
 
 
-@register_scenario("multi_dnn", seeded=False)
-def _multi_dnn_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("multi_dnn", seeded=False, params=_params_of(multi_dnn_scenario))
+def _multi_dnn_registered(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Three DNNs with staggered arrivals competing for the clusters."""
-    return multi_dnn_scenario(platform_name=platform_name)
+    return multi_dnn_scenario(platform_name=platform_name, **params)  # type: ignore[arg-type]
 
 
-@register_scenario("thermal_stress", seeded=False)
-def _thermal_stress_registered(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("thermal_stress", seeded=False, params=_params_of(thermal_stress_scenario))
+def _thermal_stress_registered(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """A DNN plus a hot background task that forces thermal throttling."""
-    return thermal_stress_scenario(platform_name=platform_name)
+    return thermal_stress_scenario(platform_name=platform_name, **params)  # type: ignore[arg-type]
 
 
-@register_scenario("steady")
-def steady_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+# The generator-backed builders accept ``**params`` overriding their default
+# :class:`WorkloadGeneratorConfig` knobs, so an experiment spec's
+# ``scenario_params`` can e.g. shorten ``duration_ms`` or raise
+# ``num_dnn_apps`` without registering a new scenario.
+
+
+@register_scenario("steady", params=_generator_param_names)
+def steady_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Two well-spaced, low-rate DNNs with relaxed requirements: the easy baseline load.
 
     Arrivals are far apart (mean 6 s), frame rates low (3-8 fps) and accuracy
@@ -464,18 +523,23 @@ def steady_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenari
         "steady",
         seed,
         platform_name,
-        num_dnn_apps=2,
-        num_background_apps=0,
-        duration_ms=20000.0,
-        mean_interarrival_ms=6000.0,
-        fps_range=(3.0, 8.0),
-        accuracy_floor_range=(55.0, 60.0),
-        energy_budget_probability=0.3,
+        **{
+            "num_dnn_apps": 2,
+            "num_background_apps": 0,
+            "duration_ms": 20000.0,
+            "mean_interarrival_ms": 6000.0,
+            "fps_range": (3.0, 8.0),
+            "accuracy_floor_range": (55.0, 60.0),
+            "energy_budget_probability": 0.3,
+            **params,
+        },
     )
 
 
-@register_scenario("bursty")
-def bursty_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("bursty", params=_generator_param_names)
+def bursty_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Five DNNs arriving in a tight burst, stressing admission and remapping.
 
     Mean inter-arrival time is 0.4 s, so nearly the whole application set
@@ -486,11 +550,14 @@ def bursty_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenari
         "bursty",
         seed,
         platform_name,
-        num_dnn_apps=5,
-        num_background_apps=1,
-        duration_ms=20000.0,
-        mean_interarrival_ms=400.0,
-        fps_range=(4.0, 15.0),
+        **{
+            "num_dnn_apps": 5,
+            "num_background_apps": 1,
+            "duration_ms": 20000.0,
+            "mean_interarrival_ms": 400.0,
+            "fps_range": (4.0, 15.0),
+            **params,
+        },
     )
 
 
@@ -548,8 +615,10 @@ def rush_hour_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scen
     )
 
 
-@register_scenario("multi_app_contention")
-def multi_app_contention_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("multi_app_contention", params=_generator_param_names)
+def multi_app_contention_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Four DNNs and three background tasks oversubscribing every cluster.
 
     Sustained contention from both managed (DNN) and unmanaged (background)
@@ -560,15 +629,20 @@ def multi_app_contention_scenario(seed: int = 0, platform_name: str = "odroid_xu
         "multi_app_contention",
         seed,
         platform_name,
-        num_dnn_apps=4,
-        num_background_apps=3,
-        duration_ms=30000.0,
-        mean_interarrival_ms=2500.0,
+        **{
+            "num_dnn_apps": 4,
+            "num_background_apps": 3,
+            "duration_ms": 30000.0,
+            "mean_interarrival_ms": 2500.0,
+            **params,
+        },
     )
 
 
-@register_scenario("accuracy_critical")
-def accuracy_critical_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("accuracy_critical", params=_generator_param_names)
+def accuracy_critical_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Three DNNs with high accuracy floors (66-70 %) that forbid deep compression.
 
     The application knob is almost unusable — accuracy floors sit just under
@@ -580,18 +654,23 @@ def accuracy_critical_scenario(seed: int = 0, platform_name: str = "odroid_xu3")
         "accuracy_critical",
         seed,
         platform_name,
-        num_dnn_apps=3,
-        num_background_apps=0,
-        duration_ms=20000.0,
-        mean_interarrival_ms=3000.0,
-        fps_range=(2.0, 10.0),
-        accuracy_floor_range=(66.0, 70.0),
-        energy_budget_probability=0.2,
+        **{
+            "num_dnn_apps": 3,
+            "num_background_apps": 0,
+            "duration_ms": 20000.0,
+            "mean_interarrival_ms": 3000.0,
+            "fps_range": (2.0, 10.0),
+            "accuracy_floor_range": (66.0, 70.0),
+            "energy_budget_probability": 0.2,
+            **params,
+        },
     )
 
 
-@register_scenario("battery_saver")
-def battery_saver_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("battery_saver", params=_generator_param_names)
+def battery_saver_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Three low-rate DNNs that all carry tight per-inference energy budgets.
 
     Every application has an energy budget of 25-60 mJ — well under the full
@@ -602,18 +681,23 @@ def battery_saver_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> 
         "battery_saver",
         seed,
         platform_name,
-        num_dnn_apps=3,
-        num_background_apps=0,
-        duration_ms=20000.0,
-        mean_interarrival_ms=3000.0,
-        fps_range=(2.0, 6.0),
-        energy_budget_range_mj=(25.0, 60.0),
-        energy_budget_probability=1.0,
+        **{
+            "num_dnn_apps": 3,
+            "num_background_apps": 0,
+            "duration_ms": 20000.0,
+            "mean_interarrival_ms": 3000.0,
+            "fps_range": (2.0, 6.0),
+            "energy_budget_range_mj": (25.0, 60.0),
+            "energy_budget_probability": 1.0,
+            **params,
+        },
     )
 
 
-@register_scenario("mixed_criticality")
-def mixed_criticality_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("mixed_criticality", params=_generator_param_names)
+def mixed_criticality_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Two best-effort DNNs plus one safety-critical DNN with a hard latency bound.
 
     The critical application (priority 9, 60 ms latency bound, 68 % accuracy
@@ -624,11 +708,14 @@ def mixed_criticality_scenario(seed: int = 0, platform_name: str = "odroid_xu3")
 
     trained = _default_trained()
     config = WorkloadGeneratorConfig(
-        num_dnn_apps=2,
-        num_background_apps=1,
-        duration_ms=25000.0,
-        mean_interarrival_ms=4000.0,
-        fps_range=(3.0, 12.0),
+        **{  # type: ignore[arg-type]
+            "num_dnn_apps": 2,
+            "num_background_apps": 1,
+            "duration_ms": 25000.0,
+            "mean_interarrival_ms": 4000.0,
+            "fps_range": (3.0, 12.0),
+            **params,
+        }
     )
     generated = WorkloadGenerator(config, seed=seed, trained=trained).generate(
         platform_name=platform_name
@@ -652,8 +739,10 @@ def mixed_criticality_scenario(seed: int = 0, platform_name: str = "odroid_xu3")
     )
 
 
-@register_scenario("overload")
-def overload_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+@register_scenario("overload", params=_generator_param_names)
+def overload_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3", **params: object
+) -> Scenario:
     """Six high-rate DNNs plus background load demanding more than the SoC can serve.
 
     Aggregate demand exceeds platform capacity by design; the interesting
@@ -664,11 +753,14 @@ def overload_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scena
         "overload",
         seed,
         platform_name,
-        num_dnn_apps=6,
-        num_background_apps=2,
-        duration_ms=20000.0,
-        mean_interarrival_ms=1500.0,
-        fps_range=(12.0, 30.0),
+        **{
+            "num_dnn_apps": 6,
+            "num_background_apps": 2,
+            "duration_ms": 20000.0,
+            "mean_interarrival_ms": 1500.0,
+            "fps_range": (12.0, 30.0),
+            **params,
+        },
     )
 
 

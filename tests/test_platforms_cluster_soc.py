@@ -157,9 +157,29 @@ class TestPresets:
             assert soc.name == name
             assert soc.clusters
 
-    def test_unknown_preset_raises(self):
-        with pytest.raises(ValueError, match="unknown platform preset"):
+    def test_unknown_preset_raises_keyerror_listing_names(self):
+        with pytest.raises(KeyError, match="unknown platform preset 'pixel9000'.*odroid_xu3"):
             build_preset("pixel9000")
+
+    def test_near_miss_preset_gets_a_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'jetson_nano'"):
+            build_preset("jetson_nanoo")
+
+    def test_preset_summaries_expose_topology(self):
+        from repro.platforms import preset_summaries
+
+        summaries = preset_summaries()
+        assert set(summaries) == set(PRESET_BUILDERS)
+        xu3 = summaries["odroid_xu3"]
+        assert xu3["calibrated"] is True
+        assert xu3["total_cores"] == 9  # 4x A15 + 4x A7 + Mali
+        assert xu3["clusters"]["a15"] == {"core_type": "cpu_big", "num_cores": 4}
+        assert summaries["kirin990_like"]["calibrated"] is False
+        for info in summaries.values():
+            assert info["summary"]
+            assert info["total_cores"] == sum(
+                payload["num_cores"] for payload in info["clusters"].values()
+            )
 
     def test_odroid_xu3_matches_fig4_frequency_grids(self):
         soc = odroid_xu3()
