@@ -54,13 +54,16 @@ from repro.experiments import (
     MANAGER_REGISTRY,
     ExperimentSpec,
     SpecError,
+    build_manager_from_spec,
     build_scenario_from_spec,
+    build_simulator_config,
     dump_specs,
     grid_specs,
     load_specs,
     run_many,
     specs_to_toml,
 )
+from repro.sim.engine import simulate_scenario
 from repro.perfmodel import CalibratedLatencyModel, EnergyModel
 from repro.platforms import (
     PLATFORM_REGISTRY,
@@ -77,8 +80,12 @@ from repro.rtm import (
     make_policy,
 )
 from repro.workloads import (
+    COMPOSE_OPS,
     SCENARIO_REGISTRY,
+    ArrivalTrace,
     Requirements,
+    TraceFormatError,
+    build_scenario,
     scenario_is_seeded,
     scenario_summaries,
 )
@@ -314,6 +321,146 @@ def cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scenario_overview(scenario) -> None:
+    """Application/event overview shared by ``scenarios compose`` and ``trace``."""
+    print(
+        f"{scenario.name}: {len(scenario.applications)} applications, "
+        f"{len(scenario.events())} events, {scenario.duration_ms / 1000.0:g} s on "
+        f"{scenario.platform_name}"
+    )
+    rows = [
+        [
+            app.app_id,
+            app.kind.value,
+            round(app.arrival_time_ms / 1000.0, 2),
+            "-" if app.departure_time_ms is None else round(app.departure_time_ms / 1000.0, 2),
+            "-" if app.requirements.target_fps is None else app.requirements.target_fps,
+            app.requirements.priority,
+        ]
+        for app in scenario.applications
+    ]
+    print(format_table(["app", "kind", "arrive (s)", "depart (s)", "fps", "prio"], rows, precision=2))
+
+
+def _simulate_built(scenario, spec: ExperimentSpec):
+    """Simulate an already-built scenario under the spec's manager and config.
+
+    The single-spec compose/replay commands build the scenario once (for
+    validation and the printed overview); re-running the spec through the
+    runner would reconstitute it — and retrain its dynamic DNNs — a second
+    time for no benefit.  The result is identical: building the scenario is
+    the only spec step this bypasses.
+    """
+    manager = build_manager_from_spec(spec)
+    return simulate_scenario(scenario, manager, config=build_simulator_config(spec))
+
+
+def cmd_scenarios_compose(args: argparse.Namespace) -> int:
+    """Compose two registry scenarios and inspect / trace / spec / run the result."""
+    if args.dump_spec is not None and (args.save_trace is not None or args.run):
+        # --dump-spec means "emit the spec instead of executing"; combining
+        # it with an execution output would silently skip the latter.
+        print(
+            "--dump-spec replaces execution; drop it or drop --save-trace/--run",
+            file=sys.stderr,
+        )
+        return 2
+    operands = [args.a] if args.b is None else [args.a, args.b]
+    if not resolve_scenarios(list(dict.fromkeys(operands))) or not resolve_managers([args.manager]):
+        return 2
+    if not _resolve_platform(args.platform):
+        return 2
+    # Only explicitly-given operand parameters enter the spec; the compose
+    # builder rejects ones its op does not use (e.g. --at-ms with --op mix),
+    # so a flag can never be dropped silently.
+    params: dict = {"op": args.op, "a": args.a}
+    for key in ("b", "at_ms", "arrival_factor", "duration_factor"):
+        value = getattr(args, key)
+        if value is not None:
+            params[key] = value
+    spec = ExperimentSpec(
+        name=f"compose_{args.op}",
+        scenario="compose",
+        manager=args.manager,
+        platform=args.platform,
+        seed=args.seed,
+        scenario_params=params,
+    )
+    try:
+        scenario = build_scenario_from_spec(spec)
+    except ValueError as error:
+        print(f"invalid composition: {error}", file=sys.stderr)
+        return 2
+    if args.dump_spec is not None:
+        return _dump_specs_and_exit([spec], args.dump_spec)
+    _print_scenario_overview(scenario)
+    if args.save_trace is not None:
+        ArrivalTrace.from_scenario(scenario).save(args.save_trace)
+        print(f"\nwrote arrival trace to {args.save_trace}")
+        print(f"replay with: repro-experiments trace replay {args.save_trace}")
+    if args.run:
+        trace = _simulate_built(scenario, spec)
+        print()
+        _print_case_table({spec.label: trace})
+        print(f"trace fingerprint: {trace.fingerprint()}")
+    return 0
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """Record a registry scenario's workload timeline to a JSONL arrival trace."""
+    if not resolve_scenarios([args.scenario]) or not _resolve_platform(args.platform):
+        return 2
+    scenario = build_scenario(args.scenario, seed=args.seed, platform_name=args.platform)
+    trace = ArrivalTrace.from_scenario(scenario)
+    trace.save(args.out)
+    print(
+        f"recorded {len(trace.applications)} applications and {len(trace.events)} "
+        f"scheduled events of {scenario.name!r} to {args.out}"
+    )
+    print(f"replay with: repro-experiments trace replay {args.out}")
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a JSONL arrival trace under a manager and print the outcome."""
+    try:
+        arrival_trace = ArrivalTrace.load(args.file)
+        platform = args.platform or arrival_trace.platform_name
+        if not resolve_managers([args.manager]) or not _resolve_platform(platform):
+            return 2
+        scenario = arrival_trace.to_scenario(platform_name=platform)
+    except TraceFormatError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        name=f"replay_{arrival_trace.scenario_name}",
+        scenario="trace",
+        manager=args.manager,
+        platform=platform,
+        scenario_params={"path": str(args.file)},
+    )
+    if args.dump_spec is not None:
+        # A relative trace path in a spec resolves against the cwd of the
+        # *run*, not the spec file, so the dumped spec pins the absolute
+        # path to stay replayable from any directory on this machine.  An
+        # explicit --platform override must also be marked deliberate, or
+        # the emitted spec would be rejected for the platform mismatch.
+        import dataclasses
+        from pathlib import Path
+
+        params: dict = {"path": str(Path(args.file).resolve())}
+        if platform != arrival_trace.platform_name:
+            params["replatform"] = True
+        spec = dataclasses.replace(spec, scenario_params=params)
+        return _dump_specs_and_exit([spec], args.dump_spec)
+    _print_scenario_overview(scenario)
+    trace = _simulate_built(scenario, spec)
+    print()
+    _print_case_table({spec.label: trace})
+    print(f"trace fingerprint: {trace.fingerprint()}")
+    return 0
+
+
 def cmd_managers_list(args: argparse.Namespace) -> int:
     """List the registered runtime managers with their one-line descriptions."""
     entries = MANAGER_REGISTRY.list()
@@ -402,11 +549,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 def _sweep_specs(args: argparse.Namespace) -> tuple:
     """(specs, seeds, seeds_for) of a ``sweep`` invocation."""
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
-    # Deterministic scenarios ignore the seed: run them once instead of
-    # repeating the identical simulation and passing the copies off as
+    # Deterministic scenarios ignore the seed: run them once, pinned to seed
+    # 0 (any other value would just trip the ignored-seed warning), instead
+    # of repeating the identical simulation and passing the copies off as
     # cross-seed statistics.
     seeds_for = {
-        name: seeds if scenario_is_seeded(name) else seeds[:1] for name in args.scenarios
+        name: seeds if scenario_is_seeded(name) else [0] for name in args.scenarios
     }
     specs = [
         ExperimentSpec(
@@ -681,6 +829,75 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
     scenarios_list = scenarios_sub.add_parser("list", help="list registered scenarios")
     scenarios_list.set_defaults(func=cmd_scenarios_list)
+    compose = scenarios_sub.add_parser(
+        "compose", help="compose two registry scenarios (mix/splice/scale/perturb)"
+    )
+    compose.add_argument("--op", choices=COMPOSE_OPS, default="mix", help="composition operator")
+    compose.add_argument("--a", default="steady", help="first operand scenario")
+    compose.add_argument(
+        "--b", default=None, help="second operand (mix/splice only; default bursty)"
+    )
+    compose.add_argument(
+        "--at-ms", type=float, default=None, help="splice point in ms (splice only; default 10000)"
+    )
+    compose.add_argument(
+        "--arrival-factor", type=float, default=None, help="timeline factor (scale only)"
+    )
+    compose.add_argument(
+        "--duration-factor",
+        type=float,
+        default=None,
+        help="duration factor (scale only; default: the arrival factor)",
+    )
+    compose.add_argument("--seed", type=int, default=0, help="seed for seeded operands / jitter")
+    compose.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    compose.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="FILE",
+        help="record the composed workload to a JSONL arrival trace",
+    )
+    compose.add_argument(
+        "--run", action="store_true", help="also simulate the composition under --manager"
+    )
+    compose.add_argument("--manager", default="rtm", help="manager for --run / --dump-spec")
+    compose.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="FILE",
+        help="write the equivalent experiment spec to FILE ('-' for stdout) instead",
+    )
+    compose.set_defaults(func=cmd_scenarios_compose)
+
+    trace = subparsers.add_parser(
+        "trace", help="record and replay JSONL arrival traces of workload timelines"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="record a registry scenario's timeline to a trace file"
+    )
+    trace_record.add_argument("--scenario", default="rush_hour", help="scenario to record")
+    trace_record.add_argument("--seed", type=int, default=0, help="seed for seeded scenarios")
+    trace_record.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    trace_record.add_argument("--out", required=True, metavar="FILE", help="JSONL file to write")
+    trace_record.set_defaults(func=cmd_trace_record)
+    trace_replay = trace_sub.add_parser(
+        "replay", help="replay a trace file under a manager and print the outcome"
+    )
+    trace_replay.add_argument("file", metavar="FILE", help="JSONL trace file to replay")
+    trace_replay.add_argument("--manager", default="rtm", help="manager to replay under")
+    trace_replay.add_argument(
+        "--platform",
+        default=None,
+        help="platform preset (default: the platform recorded in the trace)",
+    )
+    trace_replay.add_argument(
+        "--dump-spec",
+        default=None,
+        metavar="FILE",
+        help="write the equivalent experiment spec to FILE ('-' for stdout) instead",
+    )
+    trace_replay.set_defaults(func=cmd_trace_replay)
 
     managers = subparsers.add_parser("managers", help="inspect the manager registry")
     managers_sub = managers.add_subparsers(dest="managers_command", required=True)

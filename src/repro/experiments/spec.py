@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import inspect
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -220,7 +219,7 @@ class ExperimentSpec:
         from repro.rtm.manager import RTMConfig
         from repro.rtm.policies import POLICY_REGISTRY
         from repro.sim.engine import SimulatorConfig
-        from repro.workloads.scenarios import SCENARIO_REGISTRY
+        from repro.workloads.scenarios import SCENARIO_REGISTRY, accepted_scenario_params
 
         for registry, value in (
             (SCENARIO_REGISTRY, self.scenario),
@@ -230,7 +229,7 @@ class ExperimentSpec:
             if value not in registry:
                 raise SpecError(registry.describe_unknown(value))
         if self.scenario_params:
-            accepted = self._accepted_scenario_params(SCENARIO_REGISTRY)
+            accepted = accepted_scenario_params(self.scenario)
             if accepted is not None:
                 unknown = sorted(set(self.scenario_params) - accepted)
                 if unknown:
@@ -268,27 +267,6 @@ class ExperimentSpec:
             for field_name, value in overrides.items():
                 self._check_override_type(key, field_name, value, defaults[field_name])
         return self
-
-    def _accepted_scenario_params(self, registry) -> Optional[set]:
-        """Parameter names the scenario builder accepts, or ``None`` for any.
-
-        Prefers the registry's ``params`` metadata (iterable, or a callable
-        evaluated lazily); falls back to the builder's signature, where a
-        ``**kwargs`` builder without declared params accepts anything.
-        """
-        declared = registry.metadata(self.scenario).get("params")
-        if callable(declared):
-            declared = declared()
-        if declared is not None:
-            return set(declared)  # type: ignore[arg-type]
-        parameters = inspect.signature(registry[self.scenario]).parameters.values()
-        if any(p.kind is p.VAR_KEYWORD for p in parameters):
-            return None
-        return {
-            p.name
-            for p in parameters
-            if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
-        } - {"seed", "platform_name"}
 
     @staticmethod
     def _check_override_type(key: str, field_name: str, value: object, default: object) -> None:

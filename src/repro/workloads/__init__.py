@@ -1,10 +1,19 @@
 """Workload and scenario models.
 
 Applications (DNN inference, AR/VR, background tasks), their performance
-requirements, the paper's Fig 2 runtime timeline and random scenario
-generators.
+requirements, the paper's Fig 2 runtime timeline, random scenario generators,
+the scenario composition algebra (:mod:`repro.workloads.compose`), arrival
+trace record/replay (:mod:`repro.workloads.traces`) and the seeded scenario
+fuzzer (:mod:`repro.workloads.fuzzer`).
+
+Importing this package populates the scenario registry with every named
+scenario: the hand-written paper timelines, the generator-backed synthetic
+families, the named composites, the ``trace`` replay scenario and the
+``fuzzed`` scenario.
 """
 
+from repro.workloads.compose import COMPOSE_OPS, mix, perturb, scale, splice, with_platform
+from repro.workloads.fuzzer import ScenarioFuzzer
 from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
 from repro.workloads.requirements import MetricSample, Requirements, Violation
 from repro.workloads.scenarios import (
@@ -13,6 +22,7 @@ from repro.workloads.scenarios import (
     Scenario,
     ScenarioEvent,
     ScenarioEventKind,
+    accepted_scenario_params,
     build_scenario,
     fig2_scenario,
     multi_dnn_scenario,
@@ -32,6 +42,7 @@ from repro.workloads.tasks import (
     make_background_application,
     make_dnn_application,
 )
+from repro.workloads.traces import ArrivalTrace, TraceFormatError
 
 __all__ = [
     "WorkloadGenerator",
@@ -44,6 +55,7 @@ __all__ = [
     "Scenario",
     "ScenarioEvent",
     "ScenarioEventKind",
+    "accepted_scenario_params",
     "build_scenario",
     "register_scenario",
     "scenario_is_seeded",
@@ -52,6 +64,15 @@ __all__ = [
     "multi_dnn_scenario",
     "single_dnn_scenario",
     "thermal_stress_scenario",
+    "COMPOSE_OPS",
+    "mix",
+    "scale",
+    "splice",
+    "with_platform",
+    "perturb",
+    "ArrivalTrace",
+    "TraceFormatError",
+    "ScenarioFuzzer",
     "Application",
     "DNNApplication",
     "GenericApplication",

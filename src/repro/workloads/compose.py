@@ -1,0 +1,623 @@
+"""A composition algebra over runtime scenarios.
+
+The registry's hand-written and generated scenarios are *atoms*; this module
+provides the operators that combine and transform them into new workloads
+without writing new builders:
+
+* :func:`mix` — interleave the applications and events of two scenarios on
+  one platform (two independent workloads sharing an SoC);
+* :func:`scale` — stretch or compress the arrival timeline and/or the
+  scenario duration (turn a workload into its rush-hour or slow-motion
+  variant);
+* :func:`splice` — run one scenario's workload, then switch to another's
+  mid-run (a phase change: quiet morning, overloaded afternoon);
+* :func:`with_platform` — re-target a scenario onto another platform preset;
+* :func:`perturb` — apply seeded jitter to arrival times and requirement
+  levels (neighbourhood sampling around a known workload).
+
+Every operator returns a plain :class:`~repro.workloads.scenarios.Scenario`
+built from *copies* of the input applications, so composed workloads flow
+through the registry, :class:`~repro.experiments.ExperimentSpec`, the sweep
+runner, the operating-point cache and the golden-fingerprint harness exactly
+like hand-written ones, and composing never aliases mutable state (the
+simulator mutates application requirements at runtime) between the result and
+its sources.
+
+The bottom of the module registers a family of named composites (for example
+``rush_hour_then_battery_saver``) plus the generic ``compose`` scenario whose
+``scenario_params`` select the operator and operands from a spec/TOML file::
+
+    scenario = "compose"
+
+    [scenario_params]
+    op = "splice"
+    a = "rush_hour"
+    b = "battery_saver"
+    at_ms = 15000.0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioEvent,
+    build_scenario,
+    register_scenario,
+    scenario_is_seeded,
+)
+from repro.workloads.tasks import Application
+
+__all__ = [
+    "mix",
+    "scale",
+    "splice",
+    "with_platform",
+    "perturb",
+    "COMPOSE_OPS",
+]
+
+
+# ------------------------------------------------------------------- helpers
+
+
+def _copy_application(application: Application, **changes: object) -> Application:
+    """An independent copy of an application (shared trained DNNs excepted).
+
+    ``dataclasses.replace`` re-runs validation, so a composition that would
+    produce an invalid application (departure before arrival, negative
+    times) fails at composition time, not mid-simulation.  The trained
+    dynamic DNN of a DNN application is deliberately shared with the source:
+    its identity encodes which applications co-scale one model.
+    """
+    return dataclasses.replace(application, **changes)  # type: ignore[type-var]
+
+
+def _copy_event(event: ScenarioEvent, **changes: object) -> ScenarioEvent:
+    return dataclasses.replace(event, **changes)
+
+
+def _rename_plan(taken: Sequence[str], incoming: Sequence[Application]) -> Dict[str, str]:
+    """``old_id -> new_id`` for incoming applications colliding with ``taken``.
+
+    Collisions get deterministic ``_2``/``_3``/... suffixes, so mixing a
+    scenario with (a perturbed copy of) itself keeps every application and
+    still replays identically for identical inputs.
+    """
+    renames: Dict[str, str] = {}
+    occupied = set(taken)
+    for application in incoming:
+        new_id = application.app_id
+        suffix = 2
+        while new_id in occupied:
+            new_id = f"{application.app_id}_{suffix}"
+            suffix += 1
+        if new_id != application.app_id:
+            renames[application.app_id] = new_id
+        occupied.add(new_id)
+    return renames
+
+
+def _import_applications(
+    taken_ids: Sequence[str],
+    applications: Sequence[Application],
+    events: Sequence[ScenarioEvent],
+    shift_ms: float = 0.0,
+) -> "tuple[List[Application], List[ScenarioEvent]]":
+    """Copies of ``applications``/``events``, renamed past collisions, shifted."""
+    renames = _rename_plan(taken_ids, applications)
+    imported_apps = []
+    for application in applications:
+        departure = application.departure_time_ms
+        imported_apps.append(
+            _copy_application(
+                application,
+                app_id=renames.get(application.app_id, application.app_id),
+                arrival_time_ms=application.arrival_time_ms + shift_ms,
+                departure_time_ms=None if departure is None else departure + shift_ms,
+            )
+        )
+    imported_events = [
+        _copy_event(
+            event,
+            app_id=renames.get(event.app_id, event.app_id),
+            time_ms=event.time_ms + shift_ms,
+        )
+        for event in events
+    ]
+    return imported_apps, imported_events
+
+
+# ----------------------------------------------------------------- operators
+
+
+def mix(a: Scenario, b: Scenario, name: Optional[str] = None,
+        platform_name: Optional[str] = None) -> Scenario:
+    """Interleave two scenarios' applications and events on one platform.
+
+    The result runs on ``a``'s platform (or an explicit ``platform_name``)
+    for ``max`` of the two durations.  Application ids of ``b`` colliding
+    with ids of ``a`` are renamed with ``_2``/``_3`` suffixes, consistently
+    across applications and their scheduled requirement changes.
+    """
+    mixed_apps = [_copy_application(application) for application in a.applications]
+    mixed_events = [_copy_event(event) for event in a.extra_events]
+    imported_apps, imported_events = _import_applications(
+        [application.app_id for application in mixed_apps], b.applications, b.extra_events
+    )
+    return Scenario(
+        name=name or f"mix({a.name},{b.name})",
+        platform_name=platform_name or a.platform_name,
+        applications=mixed_apps + imported_apps,
+        duration_ms=max(a.duration_ms, b.duration_ms),
+        extra_events=mixed_events + imported_events,
+        description=f"Mix of {a.name!r} and {b.name!r} on one platform.",
+    )
+
+
+def scale(
+    s: Scenario,
+    arrival_factor: float = 1.0,
+    duration_factor: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Scale the arrival timeline (and optionally the duration) of a scenario.
+
+    ``arrival_factor`` multiplies every arrival, departure and scheduled
+    event time: a factor below 1 compresses the timeline (double the arrival
+    rate at 0.5), above 1 stretches it.  ``duration_factor`` multiplies the
+    scenario duration and defaults to ``arrival_factor``, so the workload
+    keeps its shape; pass ``1.0`` to squeeze the same arrivals into the
+    original window.
+    """
+    if arrival_factor <= 0:
+        raise ValueError("arrival_factor must be positive")
+    effective_duration_factor = arrival_factor if duration_factor is None else duration_factor
+    if effective_duration_factor <= 0:
+        raise ValueError("duration_factor must be positive")
+    applications = [
+        _copy_application(
+            application,
+            arrival_time_ms=application.arrival_time_ms * arrival_factor,
+            departure_time_ms=(
+                None
+                if application.departure_time_ms is None
+                else application.departure_time_ms * arrival_factor
+            ),
+        )
+        for application in s.applications
+    ]
+    events = [
+        _copy_event(event, time_ms=event.time_ms * arrival_factor) for event in s.extra_events
+    ]
+    duration_ms = s.duration_ms * effective_duration_factor
+    truncated = sorted(
+        application.app_id
+        for application in applications
+        if application.arrival_time_ms >= duration_ms
+    )
+    if truncated:
+        # Arrivals beyond the horizon never simulate; that must be a loud,
+        # deliberate choice, not an arithmetic surprise of mismatched factors.
+        import warnings
+
+        warnings.warn(
+            f"scaling {s.name!r} by arrival_factor={arrival_factor:g} with "
+            f"duration_factor={effective_duration_factor:g} pushes applications "
+            f"{truncated} past the {duration_ms:g} ms horizon; they will never run",
+            UserWarning,
+            stacklevel=2,
+        )
+    return Scenario(
+        name=name or f"scale({s.name},x{arrival_factor:g})",
+        platform_name=s.platform_name,
+        applications=applications,
+        duration_ms=duration_ms,
+        extra_events=events,
+        description=(
+            f"{s.name!r} with arrivals scaled x{arrival_factor:g}, "
+            f"duration x{effective_duration_factor:g}."
+        ),
+    )
+
+
+def splice(
+    a: Scenario,
+    b: Scenario,
+    at_ms: float,
+    name: Optional[str] = None,
+    platform_name: Optional[str] = None,
+) -> Scenario:
+    """Phase change: run ``a``'s workload until ``at_ms``, then ``b``'s.
+
+    Applications of ``a`` still alive at the splice point depart there;
+    applications and events of ``a`` scheduled at or after it are dropped.
+    ``b``'s whole timeline is shifted to start at ``at_ms``, so the result
+    lasts ``at_ms + b.duration_ms``.
+    """
+    if at_ms <= 0:
+        raise ValueError("at_ms must be positive")
+    first_phase = [
+        _copy_application(
+            application,
+            departure_time_ms=(
+                at_ms
+                if application.departure_time_ms is None
+                else min(application.departure_time_ms, at_ms)
+            ),
+        )
+        for application in a.applications
+        if application.arrival_time_ms < at_ms
+    ]
+    first_events = [_copy_event(event) for event in a.extra_events if event.time_ms < at_ms]
+    second_phase, second_events = _import_applications(
+        [application.app_id for application in first_phase],
+        b.applications,
+        b.extra_events,
+        shift_ms=at_ms,
+    )
+    return Scenario(
+        name=name or f"splice({a.name},{b.name}@{at_ms:g}ms)",
+        platform_name=platform_name or a.platform_name,
+        applications=first_phase + second_phase,
+        duration_ms=at_ms + b.duration_ms,
+        extra_events=first_events + second_events,
+        description=f"{a.name!r} until t={at_ms:g} ms, then {b.name!r}.",
+    )
+
+
+def with_platform(s: Scenario, platform_name: str, name: Optional[str] = None) -> Scenario:
+    """The same workload re-targeted onto another platform preset."""
+    from repro.platforms.presets import PLATFORM_REGISTRY
+
+    if platform_name not in PLATFORM_REGISTRY:
+        raise KeyError(PLATFORM_REGISTRY.describe_unknown(platform_name))
+    return Scenario(
+        name=name or f"{s.name}@{platform_name}",
+        platform_name=platform_name,
+        applications=[_copy_application(application) for application in s.applications],
+        duration_ms=s.duration_ms,
+        extra_events=[_copy_event(event) for event in s.extra_events],
+        description=f"{s.name!r} on the {platform_name} preset.",
+    )
+
+
+def perturb(
+    s: Scenario,
+    seed: int,
+    arrival_jitter_ms: float = 500.0,
+    requirement_jitter: float = 0.05,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Seeded jitter on arrival times and requirement levels.
+
+    Each application's arrival moves by up to ``±arrival_jitter_ms``
+    (departures move with it, preserving the application's lifetime) and its
+    numeric requirement limits are scaled by up to ``±requirement_jitter``
+    (accuracy floors clamped to [0, 100]; priorities untouched).  Scheduled
+    extra events jitter in time but keep their payload, clamped into their
+    application's jittered lifetime — the simulator silently ignores events
+    for applications that are not live, so an unclamped jitter could make a
+    scheduled requirement switch vanish from the experiment.  The random
+    stream is consumed in application-list order, then event order, so equal
+    seeds on equal scenarios produce identical perturbations.
+    """
+    if arrival_jitter_ms < 0 or requirement_jitter < 0:
+        raise ValueError("jitter magnitudes must be non-negative")
+    if requirement_jitter >= 1.0:
+        raise ValueError("requirement_jitter must stay below 1 (limits must stay positive)")
+    rng = np.random.default_rng(seed)
+    applications = []
+    for application in s.applications:
+        delta = float(rng.uniform(-arrival_jitter_ms, arrival_jitter_ms))
+        arrival = round(max(0.0, application.arrival_time_ms + delta), 1)
+        applied_delta = arrival - application.arrival_time_ms
+        departure = application.departure_time_ms
+        requirements = application.requirements
+        changes: Dict[str, object] = {}
+        for limit_name in ("target_fps", "max_latency_ms", "max_energy_mj", "max_power_mw"):
+            factor = 1.0 + float(rng.uniform(-requirement_jitter, requirement_jitter))
+            value = getattr(requirements, limit_name)
+            if value is not None:
+                changes[limit_name] = round(value * factor, 1)
+        accuracy_factor = 1.0 + float(rng.uniform(-requirement_jitter, requirement_jitter))
+        if requirements.min_accuracy_percent is not None:
+            changes["min_accuracy_percent"] = round(
+                min(100.0, max(0.0, requirements.min_accuracy_percent * accuracy_factor)), 1
+            )
+        applications.append(
+            _copy_application(
+                application,
+                arrival_time_ms=arrival,
+                departure_time_ms=None if departure is None else departure + applied_delta,
+                requirements=requirements.with_changes(**changes),
+            )
+        )
+    windows = {
+        application.app_id: (application.arrival_time_ms, application.departure_time_ms)
+        for application in applications
+    }
+    events = []
+    for event in s.extra_events:
+        time_ms = max(
+            0.0, event.time_ms + float(rng.uniform(-arrival_jitter_ms, arrival_jitter_ms))
+        )
+        window = windows.get(event.app_id)
+        if window is not None:
+            arrival, departure = window
+            time_ms = max(time_ms, arrival)
+            if departure is not None:
+                # Strictly before the departure: at equal timestamps the
+                # simulator processes the departure first and drops the event.
+                time_ms = min(time_ms, max(arrival, departure - 0.1))
+        events.append(_copy_event(event, time_ms=round(time_ms, 1)))
+    return Scenario(
+        name=name or f"perturb({s.name},seed{seed})",
+        platform_name=s.platform_name,
+        applications=applications,
+        duration_ms=s.duration_ms,
+        extra_events=events,
+        description=f"{s.name!r} with seeded jitter on arrivals and requirements (seed {seed}).",
+    )
+
+
+# ------------------------------------------------------- registered composites
+#
+# Named composites built from registry atoms: each is a plain registered
+# scenario, so it sweeps, caches, benches and golden-fingerprints like any
+# other.  Sources are built at the *effective* seed — the requested seed for
+# seeded atoms, 0 for deterministic ones — so a composite's digest never
+# depends on a seed its atoms ignore.
+
+
+def _source(name: str, seed: int, platform_name: str) -> Scenario:
+    return build_scenario(
+        name, seed=seed if scenario_is_seeded(name) else 0, platform_name=platform_name
+    )
+
+
+#: Operator names accepted by the generic ``compose`` scenario.
+COMPOSE_OPS = ("mix", "splice", "scale", "perturb")
+
+
+#: Parameters each compose op consumes (beyond ``a``/``a_seed``); a param
+#: given for an op that does not use it is rejected, matching
+#: :func:`~repro.workloads.scenarios.build_scenario`'s typo'd-parameters-
+#: must-never-silently-vanish contract.
+_OP_PARAMS: Dict[str, frozenset] = {
+    "mix": frozenset({"b", "b_seed"}),
+    "splice": frozenset({"b", "b_seed", "at_ms"}),
+    "scale": frozenset({"arrival_factor", "duration_factor"}),
+    "perturb": frozenset(),
+}
+
+
+@register_scenario(
+    "compose",
+    seeded=True,
+    params=("op", "a", "b", "at_ms", "arrival_factor", "duration_factor", "a_seed", "b_seed"),
+)
+def compose_scenario(
+    seed: int = 0,
+    platform_name: str = "odroid_xu3",
+    op: str = "mix",
+    a: str = "steady",
+    b: Optional[str] = None,
+    at_ms: Optional[float] = None,
+    arrival_factor: Optional[float] = None,
+    duration_factor: Optional[float] = None,
+    a_seed: Optional[int] = None,
+    b_seed: Optional[int] = None,
+) -> Scenario:
+    """Generic two-scenario composition selected by scenario_params (op, a, b, ...).
+
+    ``op`` is one of ``mix`` (default; second operand ``b``, default
+    ``bursty``), ``splice`` (``b`` plus ``at_ms``, default 10 s), ``scale``
+    (``arrival_factor``/``duration_factor`` on ``a``) and ``perturb``
+    (seeded jitter on ``a``).  A parameter supplied for an op that does not
+    use it is rejected — a leftover ``at_ms`` on a spec edited from splice
+    to mix would otherwise silently describe a different experiment.
+    Operand seeds default to ``seed`` for ``a`` and ``seed + 1`` for ``b``,
+    so mixing a seeded scenario with itself yields two distinct draws.
+    """
+    if op not in COMPOSE_OPS:
+        raise ValueError(f"unknown compose op {op!r}; available: {', '.join(COMPOSE_OPS)}")
+    given = {
+        name
+        for name, value in (
+            ("b", b),
+            ("at_ms", at_ms),
+            ("arrival_factor", arrival_factor),
+            ("duration_factor", duration_factor),
+            ("b_seed", b_seed),
+        )
+        if value is not None
+    }
+    unused = sorted(given - _OP_PARAMS[op])
+    if unused:
+        raise ValueError(
+            f"compose op {op!r} does not use params {unused}"
+            + (f"; it accepts: {sorted(_OP_PARAMS[op])}" if _OP_PARAMS[op] else "")
+        )
+    left = _source(a, seed if a_seed is None else a_seed, platform_name)
+    if op == "scale":
+        composed = scale(
+            left,
+            arrival_factor=1.0 if arrival_factor is None else arrival_factor,
+            duration_factor=duration_factor,
+        )
+    elif op == "perturb":
+        composed = perturb(left, seed=seed)
+    else:
+        right = _source(
+            "bursty" if b is None else b, (seed + 1) if b_seed is None else b_seed, platform_name
+        )
+        composed = (
+            mix(left, right)
+            if op == "mix"
+            else splice(left, right, at_ms=10000.0 if at_ms is None else at_ms)
+        )
+    composed.name = f"{composed.name}_seed{seed}"
+    return composed
+
+
+@register_scenario("rush_hour_then_battery_saver", params=())
+def rush_hour_then_battery_saver_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3"
+) -> Scenario:
+    """Phase change: the rush-hour wave, then an all-energy-budget quiet phase.
+
+    The manager rides out 18 s of rush-hour contention, after which every
+    surviving application departs and three battery-saver DNNs with tight
+    per-inference energy budgets take over — testing recovery from overload
+    directly into an energy-constrained regime.
+    """
+    return splice(
+        _source("rush_hour", seed, platform_name),
+        _source("battery_saver", seed, platform_name),
+        at_ms=18000.0,
+        name=f"rush_hour_then_battery_saver_seed{seed}",
+    )
+
+
+@register_scenario("steady_then_overload", params=())
+def steady_then_overload_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Phase change from the easy baseline load straight into saturating demand.
+
+    12 s of well-spaced low-rate DNNs, then the six-DNN overload wave: the
+    interesting signal is how quickly violation rates ramp when the platform
+    goes from idle to oversubscribed in one event.
+    """
+    return splice(
+        _source("steady", seed, platform_name),
+        _source("overload", seed, platform_name),
+        at_ms=12000.0,
+        name=f"steady_then_overload_seed{seed}",
+    )
+
+
+@register_scenario("mixed_criticality_overload", params=())
+def mixed_criticality_overload_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3"
+) -> Scenario:
+    """A safety-critical DNN sharing the SoC with a full overload wave.
+
+    Mixes the mixed-criticality scenario (one hard-requirement application)
+    with the overload scenario's six high-rate DNNs: the critical
+    application's violation rate under heavy interference is the headline
+    metric.
+    """
+    return mix(
+        _source("mixed_criticality", seed, platform_name),
+        _source("overload", seed, platform_name),
+        name=f"mixed_criticality_overload_seed{seed}",
+    )
+
+
+@register_scenario("battery_saver_accuracy_critical", params=())
+def battery_saver_accuracy_critical_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3"
+) -> Scenario:
+    """Energy-capped DNNs mixed with compression-forbidding accuracy floors.
+
+    Half the applications can only be served by compressing (energy budgets),
+    the other half must not be compressed (66-70 % accuracy floors) — the
+    manager has to split the platform into two regimes at once.
+    """
+    return mix(
+        _source("battery_saver", seed, platform_name),
+        _source("accuracy_critical", seed, platform_name),
+        name=f"battery_saver_accuracy_critical_seed{seed}",
+    )
+
+
+@register_scenario("fig2_bursty", params=())
+def fig2_bursty_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """The paper's Fig 2 timeline with a seeded burst of DNNs layered on top.
+
+    Keeps the canonical contention story (second DNN, AR/VR arrival, thermal
+    pressure, requirement relaxation) while five extra DNNs land in a tight
+    burst — the hand-written timeline stressed by synthetic load.
+    """
+    return mix(
+        _source("fig2", seed, platform_name),
+        _source("bursty", seed, platform_name),
+        name=f"fig2_bursty_seed{seed}",
+    )
+
+
+@register_scenario("double_rush_hour", params=())
+def double_rush_hour_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """Two independently drawn rush-hour waves superimposed on one platform.
+
+    The always-on DNNs and both camera waves (seeds ``seed`` and
+    ``seed + 1``) collide; colliding application ids are suffixed, doubling
+    the arrival pressure of the single-wave scenario.
+    """
+    return mix(
+        _source("rush_hour", seed, platform_name),
+        _source("rush_hour", seed + 1, platform_name),
+        name=f"double_rush_hour_seed{seed}",
+    )
+
+
+@register_scenario("bursty_x2_exynos", params=())
+def bursty_x2_exynos_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """The bursty wave at double arrival rate on the Exynos 5422 (Odroid XU3).
+
+    Compresses the bursty scenario's arrival timeline by 2x while keeping the
+    original 20 s window, so the whole application set lands almost at once
+    on the calibrated big.LITTLE board.  The scenario is pinned to the board
+    its name promises; a different platform request is rejected rather than
+    silently running an "_exynos" workload elsewhere (use the plain `compose`
+    scenario with op = "scale" for other boards).
+    """
+    if platform_name != "odroid_xu3":
+        raise ValueError(
+            "bursty_x2_exynos is pinned to the odroid_xu3 (Exynos 5422) preset; "
+            "compose op='scale' over 'bursty' provides the same workload on "
+            f"other platforms (requested {platform_name!r})"
+        )
+    return scale(
+        _source("bursty", seed, platform_name),
+        arrival_factor=0.5,
+        duration_factor=1.0,
+        name=f"bursty_x2_exynos_seed{seed}",
+    )
+
+
+@register_scenario("overload_slow_motion", params=())
+def overload_slow_motion_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """The overload application set stretched to arrive twice as slowly.
+
+    Same six high-rate DNNs and background tasks, arrivals and window both
+    stretched 2x so every application still runs: separates "demand exceeds
+    capacity" from "demand arrives faster than the manager can react".
+    """
+    return scale(
+        _source("overload", seed, platform_name),
+        arrival_factor=2.0,
+        name=f"overload_slow_motion_seed{seed}",
+    )
+
+
+@register_scenario("thermal_stress_jittered", params=())
+def thermal_stress_jittered_scenario(
+    seed: int = 0, platform_name: str = "odroid_xu3"
+) -> Scenario:
+    """The thermal-stress timeline with seeded jitter on arrivals and limits.
+
+    Neighbourhood sampling around the hand-written thermal scenario: the
+    background hog's arrival and the DNN's requirement levels move a little
+    per seed, so sweeping seeds probes the robustness of the throttling
+    response rather than replaying one fixed trajectory.
+    """
+    return perturb(
+        _source("thermal_stress", seed, platform_name),
+        seed=seed,
+        name=f"thermal_stress_jittered_seed{seed}",
+    )

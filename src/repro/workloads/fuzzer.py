@@ -1,0 +1,158 @@
+"""Seeded scenario fuzzing: randomised-but-reproducible workloads.
+
+The registry's named scenarios probe regimes someone thought of;
+:class:`ScenarioFuzzer` samples the space *between* them.  From one seed it
+draws workload-generator knobs (application counts, arrival rates,
+requirement tightness), a platform preset, and optionally a composition
+operator from :mod:`repro.workloads.compose` (scale, perturb, splice or mix
+with a second sampled workload), then mints a plain
+:class:`~repro.workloads.scenarios.Scenario`.
+
+Determinism contract: equal ``(seed, platforms, platform_name)`` inputs give
+identical scenarios, on every machine.  The random stream is consumed in a
+fixed documented order (platform, generator knobs, child seed, operator,
+operator parameters), and the platform draw happens even when a platform is
+forced, so forcing the platform never shifts the rest of the sample.
+
+The registered ``fuzzed`` scenario exposes one fuzzer draw per seed to
+sweeps, specs and the property-based invariant suite, which runs the
+simulator over fuzzer output precisely because nobody hand-shaped it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.compose import mix, perturb, scale, splice
+from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
+from repro.workloads.scenarios import Scenario, register_scenario
+
+__all__ = ["ScenarioFuzzer"]
+
+
+class ScenarioFuzzer:
+    """Sample random but reproducible scenarios from a seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; equal seeds give identical scenarios.
+    platforms:
+        Platform presets the fuzzer may draw from when no platform is
+        forced.  Defaults to the four heterogeneous presets (the
+        single-cluster ``generic_quad`` exercises no mapping decisions).
+    """
+
+    DEFAULT_PLATFORMS: Sequence[str] = (
+        "odroid_xu3",
+        "jetson_nano",
+        "kirin990_like",
+        "a13_like",
+    )
+
+    #: Composition operators the fuzzer may apply, with selection weights.
+    #: ``None`` (plain generated workload) stays the most likely outcome so
+    #: fuzzed scenarios cover the un-composed space too.
+    _OPS = ("plain", "scale", "perturb", "splice", "mix")
+    _OP_WEIGHTS = (0.4, 0.15, 0.15, 0.15, 0.15)
+
+    def __init__(self, seed: int = 0, platforms: Optional[Sequence[str]] = None) -> None:
+        self.seed = seed
+        self.platforms = tuple(self.DEFAULT_PLATFORMS if platforms is None else platforms)
+        if not self.platforms:
+            raise ValueError("the fuzzer needs at least one platform preset")
+
+    # ------------------------------------------------------------- sampling
+
+    def _sample_config(self, rng: np.random.Generator) -> WorkloadGeneratorConfig:
+        """Draw workload-generator knobs (fixed draw order)."""
+        fps_low = float(rng.uniform(2.0, 8.0))
+        accuracy_low = float(rng.uniform(55.0, 62.0))
+        energy_low = float(rng.uniform(25.0, 80.0))
+        return WorkloadGeneratorConfig(
+            num_dnn_apps=int(rng.integers(1, 6)),
+            num_background_apps=int(rng.integers(0, 3)),
+            duration_ms=round(float(rng.uniform(8000.0, 15000.0)), 1),
+            mean_interarrival_ms=round(float(rng.uniform(500.0, 5000.0)), 1),
+            fps_range=(round(fps_low, 1), round(fps_low + float(rng.uniform(2.0, 18.0)), 1)),
+            accuracy_floor_range=(
+                round(accuracy_low, 1),
+                round(accuracy_low + float(rng.uniform(1.0, 8.0)), 1),
+            ),
+            energy_budget_range_mj=(
+                round(energy_low, 1),
+                round(energy_low + float(rng.uniform(20.0, 120.0)), 1),
+            ),
+            energy_budget_probability=round(float(rng.uniform(0.0, 1.0)), 2),
+        )
+
+    def _generate(
+        self, rng: np.random.Generator, platform_name: str, name: str
+    ) -> Scenario:
+        """One generated workload with a child seed drawn from the stream."""
+        config = self._sample_config(rng)
+        child_seed = int(rng.integers(0, 2**31))
+        return WorkloadGenerator(config, seed=child_seed).generate(
+            platform_name=platform_name, name=name
+        )
+
+    def scenario(self, platform_name: Optional[str] = None, name: Optional[str] = None) -> Scenario:
+        """Mint the fuzzed scenario of this fuzzer's seed.
+
+        ``platform_name`` forces the platform (the sweep/spec machinery picks
+        the platform, not the scenario); when omitted the fuzzer draws one.
+        """
+        rng = np.random.default_rng(self.seed)
+        drawn_platform = self.platforms[int(rng.integers(0, len(self.platforms)))]
+        platform = platform_name or drawn_platform
+        label = name or f"fuzzed_seed{self.seed}"
+        base = self._generate(rng, platform, f"{label}_base")
+        op = self._OPS[int(rng.choice(len(self._OPS), p=self._OP_WEIGHTS))]
+        if op == "scale":
+            factor = round(float(rng.uniform(0.5, 2.0)), 2)
+            composed = scale(base, arrival_factor=factor, duration_factor=1.0)
+        elif op == "perturb":
+            composed = perturb(base, seed=int(rng.integers(0, 2**31)))
+        elif op == "splice":
+            at_ms = round(base.duration_ms * float(rng.uniform(0.4, 0.7)), 1)
+            composed = splice(base, self._generate(rng, platform, f"{label}_tail"), at_ms=at_ms)
+        elif op == "mix":
+            composed = mix(base, self._generate(rng, platform, f"{label}_extra"))
+        else:
+            composed = base
+        composed.name = label
+        composed.description = (
+            f"Fuzzed workload (seed {self.seed}, op {op}): "
+            f"{len(composed.applications)} applications on {platform}."
+        )
+        return composed
+
+    def scenarios(self, count: int) -> List[Scenario]:
+        """``count`` independent fuzzed scenarios.
+
+        Child ``i`` uses the seed sequence ``[seed, i]`` (independent numpy
+        streams), so — unlike incrementing the root seed — fuzzers with
+        adjacent seeds do not share children.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [
+            ScenarioFuzzer(
+                seed=int(np.random.default_rng([self.seed, index]).integers(0, 2**31)),
+                platforms=self.platforms,
+            ).scenario(name=f"fuzzed_{self.seed}_{index}")
+            for index in range(count)
+        ]
+
+
+@register_scenario("fuzzed", params=())
+def fuzzed_scenario(seed: int = 0, platform_name: str = "odroid_xu3") -> Scenario:
+    """One seeded fuzzer draw: sampled generator knobs plus a sampled composition op.
+
+    Every seed is a different point of the scenario space (application
+    counts, arrival rates, requirement tightness and an optional
+    scale/perturb/splice/mix composition); equal seeds replay identically.
+    """
+    return ScenarioFuzzer(seed).scenario(platform_name=platform_name)

@@ -158,14 +158,38 @@ class WorkloadGenerator:
             ),
         )
 
-    def generate_many(self, count: int, platform_name: str = "odroid_xu3") -> List[Scenario]:
-        """Generate ``count`` scenarios with consecutive seeds."""
+    def child_seeds(self, count: int) -> List[int]:
+        """The seeds :meth:`generate_many` uses: ``seed, seed + 1, ...``.
+
+        This increment derivation is a deliberate, stable contract — the
+        scenario at child seed ``s`` is exactly ``WorkloadGenerator(config,
+        seed=s).generate()``, so every generated scenario is addressable by
+        one integer and replayable in isolation.  The flip side is a prefix
+        property that surprises if unstated: ``generate_many(n)`` and
+        ``generate_many(m)`` from the same root share their first
+        ``min(n, m)`` scenarios, and generators whose root seeds are ``d``
+        apart share all but ``d`` of their children.  Callers needing
+        *disjoint* batches must space their root seeds by at least the batch
+        size (or use distinct configs); adjacent root seeds do not give
+        independent samples.
+        """
         if count <= 0:
             raise ValueError("count must be positive")
+        return [self.seed + offset for offset in range(count)]
+
+    def generate_many(self, count: int, platform_name: str = "odroid_xu3") -> List[Scenario]:
+        """Generate ``count`` scenarios at the consecutive :meth:`child_seeds`.
+
+        Each child is bit-identical to a fresh ``WorkloadGenerator(config,
+        seed=child).generate()`` (the trained DNN is shared only as a
+        construction-cost optimisation; it does not feed the random stream).
+        See :meth:`child_seeds` for the sharing/overlap implications of the
+        increment derivation.
+        """
         scenarios = []
-        for offset in range(count):
-            generator = WorkloadGenerator(self.config, seed=self.seed + offset, trained=self._get_trained())
+        for child_seed in self.child_seeds(count):
+            generator = WorkloadGenerator(self.config, seed=child_seed, trained=self._get_trained())
             scenarios.append(
-                generator.generate(platform_name=platform_name, name=f"generated_seed{self.seed + offset}")
+                generator.generate(platform_name=platform_name, name=f"generated_seed{child_seed}")
             )
         return scenarios

@@ -49,6 +49,7 @@ __all__ = [
     "thermal_stress_scenario",
     "register_scenario",
     "build_scenario",
+    "accepted_scenario_params",
     "scenario_summaries",
     "scenario_is_seeded",
     "SEEDED_SCENARIOS",
@@ -430,6 +431,33 @@ def scenario_is_seeded(name: str) -> bool:
     return bool(SCENARIO_REGISTRY.metadata(name).get("seeded"))
 
 
+def accepted_scenario_params(name: str) -> Optional[set]:
+    """Parameter names the named builder accepts, or ``None`` for any.
+
+    Prefers the registry's ``params`` metadata (an iterable, or a callable
+    evaluated lazily); falls back to the builder's signature, where a
+    ``**kwargs`` builder without declared params accepts anything.  Shared by
+    :func:`build_scenario` and :meth:`ExperimentSpec.validate
+    <repro.experiments.spec.ExperimentSpec.validate>`, so direct builds and
+    spec validation reject exactly the same misspelled parameters.
+    """
+    import inspect
+
+    declared = SCENARIO_REGISTRY.metadata(name).get("params")
+    if callable(declared):
+        declared = declared()
+    if declared is not None:
+        return set(declared)  # type: ignore[arg-type]
+    parameters = inspect.signature(SCENARIO_REGISTRY[name]).parameters.values()
+    if any(p.kind is p.VAR_KEYWORD for p in parameters):
+        return None
+    return {
+        p.name
+        for p in parameters
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    } - {"seed", "platform_name"}
+
+
 def build_scenario(
     name: str, seed: int = 0, platform_name: str = "odroid_xu3", **params: object
 ) -> Scenario:
@@ -437,9 +465,31 @@ def build_scenario(
 
     Extra keyword arguments (an experiment spec's ``scenario_params``) are
     forwarded to the builder.  Raises ``KeyError`` (listing the available
-    names, with a suggestion for near-misses) for unknown scenarios.
+    names, with a suggestion for near-misses) for unknown scenarios and
+    ``ValueError`` for parameters the builder does not accept — a typo'd
+    parameter must never silently vanish.  A non-zero ``seed`` passed to a
+    deterministic (unseeded) scenario is equally silent-by-construction, so
+    it raises a ``UserWarning``: the caller asked for variation the builder
+    cannot deliver.
     """
     builder = SCENARIO_REGISTRY.get(name)
+    accepted = accepted_scenario_params(name)
+    if accepted is not None:
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise ValueError(
+                f"scenario {name!r} does not accept params {unknown}"
+                + (f"; accepted: {sorted(accepted)}" if accepted else "")
+            )
+    if seed != 0 and not scenario_is_seeded(name):
+        import warnings
+
+        warnings.warn(
+            f"scenario {name!r} is deterministic and ignores seed={seed}; "
+            "the same scenario is built for every seed",
+            UserWarning,
+            stacklevel=2,
+        )
     return builder(seed=seed, platform_name=platform_name, **params)
 
 

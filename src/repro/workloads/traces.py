@@ -1,0 +1,384 @@
+"""Arrival traces: a JSONL record/replay format for workload timelines.
+
+A scenario's *workload timeline* — which applications arrive when, with which
+requirements, input sizes and scheduled requirement switches — is exactly
+what a measurement campaign on a real device produces.  :class:`ArrivalTrace`
+captures that timeline as plain data:
+
+* :meth:`ArrivalTrace.from_scenario` records the timeline of any scenario
+  (hand-written, generated, composed or fuzzed);
+* :meth:`ArrivalTrace.save` / :meth:`ArrivalTrace.load` round-trip it through
+  a line-oriented JSONL file (one header line, one line per application, one
+  line per scheduled event) that external tools can write;
+* :meth:`ArrivalTrace.to_scenario` reconstitutes a runnable
+  :class:`~repro.workloads.scenarios.Scenario`, bit-identical in simulated
+  behaviour to the recording (DNN applications are rebuilt from the recorded
+  increment count of the case-study dynamic-DNN family, preserving which
+  applications shared one model; traces recorded from other DNN families are
+  rejected at replay via the recorded input size rather than silently
+  replayed with the wrong network).
+
+The registered ``trace`` scenario exposes replay to specs and the CLI: a
+spec/TOML with ``scenario = "trace"`` and ``scenario_params.path`` replays a
+trace file through the standard experiment machinery, and without a path it
+round-trips a named source scenario in memory (a permanent regression check
+that recording is lossless).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.dnn.training import IncrementalTrainer, TrainedDynamicDNN
+from repro.dnn.zoo import make_dynamic_cifar_dnn
+from repro.platforms.core import CoreType
+from repro.workloads.requirements import Requirements
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioEvent,
+    ScenarioEventKind,
+    build_scenario,
+    register_scenario,
+)
+from repro.workloads.tasks import (
+    Application,
+    DNNApplication,
+    GenericApplication,
+    ResourceDemand,
+    TaskKind,
+)
+
+__all__ = ["ArrivalTrace", "TraceFormatError"]
+
+#: Header discriminator of the JSONL format.
+TRACE_FORMAT = "repro-arrival-trace"
+#: Format version written by this module (readers reject newer versions).
+TRACE_VERSION = 1
+
+_REQUIREMENT_FIELDS = (
+    "max_latency_ms",
+    "max_energy_mj",
+    "max_power_mw",
+    "min_accuracy_percent",
+    "target_fps",
+    "priority",
+)
+
+
+class TraceFormatError(ValueError):
+    """An arrival-trace file that cannot be parsed or reconstituted."""
+
+
+def _requirements_to_dict(requirements: Requirements) -> Dict[str, object]:
+    payload: Dict[str, object] = {}
+    for name in _REQUIREMENT_FIELDS:
+        value = getattr(requirements, name)
+        if value is not None:
+            payload[name] = value
+    return payload
+
+
+def _requirements_from_dict(payload: Dict[str, object]) -> Requirements:
+    unknown = sorted(set(payload) - set(_REQUIREMENT_FIELDS))
+    if unknown:
+        raise TraceFormatError(f"unknown requirement fields {unknown}")
+    return Requirements(**payload)  # type: ignore[arg-type]
+
+
+@dataclass
+class ArrivalTrace:
+    """A recorded workload timeline, serialisable to/from JSONL.
+
+    Attributes
+    ----------
+    scenario_name / platform_name / duration_ms:
+        Identity of the recorded scenario (the platform is a default for
+        replay; :meth:`to_scenario` can re-target).
+    applications:
+        One plain-dict record per application: id, kind, arrival/departure,
+        requirements and kind-specific payload (dynamic-DNN shape and input
+        size for inference applications, resource demand for generic ones).
+    events:
+        One plain-dict record per scheduled extra event (requirement
+        switches, scripted arrivals/departures).
+    """
+
+    scenario_name: str
+    platform_name: str
+    duration_ms: float
+    applications: List[Dict[str, object]] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    # -------------------------------------------------------------- recording
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "ArrivalTrace":
+        """Record the workload timeline of a scenario.
+
+        DNN applications record the increment count and input size of their
+        dynamic DNN plus a ``model_ref``: applications that share one trained
+        model instance (and therefore co-scale — switching one switches the
+        other) share a ref, so replay preserves the sharing structure.
+        """
+        trace = cls(
+            scenario_name=scenario.name,
+            platform_name=scenario.platform_name,
+            duration_ms=scenario.duration_ms,
+        )
+        model_refs: Dict[int, int] = {}
+        for application in scenario.applications:
+            record: Dict[str, object] = {
+                "app_id": application.app_id,
+                "kind": application.kind.value,
+                "arrival_ms": application.arrival_time_ms,
+                "departure_ms": application.departure_time_ms,
+                "memory_footprint_mb": application.memory_footprint_mb,
+                "requirements": _requirements_to_dict(application.requirements),
+            }
+            if isinstance(application, DNNApplication):
+                ref = model_refs.setdefault(id(application.trained), len(model_refs))
+                record["model_ref"] = ref
+                record["num_increments"] = application.dynamic_dnn.num_increments
+                record["input_size"] = list(application.dynamic_dnn.base_model.input_shape)
+                record["preprocessing_cores"] = application.preprocessing_cores
+            elif isinstance(application, GenericApplication):
+                record["demand"] = {
+                    "core_type": application.demand.core_type.value,
+                    "cores": application.demand.cores,
+                    "utilisation": application.demand.utilisation,
+                    "min_frequency_mhz": application.demand.min_frequency_mhz,
+                }
+            trace.applications.append(record)
+        for event in scenario.extra_events:
+            trace.events.append(
+                {
+                    "time_ms": event.time_ms,
+                    "kind": event.kind.value,
+                    "app_id": event.app_id,
+                    "requirements": (
+                        None
+                        if event.new_requirements is None
+                        else _requirements_to_dict(event.new_requirements)
+                    ),
+                }
+            )
+        return trace
+
+    # --------------------------------------------------------------- file I/O
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSONL: header, application records, events."""
+        lines = [
+            json.dumps(
+                {
+                    "format": TRACE_FORMAT,
+                    "version": TRACE_VERSION,
+                    "scenario": self.scenario_name,
+                    "platform": self.platform_name,
+                    "duration_ms": self.duration_ms,
+                },
+                sort_keys=True,
+            )
+        ]
+        for record in self.applications:
+            lines.append(json.dumps({"record": "application", **record}, sort_keys=True))
+        for record in self.events:
+            lines.append(json.dumps({"record": "event", **record}, sort_keys=True))
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Read a trace written by :meth:`save` (or a compatible tool)."""
+        path = Path(path)
+        try:
+            lines = [
+                line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()
+            ]
+        except (OSError, UnicodeDecodeError) as error:
+            raise TraceFormatError(f"cannot read trace file {path}: {error}") from None
+        if not lines:
+            raise TraceFormatError(f"trace file {path} is empty")
+        try:
+            parsed = [json.loads(line) for line in lines]
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"invalid JSON in {path}: {error}") from None
+        header = parsed[0]
+        if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+            raise TraceFormatError(
+                f"{path} is not a {TRACE_FORMAT} file (missing/unknown header)"
+            )
+        try:
+            version = int(header.get("version", 0))
+            duration_ms = float(header["duration_ms"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceFormatError(f"invalid trace header in {path}: {error!r}") from None
+        if version > TRACE_VERSION:
+            raise TraceFormatError(
+                f"{path} has version {header['version']}; this reader supports "
+                f"up to {TRACE_VERSION}"
+            )
+        trace = cls(
+            scenario_name=str(header.get("scenario", path.stem)),
+            platform_name=str(header.get("platform", "odroid_xu3")),
+            duration_ms=duration_ms,
+        )
+        for record in parsed[1:]:
+            if not isinstance(record, dict):
+                raise TraceFormatError(f"non-table record line {record!r} in {path}")
+            kind = record.pop("record", None)
+            if kind == "application":
+                trace.applications.append(record)
+            elif kind == "event":
+                trace.events.append(record)
+            else:
+                raise TraceFormatError(f"unknown record type {kind!r} in {path}")
+        return trace
+
+    # ----------------------------------------------------------------- replay
+
+    def to_scenario(
+        self,
+        platform_name: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Scenario:
+        """Reconstitute a runnable scenario from the recorded timeline.
+
+        DNN applications are rebuilt from the case-study dynamic-DNN family
+        at the recorded increment count; records sharing a ``model_ref``
+        share one trained instance, exactly like the recording.  The platform
+        defaults to the recorded one.
+        """
+        trained_by_ref: Dict[object, TrainedDynamicDNN] = {}
+        applications: List[Application] = []
+        for index, record in enumerate(self.applications):
+            try:
+                applications.append(self._application_from(record, trained_by_ref, index))
+            except (KeyError, TypeError, ValueError) as error:
+                raise TraceFormatError(
+                    f"invalid application record {record.get('app_id')!r}: {error}"
+                ) from None
+        events = []
+        for record in self.events:
+            try:
+                payload = record.get("requirements")
+                events.append(
+                    ScenarioEvent(
+                        time_ms=float(record["time_ms"]),
+                        kind=ScenarioEventKind(record["kind"]),
+                        app_id=str(record["app_id"]),
+                        new_requirements=(
+                            None if payload is None else _requirements_from_dict(payload)
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise TraceFormatError(f"invalid event record {record!r}: {error}") from None
+        return Scenario(
+            name=name or f"trace({self.scenario_name})",
+            platform_name=platform_name or self.platform_name,
+            applications=applications,
+            duration_ms=self.duration_ms,
+            extra_events=events,
+            description=f"Replay of the recorded arrival trace of {self.scenario_name!r}.",
+        )
+
+    @staticmethod
+    def _application_from(
+        record: Dict[str, object],
+        trained_by_ref: Dict[object, TrainedDynamicDNN],
+        index: int,
+    ) -> Application:
+        kind = TaskKind(record["kind"])
+        requirements = _requirements_from_dict(dict(record.get("requirements") or {}))
+        departure = record.get("departure_ms")
+        common = {
+            "app_id": str(record["app_id"]),
+            "kind": kind,
+            "requirements": requirements,
+            "arrival_time_ms": float(record["arrival_ms"]),  # type: ignore[arg-type]
+            "departure_time_ms": None if departure is None else float(departure),  # type: ignore[arg-type]
+            "memory_footprint_mb": float(record["memory_footprint_mb"]),  # type: ignore[arg-type]
+        }
+        if kind is TaskKind.DNN_INFERENCE:
+            # model_ref encodes which applications deliberately co-scale one
+            # model; an external trace that omits it must get an independent
+            # model per record, not be silently fused onto a shared one.
+            raw_ref = record.get("model_ref")
+            ref: object = ("auto", index) if raw_ref is None else int(raw_ref)  # type: ignore[arg-type]
+            num_increments = int(record.get("num_increments", 4))  # type: ignore[arg-type]
+            trained = trained_by_ref.get(ref)
+            if trained is None:
+                trained = IncrementalTrainer().train(make_dynamic_cifar_dnn(num_increments))
+                trained_by_ref[ref] = trained
+            elif trained.dynamic_dnn.num_increments != num_increments:
+                raise TraceFormatError(
+                    f"model_ref {ref} recorded with conflicting increment counts"
+                )
+            # Replay reconstitutes the case-study dynamic-DNN family; a trace
+            # recorded from a different model must fail loudly rather than
+            # silently replay the wrong network.
+            recorded_input = record.get("input_size")
+            rebuilt_input = list(trained.dynamic_dnn.base_model.input_shape)
+            if recorded_input is not None and list(recorded_input) != rebuilt_input:
+                raise TraceFormatError(
+                    f"recorded input size {recorded_input} is not the case-study "
+                    f"family's {rebuilt_input}; this DNN cannot be reconstituted"
+                )
+            return DNNApplication(
+                trained=trained,
+                preprocessing_cores=int(record.get("preprocessing_cores", 1)),  # type: ignore[arg-type]
+                **common,  # type: ignore[arg-type]
+            )
+        demand_payload = dict(record.get("demand") or {})
+        min_frequency = demand_payload.get("min_frequency_mhz")
+        demand = ResourceDemand(
+            core_type=CoreType(demand_payload["core_type"]),
+            cores=int(demand_payload.get("cores", 1)),  # type: ignore[arg-type]
+            utilisation=float(demand_payload.get("utilisation", 0.8)),  # type: ignore[arg-type]
+            min_frequency_mhz=None if min_frequency is None else float(min_frequency),  # type: ignore[arg-type]
+        )
+        return GenericApplication(demand=demand, **common)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------- registry
+
+
+@register_scenario("trace", seeded=False, params=("path", "source", "source_seed", "replatform"))
+def trace_scenario(
+    seed: int = 0,
+    platform_name: str = "odroid_xu3",
+    path: Optional[str] = None,
+    source: str = "rush_hour",
+    source_seed: int = 0,
+    replatform: bool = False,
+) -> Scenario:
+    """Replay an arrival trace: a JSONL file (path), else a round-trip of `source`.
+
+    With ``scenario_params.path`` the named JSONL file is loaded and
+    replayed.  A spec cannot express "the platform the trace was recorded
+    on" (its ``platform`` field always has a value), so a platform that
+    differs from the recorded one is rejected unless
+    ``scenario_params.replatform`` is true — otherwise a trace recorded on
+    another board would silently replay on the spec's default platform as a
+    different experiment.  Without a path, the ``source`` registry scenario
+    (at ``source_seed``) is recorded to an in-memory trace and replayed —
+    simulated behaviour must be bit-identical to running the source
+    directly, which the golden-fingerprint table locks in.
+    """
+    if path is not None:
+        loaded = ArrivalTrace.load(path)
+        if not replatform and loaded.platform_name != platform_name:
+            raise TraceFormatError(
+                f"trace {path} was recorded on {loaded.platform_name!r} but the "
+                f"spec requests {platform_name!r}; set platform = "
+                f"{loaded.platform_name!r} or scenario_params.replatform = true "
+                "to re-target deliberately"
+            )
+        return loaded.to_scenario(platform_name=platform_name)
+    recorded = ArrivalTrace.from_scenario(
+        build_scenario(source, seed=source_seed, platform_name=platform_name)
+    )
+    return recorded.to_scenario(platform_name=platform_name)

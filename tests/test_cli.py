@@ -243,6 +243,19 @@ class TestCommands:
         assert "single_dnn/rtm/seed0" in captured.out
         assert "seed1" not in captured.out and "seed2" not in captured.out
 
+    def test_sweep_seed_base_pins_unseeded_scenarios_to_seed_zero(self, capsys, recwarn):
+        # The runner's own seed choice for a deterministic scenario must not
+        # trip the ignored-seed warning aimed at caller typos.
+        assert (
+            main(
+                ["sweep", "--scenarios", "single_dnn", "--managers", "rtm",
+                 "--seeds", "1", "--seed-base", "3"]
+            )
+            == 0
+        )
+        assert "single_dnn/rtm/seed0" in capsys.readouterr().out
+        assert not [w for w in recwarn.list if "ignores seed" in str(w.message)]
+
     def test_sweep_rejects_duplicate_names(self, capsys):
         assert main(["sweep", "--scenarios", "steady", "steady"]) == 2
         assert "duplicate scenario names" in capsys.readouterr().err
@@ -336,6 +349,153 @@ class TestCommands:
             line for line in stats_section.splitlines() if "single_dnn/rtm/seed0" in line
         )
         assert row.split()[1:3] == ["0", "0"]
+
+
+class TestComposeCommand:
+    def test_compose_prints_the_overview(self, capsys):
+        assert main(["scenarios", "compose", "--op", "mix", "--a", "steady", "--b", "bursty"]) == 0
+        output = capsys.readouterr().out
+        assert "applications" in output
+        assert "dnn_inference" in output
+
+    def test_compose_dump_spec_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "composed.toml"
+        assert (
+            main(
+                ["scenarios", "compose", "--op", "splice", "--a", "rush_hour",
+                 "--b", "battery_saver", "--at-ms", "15000", "--dump-spec", str(path)]
+            )
+            == 0
+        )
+        assert "replay with" in capsys.readouterr().out
+        assert main(["run", str(path)]) == 0
+        assert "compose_splice" in capsys.readouterr().out
+
+    def test_compose_run_reports_fingerprint(self, capsys):
+        assert (
+            main(
+                ["scenarios", "compose", "--op", "scale", "--a", "steady",
+                 "--arrival-factor", "0.5", "--run", "--manager", "governor_only"]
+            )
+            == 0
+        )
+        assert "trace fingerprint:" in capsys.readouterr().out
+
+    def test_compose_unknown_operand_fails(self, capsys):
+        assert main(["scenarios", "compose", "--a", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_compose_invalid_numeric_operand_fails_cleanly(self, capsys):
+        assert (
+            main(["scenarios", "compose", "--op", "splice", "--a", "steady",
+                  "--b", "bursty", "--at-ms", "-5"])
+            == 2
+        )
+        assert "invalid composition" in capsys.readouterr().err
+        assert (
+            main(["scenarios", "compose", "--op", "scale", "--a", "steady",
+                  "--arrival-factor", "0"])
+            == 2
+        )
+        assert "invalid composition" in capsys.readouterr().err
+
+    def test_compose_rejects_flags_the_op_does_not_use(self, capsys):
+        assert (
+            main(["scenarios", "compose", "--op", "mix", "--a", "steady",
+                  "--b", "bursty", "--at-ms", "5000"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "invalid composition" in err and "does not use params" in err
+
+    def test_compose_dump_spec_conflicts_with_execution_outputs(self, capsys, tmp_path):
+        assert (
+            main(["scenarios", "compose", "--a", "steady", "--dump-spec", "-",
+                  "--save-trace", str(tmp_path / "t.jsonl")])
+            == 2
+        )
+        assert "--dump-spec replaces execution" in capsys.readouterr().err
+        assert main(["scenarios", "compose", "--a", "steady", "--dump-spec", "-", "--run"]) == 2
+        assert "--dump-spec replaces execution" in capsys.readouterr().err
+
+    def test_compose_dump_spec_validates_before_writing(self, capsys, tmp_path):
+        # A spec that could only fail at run time must not be emitted.
+        path = tmp_path / "bad.toml"
+        assert (
+            main(["scenarios", "compose", "--op", "splice", "--a", "steady",
+                  "--b", "bursty", "--at-ms", "-5", "--dump-spec", str(path)])
+            == 2
+        )
+        assert "invalid composition" in capsys.readouterr().err
+        assert not path.exists()
+
+
+class TestTraceCommands:
+    def test_record_then_replay_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "bursty.jsonl"
+        assert (
+            main(["trace", "record", "--scenario", "bursty", "--seed", "2", "--out", str(path)])
+            == 0
+        )
+        recorded = capsys.readouterr().out
+        assert "recorded" in recorded and str(path) in recorded
+        assert main(["trace", "replay", str(path), "--manager", "governor_only"]) == 0
+        output = capsys.readouterr().out
+        assert "trace fingerprint:" in output
+        assert "violation rate" in output
+
+    def test_replay_dump_spec_carries_the_absolute_path(self, capsys, tmp_path, monkeypatch):
+        path = tmp_path / "steady.jsonl"
+        assert main(["trace", "record", "--scenario", "steady", "--out", str(path)]) == 0
+        capsys.readouterr()
+        # Dump from inside the trace's directory using a relative file name:
+        # the emitted spec must still pin the absolute path, so it replays
+        # from any working directory.
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "replay", "steady.jsonl", "--dump-spec", "-"]) == 0
+        output = capsys.readouterr().out
+        assert 'scenario = "trace"' in output
+        assert str(path.resolve()) in output
+        assert "replatform" not in output  # platform matches the recording
+
+    def test_replay_dump_spec_marks_platform_overrides_deliberate(self, capsys, tmp_path):
+        path = tmp_path / "steady.jsonl"
+        assert main(["trace", "record", "--scenario", "steady", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert (
+            main(["trace", "replay", str(path), "--platform", "jetson_nano",
+                  "--dump-spec", "-"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert 'platform = "jetson_nano"' in output
+        assert "replatform = true" in output
+
+    def test_replay_invalid_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["trace", "replay", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_replay_invalid_record_body_fails_cleanly(self, capsys, tmp_path):
+        # Valid header and JSON, bad record content: still exit 2, no traceback.
+        bad = tmp_path / "bad_body.jsonl"
+        bad.write_text(
+            '{"format": "repro-arrival-trace", "version": 1, "duration_ms": 1000.0}\n'
+            '{"record": "application", "app_id": "x", "kind": "dnn_inference", '
+            '"arrival_ms": 0.0, "departure_ms": null, "memory_footprint_mb": 1.0, '
+            '"requirements": {"bogus": 1}}\n',
+            encoding="utf-8",
+        )
+        assert main(["trace", "replay", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_record_unknown_scenario_fails(self, capsys, tmp_path):
+        assert (
+            main(["trace", "record", "--scenario", "nope", "--out", str(tmp_path / "x.jsonl")])
+            == 2
+        )
+        assert "unknown scenario" in capsys.readouterr().err
 
 
 class TestBenchCommand:

@@ -31,18 +31,46 @@ GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("battery_saver", "rtm"): "ccb9c346881509c1",
     ("battery_saver", "rtm_min_energy"): "86a25ef9923baca5",
     ("battery_saver", "static_deployment"): "029822f9099df0c6",
+    ("battery_saver_accuracy_critical", "governor_only"): "d0b152cfdfb80d77",
+    ("battery_saver_accuracy_critical", "rtm"): "6ae0e56810325745",
+    ("battery_saver_accuracy_critical", "rtm_min_energy"): "86cae8c9d1b54574",
+    ("battery_saver_accuracy_critical", "static_deployment"): "e676b2998c657e97",
     ("bursty", "governor_only"): "98bf7c3992d9fdde",
     ("bursty", "rtm"): "f9a9999dc96b79f4",
     ("bursty", "rtm_min_energy"): "75beffb9dbb4d2b2",
     ("bursty", "static_deployment"): "39e7f51fad0da6a8",
+    ("bursty_x2_exynos", "governor_only"): "73baaff0ddb61deb",
+    ("bursty_x2_exynos", "rtm"): "e148b21026d85302",
+    ("bursty_x2_exynos", "rtm_min_energy"): "722b06ae811223da",
+    ("bursty_x2_exynos", "static_deployment"): "9facc33d4e73720d",
+    ("compose", "governor_only"): "28567e4707cef379",
+    ("compose", "rtm"): "86f7fc946685f69a",
+    ("compose", "rtm_min_energy"): "7597df3aa69fd193",
+    ("compose", "static_deployment"): "eed2edaa3d4e9a91",
+    ("double_rush_hour", "governor_only"): "f2a5331c52a11950",
+    ("double_rush_hour", "rtm"): "50de5cadd431f113",
+    ("double_rush_hour", "rtm_min_energy"): "902057663c1d8745",
+    ("double_rush_hour", "static_deployment"): "c2af9de410473875",
     ("fig2", "governor_only"): "b3f79d01863fc094",
     ("fig2", "rtm"): "ae3a41ea769ecf8c",
     ("fig2", "rtm_min_energy"): "9d0e9d729e270640",
     ("fig2", "static_deployment"): "6401c0058e7cb6ac",
+    ("fig2_bursty", "governor_only"): "42b6cbd929a7cd0c",
+    ("fig2_bursty", "rtm"): "6f98c50d53c0916e",
+    ("fig2_bursty", "rtm_min_energy"): "9301fe32e2e9faa2",
+    ("fig2_bursty", "static_deployment"): "94fde0cdc1f316da",
+    ("fuzzed", "governor_only"): "3477cf7e5586912c",
+    ("fuzzed", "rtm"): "d44f46f6f50429b4",
+    ("fuzzed", "rtm_min_energy"): "195be4aada52e86b",
+    ("fuzzed", "static_deployment"): "850ba610009ed671",
     ("mixed_criticality", "governor_only"): "8956ac5e01be6e8b",
     ("mixed_criticality", "rtm"): "3493d7b90a14d56a",
     ("mixed_criticality", "rtm_min_energy"): "ef413349ac009b4f",
     ("mixed_criticality", "static_deployment"): "741211ce3e1feea2",
+    ("mixed_criticality_overload", "governor_only"): "3b99dac09d3c761c",
+    ("mixed_criticality_overload", "rtm"): "6d0e9cabadea15d1",
+    ("mixed_criticality_overload", "rtm_min_energy"): "9dd2ee58627ef109",
+    ("mixed_criticality_overload", "static_deployment"): "445f570367646e4a",
     ("multi_app_contention", "governor_only"): "6cb7331797126123",
     ("multi_app_contention", "rtm"): "d9969b1272b84f16",
     ("multi_app_contention", "rtm_min_energy"): "45467befb982dcc3",
@@ -55,10 +83,18 @@ GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("overload", "rtm"): "dc1afb1139355c27",
     ("overload", "rtm_min_energy"): "00518213d59560b3",
     ("overload", "static_deployment"): "01986dbe1c004f38",
+    ("overload_slow_motion", "governor_only"): "7881d4845e1762ce",
+    ("overload_slow_motion", "rtm"): "85ee5a237f806416",
+    ("overload_slow_motion", "rtm_min_energy"): "a7c6e3f284a38b63",
+    ("overload_slow_motion", "static_deployment"): "47cd6c68a5048ad3",
     ("rush_hour", "governor_only"): "a95030ad9358e856",
     ("rush_hour", "rtm"): "f6a57349578bc914",
     ("rush_hour", "rtm_min_energy"): "abbaa578a30393a9",
     ("rush_hour", "static_deployment"): "0d72aaa800ed55c2",
+    ("rush_hour_then_battery_saver", "governor_only"): "40d460d7ec95be41",
+    ("rush_hour_then_battery_saver", "rtm"): "0d85ffd4691ff921",
+    ("rush_hour_then_battery_saver", "rtm_min_energy"): "fccd4a7d8a319def",
+    ("rush_hour_then_battery_saver", "static_deployment"): "15d999e2eae19e7c",
     ("single_dnn", "governor_only"): "281244cd26fa352b",
     ("single_dnn", "rtm"): "7f71ab5f7d35f5cd",
     ("single_dnn", "rtm_min_energy"): "98e5ff6aef9b9476",
@@ -67,10 +103,22 @@ GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("steady", "rtm"): "f007a5d255a0ea13",
     ("steady", "rtm_min_energy"): "551bd3f241b9a2a9",
     ("steady", "static_deployment"): "e14f02dabeb160bc",
+    ("steady_then_overload", "governor_only"): "59637371d30f4703",
+    ("steady_then_overload", "rtm"): "df0d1b392c89e203",
+    ("steady_then_overload", "rtm_min_energy"): "490e47d3ba9363e0",
+    ("steady_then_overload", "static_deployment"): "190fa2657c558fb2",
     ("thermal_stress", "governor_only"): "2f8fb8a27958d834",
     ("thermal_stress", "rtm"): "650d8207a230513d",
     ("thermal_stress", "rtm_min_energy"): "7e5368abe28ba5d5",
     ("thermal_stress", "static_deployment"): "53961bb17add0232",
+    ("thermal_stress_jittered", "governor_only"): "1cd78aa0dda97ea1",
+    ("thermal_stress_jittered", "rtm"): "90a735f9edadc357",
+    ("thermal_stress_jittered", "rtm_min_energy"): "f073c25242d4caa8",
+    ("thermal_stress_jittered", "static_deployment"): "20359bb60315d4f3",
+    ("trace", "governor_only"): "a95030ad9358e856",
+    ("trace", "rtm"): "f6a57349578bc914",
+    ("trace", "rtm_min_energy"): "abbaa578a30393a9",
+    ("trace", "static_deployment"): "0d72aaa800ed55c2",
 }
 
 
@@ -123,6 +171,33 @@ class TestGoldenTraces:
             f"behaviour changed for {sorted(mismatches)}; if intentional, regenerate "
             "GOLDEN_FINGERPRINTS (PYTHONPATH=src python -m tests.test_golden_traces)"
         )
+
+
+class TestTraceReplayGoldens:
+    """The ``trace`` scenario is a lossless replay of its default source.
+
+    Its builder records ``rush_hour`` (seed 0) to an in-memory
+    :class:`~repro.workloads.traces.ArrivalTrace` and replays the
+    reconstitution, so under every manager its fingerprint must equal the
+    source's — the golden table carries the proof, and this test keeps the
+    two rows from drifting apart independently.
+    """
+
+    def test_trace_golden_rows_equal_rush_hour_rows(self):
+        managers = {manager for _, manager in GOLDEN_FINGERPRINTS}
+        for manager in sorted(managers):
+            assert (
+                GOLDEN_FINGERPRINTS[("trace", manager)]
+                == GOLDEN_FINGERPRINTS[("rush_hour", manager)]
+            ), f"trace replay diverged from its source under {manager}"
+
+    def test_live_trace_rows_match_source_rows(self, registry_grid_cached):
+        traces = registry_grid_cached.traces
+        for manager in ("rtm", "governor_only"):
+            assert (
+                traces[f"trace/{manager}/seed0"].fingerprint()
+                == traces[f"rush_hour/{manager}/seed0"].fingerprint()
+            )
 
 
 def _regenerate() -> None:  # pragma: no cover - maintenance hook

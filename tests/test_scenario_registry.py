@@ -30,6 +30,24 @@ class TestRegistryContents:
         }
         assert expected <= set(SCENARIO_REGISTRY)
 
+    def test_composition_layer_registered(self):
+        composition_layer = {
+            "compose",
+            "trace",
+            "fuzzed",
+            "rush_hour_then_battery_saver",
+            "steady_then_overload",
+            "mixed_criticality_overload",
+            "battery_saver_accuracy_critical",
+            "fig2_bursty",
+            "double_rush_hour",
+            "bursty_x2_exynos",
+            "overload_slow_motion",
+            "thermal_stress_jittered",
+        }
+        assert composition_layer <= set(SCENARIO_REGISTRY)
+        assert len(SCENARIO_REGISTRY) >= 20
+
     def test_builders_alias_is_the_registry(self):
         assert SCENARIO_BUILDERS is SCENARIO_REGISTRY
 
@@ -40,8 +58,10 @@ class TestRegistryContents:
             assert summary, name
 
     def test_every_entry_builds_a_valid_scenario(self):
+        from repro.workloads import scenario_is_seeded
+
         for name in SCENARIO_REGISTRY:
-            scenario = build_scenario(name, seed=1)
+            scenario = build_scenario(name, seed=1 if scenario_is_seeded(name) else 0)
             assert isinstance(scenario, Scenario), name
             assert scenario.duration_ms > 0, name
             assert scenario.applications, name
@@ -88,11 +108,45 @@ class TestSeeding:
         assert scenario.platform_name == "jetson_nano"
         assert scenario.build_platform().name == "jetson_nano"
 
+    def test_platform_pinned_scenario_rejects_other_boards(self):
+        # The scenario's name promises the Exynos board; running it elsewhere
+        # must fail loudly instead of mislabelling the experiment.
+        with pytest.raises(ValueError, match="pinned to the odroid_xu3"):
+            build_scenario("bursty_x2_exynos", seed=0, platform_name="jetson_nano")
+
 
 class TestErrors:
     def test_unknown_scenario_raises_with_available_names(self):
         with pytest.raises(KeyError, match="unknown scenario 'nope'.*steady"):
             build_scenario("nope")
+
+    def test_typoed_param_raises_instead_of_vanishing(self):
+        # A misspelled scenario_param used to disappear into the builder's
+        # **kwargs (or surface as an unrelated TypeError deep inside); it now
+        # fails loudly at the registry boundary, listing what is accepted.
+        with pytest.raises(ValueError, match=r"does not accept params \['durations_ms'\]"):
+            build_scenario("steady", durations_ms=5000.0)
+        with pytest.raises(ValueError, match="does not accept params"):
+            build_scenario("rush_hour", duration_ms=5000.0)  # takes no extras at all
+
+    def test_accepted_params_still_forward(self):
+        from repro.workloads import accepted_scenario_params
+
+        assert "duration_ms" in (accepted_scenario_params("steady") or set())
+        scenario = build_scenario("steady", seed=0, duration_ms=5000.0)
+        assert scenario.duration_ms == 5000.0
+
+    def test_seed_on_deterministic_scenario_warns(self):
+        with pytest.warns(UserWarning, match="ignores seed=7"):
+            build_scenario("fig2", seed=7)
+
+    def test_seed_zero_and_seeded_scenarios_stay_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_scenario("fig2", seed=0)
+            build_scenario("bursty", seed=7)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):

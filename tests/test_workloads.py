@@ -244,6 +244,45 @@ class TestWorkloadGenerator:
         assert len(scenarios) == 3
         assert len({s.name for s in scenarios}) == 3
 
+    def test_generate_many_child_seed_contract(self, trained_dnn):
+        # The derivation is increment-by-one and documented: child i of root
+        # seed s is bit-identical to a standalone generator at seed s + i.
+        config = WorkloadGeneratorConfig(num_dnn_apps=2)
+        generator = WorkloadGenerator(config, seed=5, trained=trained_dnn)
+        assert generator.child_seeds(3) == [5, 6, 7]
+        children = generator.generate_many(3)
+        for child_seed, child in zip(generator.child_seeds(3), children):
+            standalone = WorkloadGenerator(config, seed=child_seed, trained=trained_dnn).generate()
+            assert [a.app_id for a in child.applications] == [
+                a.app_id for a in standalone.applications
+            ]
+            assert [a.arrival_time_ms for a in child.applications] == [
+                a.arrival_time_ms for a in standalone.applications
+            ]
+            assert [a.requirements for a in child.applications] == [
+                a.requirements for a in standalone.applications
+            ]
+
+    def test_generate_many_prefix_sharing_is_the_flip_side(self, trained_dnn):
+        # Documented surprise of the increment derivation: adjacent roots and
+        # differing counts share scenarios.  generate_many(n) from root s and
+        # generate_many(m) from root s + 1 overlap on all but one child.
+        config = WorkloadGeneratorConfig(num_dnn_apps=2)
+        wide = WorkloadGenerator(config, seed=0, trained=trained_dnn).generate_many(3)
+        shifted = WorkloadGenerator(config, seed=1, trained=trained_dnn).generate_many(2)
+        for left, right in zip(wide[1:], shifted):
+            assert left.name == right.name
+            assert [a.arrival_time_ms for a in left.applications] == [
+                a.arrival_time_ms for a in right.applications
+            ]
+
+    def test_generate_many_rejects_non_positive_count(self, trained_dnn):
+        generator = WorkloadGenerator(seed=0, trained=trained_dnn)
+        with pytest.raises(ValueError):
+            generator.generate_many(0)
+        with pytest.raises(ValueError):
+            generator.child_seeds(-1)
+
     def test_invalid_config(self):
         with pytest.raises(ValueError):
             WorkloadGeneratorConfig(num_dnn_apps=-1)
