@@ -35,21 +35,29 @@ from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_BENCH_PATH",
+    "DEFAULT_BATCHED_BENCH_PATH",
     "BenchTimings",
     "BenchRegression",
+    "BatchedBenchResult",
     "run_bench_spec",
     "run_bench_specs",
     "run_bench_case",
     "run_bench",
+    "run_batched_bench",
     "write_bench_file",
+    "write_batched_bench_file",
     "load_bench_file",
     "compare_bench",
+    "compare_batched_bench",
 ]
 
 BENCH_SCHEMA_VERSION = 1
 
 #: Where the committed perf trajectory of the decision kernel lives.
 DEFAULT_BENCH_PATH = "BENCH_decision_kernel.json"
+
+#: Where the committed perf trajectory of the batched engine lives.
+DEFAULT_BATCHED_BENCH_PATH = "BENCH_batched_engine.json"
 
 #: Benchmark fields gated by :func:`compare_bench` (lower is better).
 GATED_FIELDS = ("decide_ms_per_epoch_cached", "decide_ms_per_epoch_uncached")
@@ -230,6 +238,152 @@ def run_bench(
         for manager_name in managers
     ]
     return run_bench_specs(specs, repeats=repeats, progress=progress)
+
+
+# ------------------------------------------------------- batched-engine bench
+
+
+@dataclass
+class BatchedBenchResult:
+    """Timings of the lock-step batched engine against the serial reference.
+
+    ``fingerprints_identical`` is the correctness payload: every spec's trace
+    fingerprint must match between the two backends, or the comparison is
+    meaningless however fast the engine ran.
+    """
+
+    specs: int
+    batched_s: float
+    serial_s: float
+    fingerprints_identical: bool
+    errors: int
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall time over batched wall time (higher is better)."""
+        return self.serial_s / self.batched_s if self.batched_s else float("inf")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "specs": self.specs,
+            "batched_s": self.batched_s,
+            "serial_s": self.serial_s,
+            "speedup": round(self.speedup, 2),
+            "fingerprints_identical": self.fingerprints_identical,
+            "errors": self.errors,
+        }
+
+
+def _time_backend(specs: Sequence[ExperimentSpec], backend: str) -> tuple:
+    """(wall seconds, label -> fingerprint, error count) of one batch run."""
+    from repro.experiments.runner import run_many
+
+    start = time.perf_counter()
+    batch = run_many(specs, backend=backend, validate=False)
+    wall_s = time.perf_counter() - start
+    fingerprints = {label: trace.fingerprint() for label, trace in batch.traces.items()}
+    return wall_s, fingerprints, len(batch.errors)
+
+
+def run_batched_bench(
+    specs: Sequence[ExperimentSpec],
+    repeats: int = 1,
+    progress=None,
+) -> BatchedBenchResult:
+    """Time the ``batched`` backend against the ``serial`` reference.
+
+    Each backend runs ``repeats`` times and the best wall time is kept.  The
+    batched passes run *before* the serial ones: hundreds of live serial
+    traces inflate allocator pressure for everything timed after them, and
+    ordering batched first keeps its measurement clean (the serial reference
+    is long enough to be insensitive to the leftover batched state).
+
+    ``progress`` is an optional callable invoked with a one-line message per
+    completed pass (the CLI prints them).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    batched_runs = []
+    for index in range(repeats):
+        run = _time_backend(specs, "batched")
+        batched_runs.append(run)
+        if progress is not None:
+            progress(f"batched pass {index + 1}/{repeats}: {run[0]:.2f} s")
+    serial_runs = []
+    for index in range(repeats):
+        run = _time_backend(specs, "serial")
+        serial_runs.append(run)
+        if progress is not None:
+            progress(f"serial pass {index + 1}/{repeats}: {run[0]:.2f} s")
+    batched_fingerprints = batched_runs[0][1]
+    serial_fingerprints = serial_runs[0][1]
+    errors = batched_runs[0][2] + serial_runs[0][2]
+    return BatchedBenchResult(
+        specs=len(specs),
+        batched_s=round(min(run[0] for run in batched_runs), 4),
+        serial_s=round(min(run[0] for run in serial_runs), 4),
+        fingerprints_identical=(errors == 0 and batched_fingerprints == serial_fingerprints),
+        errors=errors,
+    )
+
+
+def write_batched_bench_file(
+    path: str,
+    result: BatchedBenchResult,
+    repeats: int,
+    platform_name: str,
+    grid: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write the batched-engine benchmark JSON (and return the document)."""
+    document: Dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro-experiments bench --backend batched",
+        "generated_at_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "config": {"repeats": repeats, "platform": platform_name, **(grid or {})},
+        "results": result.as_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+    return document
+
+
+def compare_batched_bench(
+    result: BatchedBenchResult,
+    baseline: Dict[str, object],
+    max_regression: float = 0.25,
+) -> List[BenchRegression]:
+    """Gate a fresh batched-engine timing against a committed baseline.
+
+    Only ``batched_s`` is gated — the serial reference is re-measured for
+    the speedup report, not tracked.  Gating is skipped when the baseline
+    measured a different spec count (the grids are not comparable).
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    baseline_results = baseline.get("results", {})
+    if not isinstance(baseline_results, dict):
+        return []
+    if baseline_results.get("specs") != result.specs:
+        return []
+    base_value = baseline_results.get("batched_s")
+    if not base_value:
+        return []
+    if result.batched_s > float(base_value) * (1.0 + max_regression):
+        return [
+            BenchRegression(
+                case="batched_engine",
+                metric="batched_s",
+                baseline=float(base_value),
+                current=result.batched_s,
+            )
+        ]
+    return []
 
 
 def _speedups(reference: Dict[str, dict], results: Dict[str, dict]) -> Dict[str, dict]:

@@ -14,8 +14,8 @@ Design rules that keep parallel runs exactly equivalent to serial ones:
 * Every case is seeded explicitly; workers share no random state.
 * Results are reassembled in case-definition order, so a
   :class:`~repro.analysis.sweep.SweepResult` aggregates identically however
-  execution interleaves — ``max_workers=1`` (the in-process serial fallback)
-  and ``max_workers=N`` produce byte-identical statistics.
+  execution interleaves — ``workers=1`` (the in-process serial fallback) and
+  ``workers=N`` produce byte-identical statistics.
 * A case that raises is captured per case (``SweepResult.errors``) instead of
   killing the whole sweep.
 """
@@ -153,22 +153,35 @@ class ParallelSweepRunner:
 
     Parameters
     ----------
-    max_workers:
+    workers:
         Number of worker processes.  ``1`` (the default) runs every case
         in-process, with no executor involved — the deterministic serial
-        fallback.  Results are identical for any worker count.
+        fallback.  Results are identical for any worker count.  (The
+        parameter is named ``workers`` everywhere a worker count appears:
+        here, :func:`repro.experiments.run_many` and the CLI flags.)
     simulator_config:
         Optional simulator tunables shared by every case.
     """
 
     def __init__(
         self,
-        max_workers: int = 1,
+        workers: int = 1,
         simulator_config: Optional[SimulatorConfig] = None,
+        **legacy: object,
     ) -> None:
-        if max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
-        self.max_workers = max_workers
+        if "max_workers" in legacy:
+            raise TypeError(
+                "ParallelSweepRunner(max_workers=...) was renamed: pass "
+                "workers=... (the canonical worker-count name across "
+                "run_many, ParallelSweepRunner and the CLI)"
+            )
+        if legacy:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(legacy)}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
         self.simulator_config = simulator_config
 
     # ------------------------------------------------------------------ core
@@ -186,14 +199,14 @@ class ParallelSweepRunner:
 
         outcomes: Dict[str, SimulationTrace] = {}
         failures: Dict[str, str] = {}
-        if self.max_workers == 1:
+        if self.workers == 1:
             for case in cases:
                 try:
                     outcomes[case.name] = _execute_case(case, self.simulator_config)
                 except Exception as exc:  # noqa: BLE001 - per-case isolation
                     failures[case.name] = f"{type(exc).__name__}: {exc}"
         else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+            with ProcessPoolExecutor(max_workers=self.workers) as executor:
                 futures = {
                     case.name: executor.submit(_execute_case, case, self.simulator_config)
                     for case in cases
@@ -222,10 +235,13 @@ class ParallelSweepRunner:
         seed: int = 0,
         platform_name: str = "odroid_xu3",
     ) -> SweepResult:
-        """Replay one scenario under several managers (parallel ``run_manager_sweep``).
+        """Replay one scenario under several managers.
 
-        Each manager gets a freshly built copy of the scenario, exactly as
-        the serial helper rebuilds it from its factory per case.
+        Each manager gets a freshly built copy of the scenario (scenarios
+        carry mutable application state).  For registry-named managers the
+        same sweep can be written as ``ExperimentSpec`` objects and executed
+        with ``run_many(specs, backend=...)``; this frontend exists for live
+        callables that cannot be named in a spec.
         """
         cases = [
             SweepCase(
@@ -275,9 +291,11 @@ class ParallelSweepRunner:
     ) -> Dict[str, object]:
         """Generated scenarios across seeds under one manager.
 
-        Parallel equivalent of :func:`repro.analysis.sweep.run_seed_sweep`:
-        returns the same aggregate dictionary (plus an ``errors`` entry) so
-        robustness checks can switch runners without changing their readers.
+        Returns an aggregate dictionary (mean / worst violation rate, mean
+        energy, per-seed traces, plus an ``errors`` entry).  Registry-named
+        managers can express the same sweep as seeded ``ExperimentSpec``
+        objects executed with ``run_many(specs, backend=...)``; this frontend
+        exists for live callables that cannot be named in a spec.
         """
         if not seeds:
             raise ValueError("at least one seed is required")

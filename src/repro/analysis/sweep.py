@@ -1,33 +1,26 @@
 """Parameter sweeps over scenarios, managers and platforms.
 
-The ablation study and the robustness checks need the same loop: run a family
-of (scenario, manager) combinations, collect the headline statistics of every
-run, and aggregate across seeds.  This module provides that loop in one place
-so benchmarks and examples do not re-implement it.
+The ablation study and the robustness checks share one result shape: per-case
+traces keyed by name plus aggregate statistics (violation rates, energies,
+accuracies).  :class:`SweepResult` is that shape.
 
-.. deprecated::
-    :func:`run_manager_sweep` and :func:`run_seed_sweep` predate the
-    declarative experiment layer.  New code should describe experiments as
-    :class:`repro.experiments.ExperimentSpec` objects and execute them with
-    :func:`repro.experiments.run_many` (or, for live callables that cannot be
-    named in a spec, :class:`repro.analysis.parallel.ParallelSweepRunner`).
-    The helpers remain as thin shims and emit a :class:`DeprecationWarning`.
+Sweeps themselves are described as :class:`repro.experiments.ExperimentSpec`
+objects and executed with :func:`repro.experiments.run_many` through a named
+execution backend (``serial`` / ``process`` / ``batched``).  For live
+callables that cannot be named in a spec, use
+:class:`repro.analysis.parallel.ParallelSweepRunner`.  The historical
+``run_manager_sweep`` / ``run_seed_sweep`` helpers have been removed in
+favour of those entry points.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict
 
-import numpy as np
-
-from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
 from repro.sim.trace import SimulationTrace
-from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
-from repro.workloads.scenarios import Scenario
 
-__all__ = ["SweepResult", "run_manager_sweep", "run_seed_sweep"]
+__all__ = ["SweepResult"]
 
 
 @dataclass
@@ -66,76 +59,3 @@ class SweepResult:
                 self.traces[name].total_energy_mj(),
             ),
         )
-
-
-def run_manager_sweep(
-    scenario_factory: Callable[[], Scenario],
-    managers: Dict[str, Callable[[], ManagerProtocol]],
-    simulator_config: Optional[SimulatorConfig] = None,
-) -> SweepResult:
-    """Replay the same scenario under several managers.
-
-    Parameters
-    ----------
-    scenario_factory:
-        Builds a fresh scenario per run (scenarios carry mutable application
-        state, so each manager gets its own copy).
-    managers:
-        Mapping of case name to a factory producing the manager for that case.
-    simulator_config:
-        Optional simulator tunables shared by every run.
-    """
-    warnings.warn(
-        "run_manager_sweep is deprecated; describe the cases as "
-        "repro.experiments.ExperimentSpec objects and execute them with "
-        "repro.experiments.run_many",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    result = SweepResult()
-    for name, manager_factory in managers.items():
-        trace = simulate_scenario(
-            scenario_factory(), manager_factory(), config=simulator_config
-        )
-        result.traces[name] = trace
-    return result
-
-
-def run_seed_sweep(
-    manager_factory: Callable[[], ManagerProtocol],
-    seeds: Sequence[int],
-    generator_config: Optional[WorkloadGeneratorConfig] = None,
-    platform_name: str = "odroid_xu3",
-    simulator_config: Optional[SimulatorConfig] = None,
-) -> Dict[str, object]:
-    """Run randomly generated scenarios across seeds under one manager.
-
-    Returns aggregate statistics (mean / worst violation rate, mean energy)
-    plus the per-seed values, so robustness claims can be checked rather than
-    asserted from a single draw.
-    """
-    warnings.warn(
-        "run_seed_sweep is deprecated; use ParallelSweepRunner.seed_sweep or "
-        "repro.experiments.run_many over seeded ExperimentSpecs",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if not seeds:
-        raise ValueError("at least one seed is required")
-    per_seed: Dict[int, SimulationTrace] = {}
-    for seed in seeds:
-        generator = WorkloadGenerator(generator_config, seed=seed)
-        scenario = generator.generate(platform_name=platform_name)
-        per_seed[seed] = simulate_scenario(
-            scenario, manager_factory(), config=simulator_config
-        )
-    violation_rates = [trace.violation_rate() for trace in per_seed.values()]
-    energies = [trace.total_energy_mj() for trace in per_seed.values()]
-    return {
-        "seeds": list(seeds),
-        "violation_rates": {seed: trace.violation_rate() for seed, trace in per_seed.items()},
-        "mean_violation_rate": float(np.mean(violation_rates)),
-        "worst_violation_rate": float(np.max(violation_rates)),
-        "mean_energy_mj": float(np.mean(energies)),
-        "traces": per_seed,
-    }

@@ -13,13 +13,15 @@ terminal without going through pytest:
 * ``scenarios``  — list the registered named scenarios;
 * ``managers``   — list the registered runtime managers;
 * ``platforms``  — list the platform presets with their cluster topology;
-* ``run``        — execute experiment spec files (TOML/JSON), optionally
-  across worker processes;
-* ``sweep``      — run a (scenario, manager, seed) grid, optionally across
-  worker processes, and print per-case and aggregate statistics;
+* ``run``        — execute experiment spec files (TOML/JSON) through a
+  chosen execution backend (``--backend serial|process|batched``);
+* ``sweep``      — run a (scenario, manager, seed) grid through a chosen
+  execution backend and print per-case and aggregate statistics;
 * ``bench``      — time decide()-per-epoch and end-to-end simulation across
   scenarios x managers, write/refresh ``BENCH_decision_kernel.json`` and
-  optionally gate against a committed baseline.
+  optionally gate against a committed baseline; with ``--backend batched``
+  time the lock-step batched engine against the serial reference instead
+  and write/refresh ``BENCH_batched_engine.json``.
 
 The ``scenario``, ``sweep`` and ``bench`` commands are thin front-ends over
 :mod:`repro.experiments`: they assemble :class:`ExperimentSpec` objects and
@@ -35,15 +37,19 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import (
+    DEFAULT_BATCHED_BENCH_PATH,
     DEFAULT_BENCH_PATH,
     adaptation_events,
     application_timeline,
+    compare_batched_bench,
     compare_bench,
     format_operating_points,
     format_table,
     format_trace_comparison,
     load_bench_file,
+    run_batched_bench,
     run_bench_specs,
+    write_batched_bench_file,
     write_bench_file,
 )
 from repro.data.cifar import make_validation_set
@@ -51,6 +57,7 @@ from repro.data.measurements import CASE_STUDY_BUDGETS, TABLE1_ROWS
 from repro.dnn import IncrementalTrainer, make_dynamic_cifar_dnn
 from repro.dnn.zoo import cifar_group_cnn
 from repro.experiments import (
+    EXECUTION_BACKEND_REGISTRY,
     MANAGER_REGISTRY,
     ExperimentSpec,
     SpecError,
@@ -148,6 +155,25 @@ def _resolve_platform(name: str) -> bool:
         return True
     print(PLATFORM_REGISTRY.describe_unknown(name), file=sys.stderr)
     return False
+
+
+def _backend_workers_conflict(args: argparse.Namespace) -> bool:
+    """True (after printing the error) when --backend rejects --workers.
+
+    Single-process backends raise on ``workers > 1`` deep inside
+    ``run_many``; catching the combination here turns that into a usage
+    error with the fix spelled out.
+    """
+    if args.backend is None or args.workers == 1:
+        return False
+    if EXECUTION_BACKEND_REGISTRY.entry(args.backend).metadata.get("parallel"):
+        return False
+    print(
+        f"backend {args.backend!r} is single-process and ignores worker pools; "
+        "drop --workers or use --backend process",
+        file=sys.stderr,
+    )
+    return True
 
 
 def _dump_specs_and_exit(specs: List[ExperimentSpec], destination: str) -> int:
@@ -521,6 +547,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
+    if _backend_workers_conflict(args):
+        return 2
 
     duplicates = find_duplicates(spec.label for spec in specs)
     if duplicates:
@@ -533,8 +561,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     plural = "experiment" if len(specs) == 1 else "experiments"
     source = ", ".join(args.specs)
-    print(f"run: {len(specs)} {plural} from {source} (workers={args.workers})")
-    batch = run_many(specs, workers=args.workers, validate=False)
+    # The backend is named only when explicitly chosen, so output stays
+    # byte-identical across worker counts under the default dispatch.
+    backend_note = f"backend={args.backend}, " if args.backend else ""
+    print(f"run: {len(specs)} {plural} from {source} ({backend_note}workers={args.workers})")
+    batch = run_many(specs, backend=args.backend, workers=args.workers, validate=False)
     spec_ids = {spec.label: spec.spec_id() for spec in specs}
     _print_case_table(batch.traces, show_spec_ids=spec_ids)
 
@@ -583,6 +614,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
+    if _backend_workers_conflict(args):
+        return 2
 
     specs, seeds, seeds_for = _sweep_specs(args)
     for name in args.scenarios:
@@ -595,11 +628,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.dump_spec is not None:
         return _dump_specs_and_exit(specs, args.dump_spec)
 
-    result = run_many(specs, workers=args.workers, validate=False)
+    result = run_many(specs, backend=args.backend, workers=args.workers, validate=False)
 
+    # Named only when explicitly chosen (see cmd_run): the CLI byte-parity
+    # invariant says worker count must not change the output.
+    backend_note = f" (backend={args.backend})" if args.backend else ""
     print(
         f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
-        f"x {len(seeds)} seeds on {args.platform}"
+        f"x {len(seeds)} seeds on {args.platform}{backend_note}"
     )
     _print_case_table(result.traces)
 
@@ -674,10 +710,105 @@ BENCH_DEFAULT_MANAGERS = ["rtm", "rtm_min_energy", "governor_only", "static_depl
 #: The CI smoke subset: one decision-heavy scenario under the default RTM.
 BENCH_SMOKE_SCENARIOS = ["rush_hour"]
 BENCH_SMOKE_MANAGERS = ["rtm"]
+#: The batched-engine smoke grid needs redundancy (that is what the engine
+#: exploits), so it spans two scenarios x two managers instead of one case.
+BATCHED_BENCH_SMOKE_SCENARIOS = ["rush_hour", "steady"]
+BATCHED_BENCH_SMOKE_MANAGERS = ["rtm", "governor_only"]
+
+
+def _cmd_bench_batched(args: argparse.Namespace) -> int:
+    """Benchmark the batched engine against the serial reference backend."""
+    scenarios = args.scenarios or (
+        BATCHED_BENCH_SMOKE_SCENARIOS if args.smoke else BENCH_DEFAULT_SCENARIOS
+    )
+    managers = args.managers or (
+        BATCHED_BENCH_SMOKE_MANAGERS if args.smoke else BENCH_DEFAULT_MANAGERS
+    )
+    if not resolve_scenarios(scenarios) or not resolve_managers(managers):
+        return 2
+    if not _resolve_platform(args.platform):
+        return 2
+    seeds_count = args.seeds if args.seeds is not None else (2 if args.smoke else 4)
+    if seeds_count < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    repeats = 1 if args.smoke and args.repeats is None else (args.repeats or 2)
+    specs = grid_specs(scenarios, managers, seeds=list(range(seeds_count)), platform=args.platform)
+    if args.dump_spec is not None:
+        return _dump_specs_and_exit(specs, args.dump_spec)
+
+    print(
+        f"bench (batched engine): {len(scenarios)} scenarios x {len(managers)} "
+        f"managers x {seeds_count} seeds = {len(specs)} specs on {args.platform}, "
+        f"best of {repeats}"
+    )
+    result = run_batched_bench(
+        specs, repeats=repeats, progress=lambda line: print(f"  {line}")
+    )
+    print()
+    print(
+        f"batched {result.batched_s:.2f} s vs serial {result.serial_s:.2f} s "
+        f"-> {result.speedup:.2f}x over {result.specs} specs"
+    )
+    if result.errors:
+        print(f"{result.errors} spec(s) failed during the comparison", file=sys.stderr)
+        return 1
+    if not result.fingerprints_identical:
+        print(
+            "fingerprint mismatch: the batched engine diverged from the serial "
+            "reference — do not trust the timing",
+            file=sys.stderr,
+        )
+        return 1
+    print("fingerprints identical across backends")
+
+    exit_code = 0
+    if args.compare is not None:
+        try:
+            baseline = load_bench_file(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline {args.compare!r}: {error}", file=sys.stderr)
+            return 2
+        regressions = compare_batched_bench(
+            result, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            print(
+                f"\n{len(regressions)} batched-engine regression(s) beyond "
+                f"{args.max_regression:.0%} of {args.compare}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"no regressions beyond {args.max_regression:.0%} of {args.compare}")
+
+    output = args.output
+    if output == DEFAULT_BENCH_PATH:
+        # The untouched default points at the decision-kernel file; the
+        # batched comparison tracks its own trajectory.
+        output = DEFAULT_BATCHED_BENCH_PATH
+    if output is not None:
+        write_batched_bench_file(
+            output,
+            result,
+            repeats=repeats,
+            platform_name=args.platform,
+            grid={
+                "scenarios": list(scenarios),
+                "managers": list(managers),
+                "seeds": seeds_count,
+            },
+        )
+        print(f"wrote {output}")
+    return exit_code
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the decision kernel and track the timings in JSON."""
+    if args.backend == "batched":
+        return _cmd_bench_batched(args)
     scenarios = args.scenarios or (
         BENCH_SMOKE_SCENARIOS if args.smoke else BENCH_DEFAULT_SCENARIOS
     )
@@ -915,7 +1046,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="execute experiment spec files (TOML or JSON)"
     )
     run.add_argument("specs", nargs="+", metavar="SPEC", help="spec files to execute")
-    run.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    run.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(EXECUTION_BACKEND_REGISTRY),
+        help="execution backend (default: process when --workers > 1, else serial)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (process backend only)"
+    )
     run.set_defaults(func=cmd_run)
 
     sweep = subparsers.add_parser(
@@ -937,7 +1076,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", type=int, default=1, help="number of seeds per combination")
     sweep.add_argument("--seed-base", type=int, default=0, help="first seed of the range")
-    sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(EXECUTION_BACKEND_REGISTRY),
+        help="execution backend (default: process when --workers > 1, else serial)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (process backend only)"
+    )
     sweep.add_argument("--platform", default="odroid_xu3", help="platform preset")
     sweep.add_argument(
         "--cache-stats",
@@ -981,14 +1128,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--platform", default="odroid_xu3", help="platform preset")
     bench.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "batched"],
+        help="serial: time the decision kernel (default); batched: time the "
+        "lock-step engine against the serial reference",
+    )
+    bench.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="seeds per combination (--backend batched only; default 4, 2 with --smoke)",
+    )
+    bench.add_argument(
         "--smoke",
         action="store_true",
-        help="CI subset: rush_hour x rtm, single repeat",
+        help="CI subset: rush_hour x rtm, single repeat (batched: 2x2 grid, 2 seeds)",
     )
     bench.add_argument(
         "--output",
         default=DEFAULT_BENCH_PATH,
-        help=f"JSON file to write (default {DEFAULT_BENCH_PATH})",
+        help=f"JSON file to write (default {DEFAULT_BENCH_PATH}; "
+        f"{DEFAULT_BATCHED_BENCH_PATH} with --backend batched)",
     )
     bench.add_argument(
         "--no-write",

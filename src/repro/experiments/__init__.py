@@ -19,11 +19,23 @@ Quick start::
 
     batch = run_many([spec, ExperimentSpec(scenario="steady")], workers=2)
 
+Batches execute through a named backend (``serial`` / ``process`` /
+``batched``, see :mod:`repro.experiments.backends`); all backends produce
+bit-identical traces::
+
+    batch = run_many(grid_specs(scenarios, managers, seeds=range(8)),
+                     backend="batched")
+
 Specs round-trip through TOML/JSON files (``ExperimentSpec.load`` /
 ``load_specs`` / ``dump_specs``) and the CLI runs them directly:
 ``repro-experiments run spec.toml``.
 """
 
+from repro.experiments.backends import (
+    EXECUTION_BACKEND_REGISTRY,
+    ExecutionBackend,
+    make_execution_backend,
+)
 from repro.experiments.managers import MANAGER_REGISTRY, make_manager
 from repro.experiments.runner import (
     ExperimentBatch,
@@ -44,6 +56,9 @@ from repro.experiments.spec import (
 )
 
 __all__ = [
+    "EXECUTION_BACKEND_REGISTRY",
+    "ExecutionBackend",
+    "make_execution_backend",
     "MANAGER_REGISTRY",
     "make_manager",
     "ExperimentBatch",

@@ -1,0 +1,221 @@
+"""Execution backends: the strategies ``run_many`` can execute a batch with.
+
+An execution backend turns a sequence of validated :class:`ExperimentSpec`
+objects into an :class:`ExperimentBatch`.  Three ship with the repo:
+
+``serial``
+    One spec after another in this process.  The reference implementation —
+    every other backend's results must be bit-identical to it.
+``process``
+    Fan the specs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (``workers`` processes).  Best for a handful of long, heterogeneous
+    simulations on a multi-core machine.
+``batched``
+    The lock-step engine of :mod:`repro.sim.batched`: every replica advances
+    in one process and decision epochs resolve through shared value-keyed
+    operating-point/decision stores.  Best for large homogeneous sweeps
+    (seeds x scenarios x managers) — redundancy across replicas, not core
+    count, is what it exploits, so it beats the process pool on a single
+    core.
+
+Backends are named components in :data:`EXECUTION_BACKEND_REGISTRY`, joining
+the scenario/manager/platform/policy registries, so the CLI can enumerate
+them and specs-on-disk can reference them by name.  Every backend isolates
+per-spec failures (``ExperimentBatch.errors``) and reassembles results in
+submission order.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Sequence
+
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import Registry
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "BatchedBackend",
+    "EXECUTION_BACKEND_REGISTRY",
+    "make_execution_backend",
+]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a batch of experiment specs."""
+
+    #: Registry name of the backend.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+        """Run the (already validated) specs; returns an ``ExperimentBatch``.
+
+        Backends that are single-process by construction reject
+        ``workers > 1`` with a ``ValueError`` rather than silently ignoring
+        the request.
+        """
+
+    def _require_single_worker(self, workers: int) -> None:
+        if workers != 1:
+            raise ValueError(
+                f"the {self.name!r} backend is single-process and does not accept "
+                f"workers={workers}; use backend='process' to run on a worker pool"
+            )
+
+
+def _assemble(specs, outcomes, failures):
+    """Reassemble per-spec outcomes into a batch, in submission order."""
+    from repro.experiments.runner import ExperimentBatch
+
+    batch = ExperimentBatch()
+    for spec in specs:
+        if spec.label in outcomes:
+            batch.results[spec.label] = outcomes[spec.label]
+        else:
+            batch.errors[spec.label] = failures[spec.label]
+    return batch
+
+
+class SerialBackend(ExecutionBackend):
+    """Specs executed one after another in this process."""
+
+    name = "serial"
+
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+        from repro.experiments.runner import _run_one
+
+        self._require_single_worker(workers)
+        outcomes, failures = {}, {}
+        for spec in specs:
+            try:
+                outcomes[spec.label] = _run_one(spec)
+            except Exception as exc:  # noqa: BLE001 - per-spec isolation
+                failures[spec.label] = f"{type(exc).__name__}: {exc}"
+        return _assemble(specs, outcomes, failures)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Specs fanned out over a process pool (``workers`` processes).
+
+    ``workers=1`` degenerates to the in-process serial loop — no executor,
+    same results (the design invariant of the sweep engine: results are
+    reassembled in submission order, so aggregates are byte-identical for
+    any worker count).
+    """
+
+    name = "process"
+
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+        from repro.experiments.runner import _run_one
+
+        if workers == 1:
+            return SerialBackend().execute(specs, workers=1)
+        outcomes, failures = {}, {}
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {spec.label: executor.submit(_run_one, spec) for spec in specs}
+            for label, future in futures.items():
+                exc = future.exception()
+                if exc is not None:
+                    failures[label] = f"{type(exc).__name__}: {exc}"
+                else:
+                    outcomes[label] = future.result()
+        return _assemble(specs, outcomes, failures)
+
+
+class BatchedBackend(ExecutionBackend):
+    """Specs advanced in lock-step through shared decision machinery.
+
+    Builds every spec's scenario/manager/config in this process, hands them
+    to :class:`repro.sim.batched.BatchedEngine`, and reassembles the traces
+    into an :class:`ExperimentBatch`.  Replicas whose complete inputs are
+    equal by value (deterministic scenarios swept over seeds) share one
+    simulation.
+    """
+
+    name = "batched"
+
+    @staticmethod
+    def _dedup_key(spec: ExperimentSpec, scenario) -> object:
+        from repro.sim.batched import scenario_content_key
+
+        content = scenario_content_key(scenario)
+        if content is None:
+            return None
+        return (
+            spec.manager,
+            spec.platform,
+            spec.use_op_cache,
+            spec.policy,
+            tuple(sorted(spec.policy_overrides.items())),
+            tuple(sorted(spec.rtm.items())) if spec.rtm else None,
+            tuple(sorted(spec.simulator.items())) if spec.simulator else None,
+            content,
+        )
+
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+        from repro.experiments.runner import (
+            ExperimentResult,
+            build_manager_from_spec,
+            build_scenario_from_spec,
+            build_simulator_config,
+        )
+        from repro.sim.batched import BatchedCase, BatchedEngine
+
+        self._require_single_worker(workers)
+        cases = []
+        build_failures: Dict[str, str] = {}
+        for spec in specs:
+            try:
+                scenario = build_scenario_from_spec(spec)
+                cases.append(
+                    BatchedCase(
+                        label=spec.label,
+                        scenario=scenario,
+                        manager=build_manager_from_spec(spec),
+                        config=build_simulator_config(spec),
+                        dedup_key=self._dedup_key(spec, scenario),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - per-spec isolation
+                build_failures[spec.label] = f"{type(exc).__name__}: {exc}"
+
+        traces, run_failures = BatchedEngine().run(cases)
+        outcomes = {}
+        for spec in specs:
+            if spec.label in traces:
+                outcomes[spec.label] = ExperimentResult(spec=spec, trace=traces[spec.label])
+        return _assemble(specs, outcomes, {**build_failures, **run_failures})
+
+
+#: Named execution backends, enumerable like every other component axis.
+EXECUTION_BACKEND_REGISTRY: Registry[ExecutionBackend] = Registry("execution backend")
+EXECUTION_BACKEND_REGISTRY.register(
+    SerialBackend.name,
+    SerialBackend,
+    summary="one spec after another in-process (the reference path)",
+)
+EXECUTION_BACKEND_REGISTRY.register(
+    ProcessBackend.name,
+    ProcessBackend,
+    summary="fan specs out over a process pool (workers=N)",
+    parallel=True,
+)
+EXECUTION_BACKEND_REGISTRY.register(
+    BatchedBackend.name,
+    BatchedBackend,
+    summary="lock-step batched engine with shared decision stores (one core)",
+)
+
+
+def make_execution_backend(name: str) -> ExecutionBackend:
+    """Instantiate a backend by registry name.
+
+    Raises ``ValueError`` (listing the available names) for unknown backends.
+    """
+    if name not in EXECUTION_BACKEND_REGISTRY:
+        raise ValueError(EXECUTION_BACKEND_REGISTRY.describe_unknown(name))
+    return EXECUTION_BACKEND_REGISTRY[name]()

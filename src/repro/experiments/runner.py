@@ -1,4 +1,4 @@
-"""Execute experiment specs: ``run(spec)`` and ``run_many(specs, workers=N)``.
+"""Execute experiment specs: ``run(spec)`` and ``run_many(specs, backend=...)``.
 
 The runner is the single execution path behind the CLI (``scenario``,
 ``sweep``, ``run``), the parallel sweep engine and the benchmark harness:
@@ -7,18 +7,23 @@ is built from the spec's registry references inside the executing process, so
 a spec crosses process (and machine) boundaries as pure data and replays
 bit-identically wherever it lands.
 
+Batches dispatch through the execution-backend registry
+(:mod:`repro.experiments.backends`): ``serial`` runs specs one after
+another, ``process`` fans them out over ``workers`` processes, ``batched``
+advances all replicas in lock-step through shared decision machinery on one
+core.  All backends produce bit-identical traces.
+
 Design rules inherited from the parallel sweep engine:
 
 * every spec is seeded explicitly; workers share no random state;
 * results are reassembled in submission order, so aggregates are identical
-  for any worker count;
+  for any backend and worker count;
 * a spec that raises is captured per case (``ExperimentBatch.errors``)
   instead of killing the batch.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -188,18 +193,31 @@ def _run_one(spec: ExperimentSpec) -> ExperimentResult:
 
 def run_many(
     specs: Sequence[ExperimentSpec],
+    backend: Optional[str] = None,
     workers: int = 1,
     validate: bool = True,
 ) -> ExperimentBatch:
-    """Execute specs serially (``workers=1``) or across a process pool.
+    """Execute specs through a named execution backend.
+
+    ``backend`` selects the execution strategy from
+    :data:`repro.experiments.backends.EXECUTION_BACKEND_REGISTRY`:
+    ``"serial"`` (one spec after another in-process), ``"process"`` (a pool
+    of ``workers`` processes) or ``"batched"`` (the lock-step engine of
+    :mod:`repro.sim.batched`, which shares decision machinery across
+    replicas on one core).  Omitted, it defaults to ``"process"`` when
+    ``workers > 1`` and ``"serial"`` otherwise, preserving the historical
+    ``run_many(specs, workers=N)`` behaviour.  All backends produce
+    bit-identical traces; they differ only in wall-clock time.
 
     Results are keyed by :attr:`ExperimentSpec.label` and reassembled in
-    submission order, so aggregates are byte-identical for any worker count.
-    One failing spec does not abort the batch: its error message lands in
-    ``ExperimentBatch.errors`` under the label and the remaining specs still
-    run.  Duplicate labels are rejected up front (give batch entries explicit
-    ``name``\\ s to disambiguate repeats).
+    submission order, so aggregates are byte-identical for any backend and
+    worker count.  One failing spec does not abort the batch: its error
+    message lands in ``ExperimentBatch.errors`` under the label and the
+    remaining specs still run.  Duplicate labels are rejected up front (give
+    batch entries explicit ``name``\\ s to disambiguate repeats).
     """
+    from repro.experiments.backends import make_execution_backend
+
     if workers < 1:
         raise ValueError("workers must be at least 1")
     duplicates = find_duplicates(spec.label for spec in specs)
@@ -208,32 +226,9 @@ def run_many(
     if validate:
         for spec in specs:
             spec.validate()
-
-    outcomes: Dict[str, ExperimentResult] = {}
-    failures: Dict[str, str] = {}
-    if workers == 1:
-        for spec in specs:
-            try:
-                outcomes[spec.label] = _run_one(spec)
-            except Exception as exc:  # noqa: BLE001 - per-spec isolation
-                failures[spec.label] = f"{type(exc).__name__}: {exc}"
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {spec.label: executor.submit(_run_one, spec) for spec in specs}
-            for label, future in futures.items():
-                exc = future.exception()
-                if exc is not None:
-                    failures[label] = f"{type(exc).__name__}: {exc}"
-                else:
-                    outcomes[label] = future.result()
-
-    batch = ExperimentBatch()
-    for spec in specs:  # reassemble in submission order
-        if spec.label in outcomes:
-            batch.results[spec.label] = outcomes[spec.label]
-        else:
-            batch.errors[spec.label] = failures[spec.label]
-    return batch
+    if backend is None:
+        backend = "process" if workers > 1 else "serial"
+    return make_execution_backend(backend).execute(specs, workers=workers)
 
 
 def grid_specs(

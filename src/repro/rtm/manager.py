@@ -16,8 +16,8 @@ the highest accuracy...").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import astuple, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
 from repro.rtm.policies import MaxAccuracyUnderBudget, SelectionPolicy
 from repro.rtm.state import Action, SystemState, UnmapApplication
 from repro.workloads.requirements import Requirements
+from repro.workloads.tasks import DNNApplication, GenericApplication
 
 __all__ = ["RTMConfig", "RTMDecision", "RuntimeManager"]
 
@@ -213,6 +214,171 @@ class RuntimeManager:
     def total_actions(self) -> int:
         """Total knob writes issued so far."""
         return sum(decision.num_actions for decision in self.decisions)
+
+    # ------------------------------------------------- table-batched path
+    #
+    # The batched lock-step engine (:mod:`repro.sim.batched`) evaluates many
+    # replicas' decision epochs through shared machinery: one decision per
+    # *distinct* (manager behaviour, decision inputs) pair, replayed into
+    # every replica that asks the same question.  Three entry points support
+    # this.  ``decision_memo_key`` names the manager's behaviour by value;
+    # ``decision_signature`` names one epoch's complete decision inputs by
+    # value; ``decide_recorded`` / ``replay_decision`` capture and re-apply a
+    # decision's full side effects.  Either key method returning ``None``
+    # means "not keyable by value" and disables sharing for this instance —
+    # the engine then falls back to calling :meth:`decide` directly.
+
+    def decision_memo_key(self) -> Optional[tuple]:
+        """Value key of this manager's decision behaviour, or ``None``.
+
+        Two managers with equal keys make identical decisions on any state
+        with equal :meth:`decision_signature`.  ``None`` (subclasses, or
+        custom policies / latency models without a ``cache_key()``) simply
+        opts this instance out of cross-replica decision sharing.
+        """
+        if type(self) is not RuntimeManager:
+            return None
+        policy_key = self.policy.cache_key()
+        if policy_key is None:
+            return None
+        overrides = []
+        for app_id, policy in sorted(self.allocator.policy_overrides.items()):
+            override_key = policy.cache_key()
+            if override_key is None:
+                return None
+            overrides.append((app_id, override_key))
+        # EnergyModel.cache_key falls back to id() for latency models without
+        # their own key; an id() is not a value key, so refuse to memoise.
+        if not callable(getattr(self.energy_model.latency_model, "cache_key", None)):
+            return None
+        return (
+            "rtm",
+            policy_key,
+            tuple(overrides),
+            self.energy_model.cache_key(),
+            astuple(self.config),
+            self.cache is not None,
+        )
+
+    def decision_signature(self, state: SystemState) -> Optional[tuple]:
+        """Value key of every input one decision epoch reads, or ``None``.
+
+        Covers the platform topology, each cluster's dynamic state, every
+        application's descriptor and current mapping, the leakage-temperature
+        bucket, the power-cap inputs and the allocator's home-cluster
+        affinities.  ``state.time_ms`` is deliberately excluded: it is copied
+        into the decision but never influences the chosen actions.  Unknown
+        application types return ``None`` (epoch not keyable).
+        """
+        soc = state.soc
+        apps = []
+        for app_id, status in state.apps.items():
+            application = status.application
+            mapping = status.mapping
+            mapping_key = (
+                None
+                if mapping is None
+                else (
+                    mapping.cluster_name,
+                    mapping.cores,
+                    mapping.configuration,
+                    mapping.frequency_mhz,
+                )
+            )
+            if isinstance(application, DNNApplication):
+                apps.append(
+                    (
+                        app_id,
+                        "dnn",
+                        application.priority,
+                        application.requirements.cache_key(),
+                        application.trained.cache_key(),
+                        mapping_key,
+                    )
+                )
+            elif isinstance(application, GenericApplication):
+                demand = application.demand
+                apps.append(
+                    (
+                        app_id,
+                        "generic",
+                        application.priority,
+                        (
+                            demand.core_type,
+                            demand.cores,
+                            demand.min_frequency_mhz,
+                            demand.utilisation,
+                        ),
+                        mapping_key,
+                    )
+                )
+            else:
+                return None
+        clusters = tuple(
+            (cluster.name, cluster.frequency_mhz, len(cluster.online_cores))
+            for cluster in soc.clusters
+        )
+        bucket = temperature_bucket_c(
+            soc.thermal.temperature_c, self.config.temperature_bucket_width_c
+        )
+        caps = None
+        if state.throttling or state.power_cap_mw is not None:
+            caps = (
+                state.power_cap_mw,
+                state.throttling,
+                soc.thermal.sustainable_power_mw(margin_c=2.0) if state.throttling else None,
+                soc.idle_power_mw(),
+            )
+        home = tuple(sorted(self.allocator._home_cluster.items()))
+        return (
+            soc.topology_key(),
+            clusters,
+            tuple(apps),
+            bucket,
+            state.throttling,
+            caps,
+            home,
+        )
+
+    def decide_recorded(
+        self, state: SystemState
+    ) -> Tuple[RTMDecision, Tuple[Tuple[Action, ...], Tuple[Tuple[str, str], ...]]]:
+        """Run :meth:`decide` and capture a replayable record of its effects.
+
+        Returns ``(decision, replay)`` where ``replay`` holds the issued
+        actions plus the home-cluster affinities this epoch introduced —
+        everything :meth:`replay_decision` needs to re-apply the decision to
+        an identical state without re-running the allocator.
+        """
+        home_before = dict(self.allocator._home_cluster)
+        decision = self.decide(state)
+        home_delta = tuple(
+            (app_id, cluster_name)
+            for app_id, cluster_name in self.allocator._home_cluster.items()
+            if app_id not in home_before
+        )
+        return decision, (tuple(decision.actions), home_delta)
+
+    def replay_decision(
+        self,
+        state: SystemState,
+        actions: Tuple[Action, ...],
+        home_updates: Tuple[Tuple[str, str], ...],
+    ) -> RTMDecision:
+        """Re-apply a decision captured by :meth:`decide_recorded`.
+
+        Valid only for a state whose :meth:`decision_signature` equals the
+        recorded epoch's.  Mirrors every side effect of :meth:`decide`: the
+        cache staleness bookkeeping, the allocator's home-cluster affinities
+        and the decision log.  Actions are frozen dataclasses, shared safely
+        across replicas.
+        """
+        self._invalidate_on_structural_change(state)
+        for app_id, cluster_name in home_updates:
+            self.allocator._home_cluster.setdefault(app_id, cluster_name)
+        decision = RTMDecision(time_ms=state.time_ms, actions=list(actions))
+        self.decisions.append(decision)
+        return decision
 
     # --------------------------------------------------- single-app queries
 

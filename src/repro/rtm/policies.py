@@ -85,6 +85,20 @@ class SelectionPolicy(abc.ABC):
     #: Registry name of the policy.
     name: str = "base"
 
+    def cache_key(self) -> Optional[tuple]:
+        """Value key identifying this policy's selection behaviour.
+
+        Two policies with equal keys must make identical choices on every
+        input; the batched engine uses the key to share memoised decisions
+        across replicas.  The built-in policies are stateless, so their
+        registry name is the key.  Custom subclasses return ``None`` (not
+        memoisable) unless they override this with a key covering all of
+        their selection-relevant state.
+        """
+        if any(type(self) is factory for factory in POLICY_REGISTRY.values()):
+            return ("policy", self.name)
+        return None
+
     @abc.abstractmethod
     def objective(self, point: OperatingPoint) -> float:
         """Score of a *feasible* point; lower is better."""

@@ -93,7 +93,7 @@ class SimulatorConfig:
             raise ValueError("retry_interval_ms must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class _DNNRuntime:
     """Simulator-internal bookkeeping for one DNN application."""
 
@@ -105,6 +105,9 @@ class _DNNRuntime:
     current_start_ms: float = 0.0
     current_cluster: str = ""
     current_cores: int = 0
+    #: The (constant) release callback of this application, allocated once
+    #: instead of once per scheduled release.
+    release_cb: Optional[object] = None
 
 
 class Simulator:
@@ -135,8 +138,9 @@ class Simulator:
         self.energy_model = energy_model or EnergyModel(CalibratedLatencyModel())
         self.config = config or SimulatorConfig()
         self.soc: Soc = scenario.build_platform()
-        self.queue = EventQueue()
+        self.queue = self._make_queue()
         self.trace = SimulationTrace(duration_ms=scenario.duration_ms)
+        self._primed = False
         self._apps: Dict[str, AppRuntimeState] = {}
         self._dnn_runtime: Dict[str, _DNNRuntime] = {}
         self._was_throttling = False
@@ -150,8 +154,16 @@ class Simulator:
 
     # ------------------------------------------------------------------ run
 
-    def run(self) -> SimulationTrace:
-        """Execute the scenario and return the trace."""
+    def prime(self) -> None:
+        """Schedule the scenario's events and the periodic sampler chains.
+
+        Idempotent; called implicitly by :meth:`run`.  Exposed so that a
+        lock-step driver (:mod:`repro.sim.batched`) can prime many simulators
+        and interleave their execution with :meth:`advance_to`.
+        """
+        if self._primed:
+            return
+        self._primed = True
         for event in self.scenario.events():
             self.queue.schedule(
                 event.time_ms,
@@ -160,8 +172,71 @@ class Simulator:
             )
         self._schedule_thermal_sample(self.config.thermal_sample_interval_ms)
         self._schedule_decision_epoch(self.config.decision_interval_ms)
+
+    def advance_to(self, time_ms: float) -> None:
+        """Run every event up to ``time_ms`` (clamped to the scenario end).
+
+        Calling ``advance_to`` with an increasing sequence of times executes
+        exactly the same events in exactly the same order as one
+        ``run_until(duration)`` call — the event queue's ordering key is
+        (time, priority, sequence), independent of how the timeline is
+        sliced.
+        """
+        self.prime()
+        self.queue.run_until(min(time_ms, self.scenario.duration_ms))
+
+    def run(self) -> SimulationTrace:
+        """Execute the scenario and return the trace."""
+        self.prime()
         self.queue.run_until(self.scenario.duration_ms)
         return self.trace
+
+    # ---------------------------------------------------------------- hooks
+    #
+    # Single-call-site indirections over the hot paths.  The serial engine
+    # uses the defaults below unchanged; the batched engine overrides them
+    # with memoised implementations that replay the same float arithmetic and
+    # are therefore bit-identical.  Each hook exists because profiling showed
+    # its call site dominating the batched residual cost.
+
+    def _make_queue(self) -> EventQueue:
+        """Event queue factory (overridable)."""
+        return EventQueue()
+
+    def _job_network(self, application: DNNApplication, configuration: float):
+        """The network model an inference job at ``configuration`` runs."""
+        return application.dynamic_dnn.model_for(configuration)
+
+    def _job_cost(self, network, cluster, mapping: Mapping):
+        """Latency/power/energy of one inference job at the current state."""
+        return self.energy_model.cost(
+            network,
+            cluster,
+            frequency_mhz=None,
+            cores_used=mapping.cores,
+            temperature_c=self.soc.thermal.temperature_c,
+            soc_name=self.soc.name,
+        )
+
+    def _job_accuracy(self, application: DNNApplication, configuration: float) -> float:
+        """Delivered accuracy of a job that ran at ``configuration``."""
+        return application.accuracy_of(configuration)
+
+    def _job_violations(self, application: DNNApplication, sample: MetricSample) -> tuple:
+        """Metric names of the requirement violations of one job sample."""
+        return application.requirements.violated_metrics(sample)
+
+    def _manager_decide(self, state: SystemState):
+        """Run one manager decision epoch."""
+        return self.manager.decide(state)
+
+    def _total_power_mw(self, per_cluster_cores: Dict[str, List[float]]) -> float:
+        """Platform power draw for the sampled per-cluster utilisations."""
+        return self.soc.total_power_mw(per_cluster_cores)
+
+    def _online_core_count(self, cluster) -> int:
+        """Number of powered cores in ``cluster``."""
+        return len(cluster.online_cores)
 
     # ------------------------------------------------------ scenario events
 
@@ -269,7 +344,7 @@ class Simulator:
 
     def _run_decision(self, trigger: str) -> None:
         state = self._system_state()
-        decision = self.manager.decide(state)
+        decision = self._manager_decide(state)
         actions = list(getattr(decision, "actions", []) or [])
         self._apply_actions(actions)
         # Managers with an operating-point cache expose cumulative hit/miss
@@ -355,20 +430,22 @@ class Simulator:
             return
         application = state.application
         runtime = self._dnn_runtime[app_id]
-        now = self.queue.now_ms
+        queue = self.queue
+        now = queue.now_ms
         period = application.period_ms()
+        release_cb = runtime.release_cb
+        if release_cb is None:
+            release_cb = runtime.release_cb = lambda: self._release_job(app_id)
 
         # Schedule the next release for periodic applications regardless of
         # what happens to this one.
         if period is not None:
-            self.queue.schedule(now + period, lambda: self._release_job(app_id))
+            queue.schedule(now + period, release_cb)
 
         if state.mapping is None:
             self._record_dropped(state, runtime, now, reason="unmapped")
             if period is None:
-                self.queue.schedule(
-                    now + self.config.retry_interval_ms, lambda: self._release_job(app_id)
-                )
+                queue.schedule(now + self.config.retry_interval_ms, release_cb)
             return
         if runtime.busy:
             if runtime.backlog >= self.config.max_backlog:
@@ -383,22 +460,14 @@ class Simulator:
     ) -> None:
         runtime.job_index += 1
         state.violation_count += 1
+        # Positional for speed; field order as declared on JobRecord:
+        # app_id, job_index, release/start/finish_ms, latency_ms, energy_mj,
+        # configuration, accuracy_percent, cluster, cores, frequency_mhz,
+        # violations, dropped.
         self.trace.record_job(
             JobRecord(
-                app_id=state.app_id,
-                job_index=runtime.job_index,
-                release_ms=now,
-                start_ms=now,
-                finish_ms=now,
-                latency_ms=0.0,
-                energy_mj=0.0,
-                configuration=0.0,
-                accuracy_percent=0.0,
-                cluster="",
-                cores=0,
-                frequency_mhz=0.0,
-                violations=(reason,),
-                dropped=True,
+                state.app_id, runtime.job_index, now, now, now,
+                0.0, 0.0, 0.0, 0.0, "", 0, 0.0, (reason,), True,
             )
         )
 
@@ -408,15 +477,8 @@ class Simulator:
         mapping = state.mapping
         assert mapping is not None
         cluster = self.soc.cluster(mapping.cluster_name)
-        network = application.dynamic_dnn.model_for(mapping.configuration)
-        cost = self.energy_model.cost(
-            network,
-            cluster,
-            frequency_mhz=None,
-            cores_used=mapping.cores,
-            temperature_c=self.soc.thermal.temperature_c,
-            soc_name=self.soc.name,
-        )
+        network = self._job_network(application, mapping.configuration)
+        cost = self._job_cost(network, cluster, mapping)
         latency_ms = cost.latency_ms + runtime.pending_penalty_ms
         runtime.pending_penalty_ms = 0.0
         runtime.busy = True
@@ -427,20 +489,21 @@ class Simulator:
         runtime.current_cores = mapping.cores
         job_index = runtime.job_index
         finish_ms = self.queue.now_ms + latency_ms
-        snapshot = {
-            "configuration": mapping.configuration,
-            "cluster": mapping.cluster_name,
-            "cores": mapping.cores,
-            "frequency_mhz": cluster.frequency_mhz,
-            "energy_mj": cost.energy_mj,
-            "latency_ms": latency_ms,
-        }
+        # (configuration, cluster, cores, frequency_mhz, energy_mj, latency_ms)
+        snapshot = (
+            mapping.configuration,
+            mapping.cluster_name,
+            mapping.cores,
+            cluster.frequency_mhz,
+            cost.energy_mj,
+            latency_ms,
+        )
         self.queue.schedule(
             finish_ms,
             lambda: self._complete_job(state.app_id, job_index, snapshot),
         )
 
-    def _complete_job(self, app_id: str, job_index: int, snapshot: Dict[str, float]) -> None:
+    def _complete_job(self, app_id: str, job_index: int, snapshot: tuple) -> None:
         state = self._apps.get(app_id)
         runtime = self._dnn_runtime.get(app_id)
         if state is None or runtime is None:
@@ -449,42 +512,34 @@ class Simulator:
         assert isinstance(application, DNNApplication)
         runtime.busy = False
         now = self.queue.now_ms
+        configuration, cluster_name, cores, frequency_mhz, energy_mj, latency_ms = snapshot
         # Accrue the busy core-time of this job since the last thermal sample.
         busy_since_ms = max(runtime.current_start_ms, self._last_sample_ms)
         if now > busy_since_ms:
-            self._busy_core_ms[str(snapshot["cluster"])] = self._busy_core_ms.get(
-                str(snapshot["cluster"]), 0.0
-            ) + (now - busy_since_ms) * int(snapshot["cores"]) * self.config.busy_utilisation
-        accuracy = application.accuracy_of(float(snapshot["configuration"]))
+            self._busy_core_ms[cluster_name] = self._busy_core_ms.get(
+                cluster_name, 0.0
+            ) + (now - busy_since_ms) * cores * self.config.busy_utilisation
+        accuracy = self._job_accuracy(application, configuration)
         period = application.period_ms()
-        latency_ms = float(snapshot["latency_ms"])
         effective_period = max(latency_ms, period) if period is not None else latency_ms
         sample = MetricSample(
             latency_ms=latency_ms,
-            energy_mj=float(snapshot["energy_mj"]),
+            energy_mj=energy_mj,
             accuracy_percent=accuracy,
             fps=1000.0 / effective_period if effective_period > 0 else None,
         )
-        violations = tuple(v.metric for v in application.requirements.check(sample))
+        violations = self._job_violations(application, sample)
         state.last_sample = sample
         state.jobs_completed += 1
         if violations:
             state.violation_count += 1
+        # Positional for speed; field order as in _record_dropped.
         self.trace.record_job(
             JobRecord(
-                app_id=app_id,
-                job_index=job_index,
-                release_ms=runtime.current_release_ms,
-                start_ms=runtime.current_start_ms,
-                finish_ms=now,
-                latency_ms=latency_ms,
-                energy_mj=float(snapshot["energy_mj"]),
-                configuration=float(snapshot["configuration"]),
-                accuracy_percent=accuracy,
-                cluster=str(snapshot["cluster"]),
-                cores=int(snapshot["cores"]),
-                frequency_mhz=float(snapshot["frequency_mhz"]),
-                violations=violations,
+                app_id, job_index, runtime.current_release_ms,
+                runtime.current_start_ms, now, latency_ms, energy_mj,
+                configuration, accuracy, cluster_name, cores, frequency_mhz,
+                violations,
             )
         )
         if runtime.backlog > 0 and state.mapping is not None:
@@ -498,6 +553,9 @@ class Simulator:
 
     def _accrue_interval_busy_time(self, now_ms: float) -> None:
         """Add busy core-time of still-running jobs and continuous applications."""
+        busy_utilisation = self.config.busy_utilisation
+        last_sample_ms = self._last_sample_ms
+        busy_core_ms = self._busy_core_ms
         for state in self._apps.values():
             mapping = state.mapping
             if mapping is None:
@@ -506,18 +564,18 @@ class Simulator:
                 runtime = self._dnn_runtime.get(state.app_id)
                 if runtime is None or not runtime.busy:
                     continue
-                busy_since_ms = max(runtime.current_start_ms, self._last_sample_ms)
+                busy_since_ms = max(runtime.current_start_ms, last_sample_ms)
                 if now_ms > busy_since_ms:
                     cluster_name = runtime.current_cluster or mapping.cluster_name
-                    self._busy_core_ms[cluster_name] = self._busy_core_ms.get(
+                    busy_core_ms[cluster_name] = busy_core_ms.get(
                         cluster_name, 0.0
-                    ) + (now_ms - busy_since_ms) * runtime.current_cores * self.config.busy_utilisation
+                    ) + (now_ms - busy_since_ms) * runtime.current_cores * busy_utilisation
             else:
                 application = state.application
                 assert isinstance(application, GenericApplication)
-                interval = now_ms - max(self._last_sample_ms, application.arrival_time_ms)
+                interval = now_ms - max(last_sample_ms, application.arrival_time_ms)
                 if interval > 0:
-                    self._busy_core_ms[mapping.cluster_name] = self._busy_core_ms.get(
+                    busy_core_ms[mapping.cluster_name] = busy_core_ms.get(
                         mapping.cluster_name, 0.0
                     ) + interval * mapping.cores * application.demand.utilisation
 
@@ -530,7 +588,7 @@ class Simulator:
         per_cluster_cores: Dict[str, List[float]] = {}
         cluster_utilisation: Dict[str, float] = {}
         for cluster in self.soc.clusters:
-            online = max(len(cluster.online_cores), 1)
+            online = max(self._online_core_count(cluster), 1)
             avg_busy_cores = min(
                 self._busy_core_ms.get(cluster.name, 0.0) / interval_ms, float(online)
             )
@@ -541,7 +599,7 @@ class Simulator:
             if fraction > 1e-3 and full_cores < online:
                 utilisations.append(fraction)
             per_cluster_cores[cluster.name] = utilisations
-        power_mw = self.soc.total_power_mw(per_cluster_cores)
+        power_mw = self._total_power_mw(per_cluster_cores)
         # Running jobs continue into the next interval: the part after this
         # sample will be accrued then, so the accumulator resets here.
         self._busy_core_ms = {}

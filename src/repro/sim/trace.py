@@ -17,7 +17,7 @@ import numpy as np
 __all__ = ["JobRecord", "PowerSample", "DecisionRecord", "SimulationTrace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobRecord:
     """One completed (or dropped) inference job.
 
@@ -72,7 +72,7 @@ class JobRecord:
         return self.finish_ms - self.release_ms
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerSample:
     """One power / temperature sample."""
 

@@ -20,7 +20,7 @@ import numpy as np
 __all__ = ["Requirements", "Violation", "MetricSample"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MetricSample:
     """One observation of an application's delivered performance.
 
@@ -119,6 +119,18 @@ class Requirements:
                 self.priority,
             ),
         )
+        # The derived limits are pure functions of the frozen fields and sit
+        # on the simulator's per-job path, so compute them once here.
+        period_ms = None if self.target_fps is None else 1000.0 / self.target_fps
+        candidates = []
+        if self.max_latency_ms is not None:
+            candidates.append(self.max_latency_ms)
+        if period_ms is not None:
+            candidates.append(period_ms)
+        object.__setattr__(self, "_period_ms", period_ms)
+        object.__setattr__(
+            self, "_effective_latency_limit_ms", min(candidates) if candidates else None
+        )
 
     def cache_key(self) -> tuple:
         """Stable identity of this requirement set (precomputed, no copies)."""
@@ -129,17 +141,12 @@ class Requirements:
     @property
     def effective_latency_limit_ms(self) -> Optional[float]:
         """Latency bound implied by the explicit limit and/or the target fps."""
-        candidates = []
-        if self.max_latency_ms is not None:
-            candidates.append(self.max_latency_ms)
-        if self.target_fps is not None:
-            candidates.append(1000.0 / self.target_fps)
-        return min(candidates) if candidates else None
+        return self._effective_latency_limit_ms  # type: ignore[attr-defined]
 
     @property
     def period_ms(self) -> Optional[float]:
         """Inference period implied by the target frame rate."""
-        return None if self.target_fps is None else 1000.0 / self.target_fps
+        return self._period_ms  # type: ignore[attr-defined]
 
     @property
     def is_unconstrained(self) -> bool:
@@ -179,6 +186,31 @@ class Requirements:
             if sample.fps < self.target_fps * (1.0 - 1e-9):
                 violations.append(Violation("fps", self.target_fps, sample.fps))
         return violations
+
+    def violated_metrics(self, sample: MetricSample) -> "tuple[str, ...]":
+        """Metric names of :meth:`check`'s violations, in the same order.
+
+        The simulator's per-job hot path: same comparisons as :meth:`check`
+        but no :class:`Violation` objects are built.
+        """
+        violated = []
+        latency_limit = self.effective_latency_limit_ms
+        if latency_limit is not None and sample.latency_ms is not None:
+            if sample.latency_ms > latency_limit * (1.0 + 1e-9):
+                violated.append("latency_ms")
+        if self.max_energy_mj is not None and sample.energy_mj is not None:
+            if sample.energy_mj > self.max_energy_mj * (1.0 + 1e-9):
+                violated.append("energy_mj")
+        if self.max_power_mw is not None and sample.power_mw is not None:
+            if sample.power_mw > self.max_power_mw * (1.0 + 1e-9):
+                violated.append("power_mw")
+        if self.min_accuracy_percent is not None and sample.accuracy_percent is not None:
+            if sample.accuracy_percent < self.min_accuracy_percent * (1.0 - 1e-9):
+                violated.append("accuracy_percent")
+        if self.target_fps is not None and sample.fps is not None:
+            if sample.fps < self.target_fps * (1.0 - 1e-9):
+                violated.append("fps")
+        return tuple(violated)
 
     def is_satisfied_by(self, sample: MetricSample) -> bool:
         """True when the measurement meets every requirement it reports."""

@@ -78,7 +78,7 @@ def registry_grid_cached():
     from repro.analysis.parallel import MANAGER_REGISTRY
     from repro.workloads.scenarios import SCENARIO_REGISTRY
 
-    runner = ParallelSweepRunner(max_workers=1)
+    runner = ParallelSweepRunner(workers=1)
     result = runner.grid(
         sorted(SCENARIO_REGISTRY), sorted(MANAGER_REGISTRY), seeds=[0], use_op_cache=True
     )

@@ -11,7 +11,7 @@ from repro.analysis.report import (
     operating_point_rows,
     trace_comparison_rows,
 )
-from repro.analysis.sweep import run_manager_sweep, run_seed_sweep
+from repro.analysis.parallel import ParallelSweepRunner
 from repro.analysis.timeline import (
     adaptation_events,
     application_timeline,
@@ -148,7 +148,7 @@ class TestReport:
 class TestSweeps:
     def test_manager_sweep_replays_scenario_per_manager(self, trained_dnn):
         factory = lambda: single_dnn_scenario(duration_ms=2000.0)  # noqa: E731
-        sweep = run_manager_sweep(
+        sweep = ParallelSweepRunner().manager_sweep(
             factory,
             {"rtm": RuntimeManager, "governor": GovernorOnlyManager},
         )
@@ -168,7 +168,7 @@ class TestSweeps:
         config = WorkloadGeneratorConfig(
             num_dnn_apps=1, num_background_apps=0, duration_ms=2000.0
         )
-        result = run_seed_sweep(
+        result = ParallelSweepRunner().seed_sweep(
             RuntimeManager,
             seeds=[1, 2],
             generator_config=config,
@@ -180,4 +180,4 @@ class TestSweeps:
 
     def test_seed_sweep_requires_seeds(self):
         with pytest.raises(ValueError):
-            run_seed_sweep(RuntimeManager, seeds=[])
+            ParallelSweepRunner().seed_sweep(RuntimeManager, seeds=[])

@@ -24,7 +24,7 @@ MANAGERS = sorted(MANAGER_REGISTRY)
 @pytest.fixture(scope="module")
 def registry_grid_uncached_parallel():
     """Every scenario x manager at seed 0, cache off, two worker processes."""
-    result = ParallelSweepRunner(max_workers=2).grid(
+    result = ParallelSweepRunner(workers=2).grid(
         SCENARIOS, MANAGERS, seeds=[0], use_op_cache=False
     )
     assert not result.errors, result.errors
@@ -83,7 +83,7 @@ class TestWorkerCountParity:
     ):
         scenarios = ["steady", "thermal_stress"]
         managers = ["rtm", "static_deployment"]
-        serial = ParallelSweepRunner(max_workers=1).grid(
+        serial = ParallelSweepRunner(workers=1).grid(
             scenarios, managers, seeds=[0], use_op_cache=False
         )
         assert not serial.errors, serial.errors

@@ -205,7 +205,7 @@ def _regenerate() -> None:  # pragma: no cover - maintenance hook
     from repro.analysis.parallel import MANAGER_REGISTRY
     from repro.workloads.scenarios import SCENARIO_REGISTRY
 
-    result = ParallelSweepRunner(max_workers=1).grid(
+    result = ParallelSweepRunner(workers=1).grid(
         sorted(SCENARIO_REGISTRY), sorted(MANAGER_REGISTRY), seeds=[0]
     )
     assert not result.errors, result.errors

@@ -15,7 +15,6 @@ from repro.analysis import (
     ParallelSweepRunner,
     SweepCase,
     make_manager,
-    run_seed_sweep,
 )
 from repro.baselines import GovernorOnlyManager
 from repro.rtm import RuntimeManager
@@ -58,8 +57,12 @@ class TestManagerRegistry:
 
 class TestRunnerBasics:
     def test_rejects_non_positive_workers(self):
-        with pytest.raises(ValueError, match="max_workers"):
-            ParallelSweepRunner(max_workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSweepRunner(workers=0)
+
+    def test_legacy_max_workers_kwarg_raises_with_migration_hint(self):
+        with pytest.raises(TypeError, match="workers="):
+            ParallelSweepRunner(max_workers=2)
 
     def test_rejects_duplicate_case_names(self):
         runner = ParallelSweepRunner()
@@ -68,17 +71,17 @@ class TestRunnerBasics:
             runner.run(cases)
 
     def test_serial_run_produces_traces_in_case_order(self):
-        result = ParallelSweepRunner(max_workers=1).run(TINY_CASES)
+        result = ParallelSweepRunner(workers=1).run(TINY_CASES)
         assert list(result.traces) == ["rtm", "governor"]
         assert not result.errors
         assert all(len(trace.jobs) > 0 for trace in result.traces.values())
 
     def test_simulator_config_is_forwarded(self):
         config = SimulatorConfig(decision_interval_ms=250.0)
-        result = ParallelSweepRunner(max_workers=1, simulator_config=config).run(
+        result = ParallelSweepRunner(workers=1, simulator_config=config).run(
             TINY_CASES[:1]
         )
-        default = ParallelSweepRunner(max_workers=1).run(TINY_CASES[:1])
+        default = ParallelSweepRunner(workers=1).run(TINY_CASES[:1])
         # Twice the decision epochs in the same simulated time.
         assert len(result.traces["rtm"].decisions) > len(default.traces["rtm"].decisions)
 
@@ -86,19 +89,19 @@ class TestRunnerBasics:
 class TestErrorCapture:
     def test_serial_error_is_captured_per_case(self):
         cases = [SweepCase(name="bad", scenario=_failing_scenario, manager="rtm"), *TINY_CASES]
-        result = ParallelSweepRunner(max_workers=1).run(cases)
+        result = ParallelSweepRunner(workers=1).run(cases)
         assert result.errors == {"bad": "RuntimeError: scenario construction exploded"}
         assert list(result.traces) == ["rtm", "governor"]
 
     def test_parallel_error_is_captured_per_case(self):
         cases = [SweepCase(name="bad", scenario=_failing_scenario, manager="rtm"), *TINY_CASES]
-        result = ParallelSweepRunner(max_workers=2).run(cases)
+        result = ParallelSweepRunner(workers=2).run(cases)
         assert result.errors == {"bad": "RuntimeError: scenario construction exploded"}
         assert list(result.traces) == ["rtm", "governor"]
 
     def test_unknown_registry_names_fail_only_their_case(self):
         cases = [SweepCase(name="bad", scenario="not_a_scenario", manager="rtm"), *TINY_CASES]
-        result = ParallelSweepRunner(max_workers=1).run(cases)
+        result = ParallelSweepRunner(workers=1).run(cases)
         assert "unknown scenario" in result.errors["bad"]
         assert list(result.traces) == ["rtm", "governor"]
 
@@ -114,8 +117,8 @@ class TestParallelSerialParity:
             ),
             SweepCase(name="governor_cls", scenario=_tiny_scenario, manager=GovernorOnlyManager),
         ]
-        serial = ParallelSweepRunner(max_workers=1).run(cases)
-        parallel = ParallelSweepRunner(max_workers=3).run(cases)
+        serial = ParallelSweepRunner(workers=1).run(cases)
+        parallel = ParallelSweepRunner(workers=3).run(cases)
         assert not serial.errors and not parallel.errors
         assert list(serial.traces) == list(parallel.traces)
         assert serial.violation_rates() == parallel.violation_rates()
@@ -125,8 +128,8 @@ class TestParallelSerialParity:
 
     def test_registry_grid_parity(self):
         # Registry-name cases resolve entirely inside the worker process.
-        serial = ParallelSweepRunner(max_workers=1).grid(["single_dnn"], ["rtm"], [0, 1])
-        parallel = ParallelSweepRunner(max_workers=2).grid(["single_dnn"], ["rtm"], [0, 1])
+        serial = ParallelSweepRunner(workers=1).grid(["single_dnn"], ["rtm"], [0, 1])
+        parallel = ParallelSweepRunner(workers=2).grid(["single_dnn"], ["rtm"], [0, 1])
         assert list(serial.traces) == ["single_dnn/rtm/seed0", "single_dnn/rtm/seed1"]
         assert serial.violation_rates() == parallel.violation_rates()
         assert serial.energies_mj() == parallel.energies_mj()
@@ -135,9 +138,11 @@ class TestParallelSerialParity:
 class TestSeedSweep:
     CONFIG = WorkloadGeneratorConfig(num_dnn_apps=1, num_background_apps=0, duration_ms=2000.0)
 
-    def test_matches_the_serial_helper(self):
-        legacy = run_seed_sweep(RuntimeManager, seeds=[1, 2], generator_config=self.CONFIG)
-        parallel = ParallelSweepRunner(max_workers=2).seed_sweep(
+    def test_identical_aggregates_for_any_worker_count(self):
+        legacy = ParallelSweepRunner(workers=1).seed_sweep(
+            "rtm", seeds=[1, 2], generator_config=self.CONFIG
+        )
+        parallel = ParallelSweepRunner(workers=2).seed_sweep(
             "rtm", seeds=[1, 2], generator_config=self.CONFIG
         )
         for key in (
@@ -155,7 +160,7 @@ class TestSeedSweep:
             ParallelSweepRunner().seed_sweep("rtm", seeds=[])
 
     def test_all_seeds_failing_raises(self):
-        runner = ParallelSweepRunner(max_workers=1)
+        runner = ParallelSweepRunner(workers=1)
         with pytest.raises(RuntimeError, match="every seed failed"):
             runner.seed_sweep("not_a_manager", seeds=[1])
 
@@ -171,7 +176,7 @@ class TestSeedSweep:
             return original(seed, generator_config, platform_name)
 
         monkeypatch.setattr(parallel_module, "_generated_scenario", flaky)
-        result = ParallelSweepRunner(max_workers=1).seed_sweep(
+        result = ParallelSweepRunner(workers=1).seed_sweep(
             "rtm", seeds=[1, 2, 3], generator_config=self.CONFIG
         )
         assert result["seeds"] == [1, 3]
