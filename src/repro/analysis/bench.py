@@ -30,10 +30,13 @@ from repro.experiments.runner import (
     build_simulator_config,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.ioutils import atomic_write_text
 from repro.sim.engine import ManagerProtocol, SimulatorConfig, simulate_scenario
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BENCH_KIND_DECISION",
+    "BENCH_KIND_BATCHED",
     "DEFAULT_BENCH_PATH",
     "DEFAULT_BATCHED_BENCH_PATH",
     "BenchTimings",
@@ -61,6 +64,10 @@ DEFAULT_BATCHED_BENCH_PATH = "BENCH_batched_engine.json"
 
 #: Benchmark fields gated by :func:`compare_bench` (lower is better).
 GATED_FIELDS = ("decide_ms_per_epoch_cached", "decide_ms_per_epoch_uncached")
+
+#: ``bench_runs``/``bench_cases`` kind tags in the results store.
+BENCH_KIND_DECISION = "decision_kernel"
+BENCH_KIND_BATCHED = "batched_engine"
 
 
 class _TimedManager:
@@ -173,19 +180,47 @@ def run_bench_spec(spec: ExperimentSpec, repeats: int = 3) -> BenchTimings:
     )
 
 
+def _timings_payload(timings: BenchTimings) -> Dict[str, object]:
+    """Store payload of one bench case (``as_dict`` plus the case identity)."""
+    return {"scenario": timings.scenario, "manager": timings.manager, **timings.as_dict()}
+
+
+def _timings_from_payload(payload: Dict[str, object]) -> BenchTimings:
+    return BenchTimings(**payload)  # type: ignore[arg-type]
+
+
 def run_bench_specs(
     specs: Sequence[ExperimentSpec],
     repeats: int = 3,
     progress=None,
+    store=None,
+    resume: bool = False,
 ) -> List[BenchTimings]:
     """Benchmark a sequence of experiment specs.
 
     ``progress`` is an optional callable invoked with each finished
     :class:`BenchTimings` (the CLI prints a row per case).
+
+    ``store`` (a :class:`~repro.store.ResultsStore`) makes the bench
+    incremental the same way a sweep is: each case's timings are streamed to
+    the store's ``bench_cases`` table under its spec_id as the case
+    finishes, and with ``resume=True`` cases already stored are *loaded*
+    instead of re-timed — an interrupted bench grid picks up where it died.
     """
+    if resume and store is None:
+        raise ValueError("resume=True requires a results store")
     results = []
     for spec in specs:
-        timings = run_bench_spec(spec, repeats=repeats)
+        spec_id = spec.spec_id()
+        timings = None
+        if resume:
+            payload = store.get_bench_case(spec_id, BENCH_KIND_DECISION)
+            if payload is not None:
+                timings = _timings_from_payload(payload)
+        if timings is None:
+            timings = run_bench_spec(spec, repeats=repeats)
+            if store is not None:
+                store.put_bench_case(spec_id, BENCH_KIND_DECISION, _timings_payload(timings))
         if progress is not None:
             progress(timings)
         results.append(timings)
@@ -333,8 +368,14 @@ def write_batched_bench_file(
     repeats: int,
     platform_name: str,
     grid: Optional[Dict[str, object]] = None,
+    store=None,
 ) -> Dict[str, object]:
-    """Write the batched-engine benchmark JSON (and return the document)."""
+    """Write the batched-engine benchmark JSON (and return the document).
+
+    The write is atomic, and with a ``store`` the document is also appended
+    to its ``bench_runs`` table — the JSON file is then just a view over the
+    newest stored run.
+    """
     document: Dict[str, object] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro-experiments bench --backend batched",
@@ -347,9 +388,9 @@ def write_batched_bench_file(
         "config": {"repeats": repeats, "platform": platform_name, **(grid or {})},
         "results": result.as_dict(),
     }
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(document, stream, indent=2, sort_keys=False)
-        stream.write("\n")
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=False) + "\n")
+    if store is not None:
+        store.put_bench_run(BENCH_KIND_BATCHED, document)
     return document
 
 
@@ -414,12 +455,15 @@ def write_bench_file(
     seed: int = 0,
     reference: Optional[Dict[str, dict]] = None,
     reference_note: str = "",
+    store=None,
 ) -> Dict[str, object]:
     """Write the benchmark JSON (and return the document).
 
     ``reference`` timings — typically the pre-optimisation profile carried
     over from the existing file — are embedded unchanged, and speedup factors
-    against them are recomputed from the fresh results.
+    against them are recomputed from the fresh results.  The write is atomic,
+    and with a ``store`` the document is appended to its ``bench_runs`` table
+    so the committed JSON becomes a view over the warehouse's bench trend.
     """
     result_map = {timings.key: timings.as_dict() for timings in results}
     document: Dict[str, object] = {
@@ -439,9 +483,9 @@ def write_bench_file(
         if reference_note:
             document["reference_note"] = reference_note
         document["speedup_vs_reference"] = _speedups(reference, result_map)
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(document, stream, indent=2, sort_keys=False)
-        stream.write("\n")
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=False) + "\n")
+    if store is not None:
+        store.put_bench_run(BENCH_KIND_DECISION, document)
     return document
 
 

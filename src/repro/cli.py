@@ -21,7 +21,15 @@ terminal without going through pytest:
   scenarios x managers, write/refresh ``BENCH_decision_kernel.json`` and
   optionally gate against a committed baseline; with ``--backend batched``
   time the lock-step batched engine against the serial reference instead
-  and write/refresh ``BENCH_batched_engine.json``.
+  and write/refresh ``BENCH_batched_engine.json``;
+* ``store``      — inspect the persistent results warehouse (``ls``,
+  ``show``, ``export``, ``gc``, ``diff``).
+
+``run``, ``sweep`` and ``bench`` accept ``--store PATH`` to stream results
+into a persistent :class:`~repro.store.ResultsStore` as they finish, and
+``--resume`` to skip spec_ids (bench: per-case timings) the store already
+holds — a killed sweep re-invoked with the same flags completes exactly the
+missing work.
 
 The ``scenario``, ``sweep`` and ``bench`` commands are thin front-ends over
 :mod:`repro.experiments`: they assemble :class:`ExperimentSpec` objects and
@@ -37,6 +45,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import (
+    BENCH_KIND_DECISION,
     DEFAULT_BATCHED_BENCH_PATH,
     DEFAULT_BENCH_PATH,
     adaptation_events,
@@ -70,7 +79,6 @@ from repro.experiments import (
     run_many,
     specs_to_toml,
 )
-from repro.sim.engine import simulate_scenario
 from repro.perfmodel import CalibratedLatencyModel, EnergyModel
 from repro.platforms import (
     PLATFORM_REGISTRY,
@@ -86,6 +94,8 @@ from repro.rtm import (
     RuntimeManager,
     make_policy,
 )
+from repro.sim.engine import simulate_scenario
+from repro.store import ResultsStore, StoredResult
 from repro.workloads import (
     COMPOSE_OPS,
     SCENARIO_REGISTRY,
@@ -514,6 +524,86 @@ def cmd_platforms_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_store_arguments(subparser: argparse.ArgumentParser) -> None:
+    """``--store PATH --resume/--no-resume``, shared by run/sweep/bench."""
+    subparser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append results to this SQLite results store (created if missing)",
+    )
+    subparser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="skip specs whose spec_id is already in --store (default: --no-resume)",
+    )
+
+
+def _resume_store_conflict(args: argparse.Namespace) -> bool:
+    """True (after printing the error) when --resume is given without --store."""
+    if args.resume and args.store is None:
+        print("--resume needs --store PATH (nothing to resume from)", file=sys.stderr)
+        return True
+    return False
+
+
+def _open_existing_store(path: str):
+    """Open a store that must already exist (the read-side verbs).
+
+    Returns ``None`` after printing an error when the file is missing or
+    unreadable — opening would otherwise silently create an empty store.
+    """
+    from pathlib import Path
+
+    if not Path(path).exists():
+        print(f"no results store at {path}", file=sys.stderr)
+        return None
+    try:
+        return ResultsStore(path)
+    except Exception as error:  # noqa: BLE001 - reported to the user (StoreError, sqlite)
+        print(f"cannot open results store {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _print_stored_case_table(stored: "dict[str, StoredResult]") -> None:
+    """Table of already-stored cases a resumed batch skipped."""
+    headers = ["case (stored)", "spec id", "violation rate", "mean top-1 (%)", "energy (J)"]
+    rows = []
+    for label, record in stored.items():
+        energy = record.metrics.get("total_energy_mj")
+        rows.append(
+            [
+                label,
+                record.spec_id,
+                round(float(record.metrics.get("violation_rate", 0.0)), 4),
+                round(float(record.metrics.get("mean_accuracy_percent", 0.0)), 2),
+                round(float(energy) / 1000.0, 3) if energy is not None else "-",
+            ]
+        )
+    print(format_table(headers, rows, precision=4))
+
+
+def _report_store_outcome(store: ResultsStore, args, batch, specs) -> None:
+    """Shared --store epilogue of ``run`` and ``sweep``.
+
+    Prints the skipped-vs-computed split and the combined fingerprint digest
+    over this batch's spec_ids — the digest is what CI compares between an
+    interrupted+resumed sweep and a clean one-shot sweep.
+    """
+    print(
+        f"resume: {batch.skipped_count} skipped (already stored), "
+        f"{batch.computed_count} computed"
+        if args.resume
+        else f"store: {batch.computed_count} result(s) streamed to {args.store}"
+    )
+    if batch.skipped:
+        _print_stored_case_table(batch.skipped)
+    digest = store.fingerprint_digest(spec.spec_id() for spec in specs)
+    print(f"store: {args.store} holds {len(store)} result(s)")
+    print(f"combined fingerprint digest over this batch: {digest}")
+
+
 def _print_case_table(traces, show_spec_ids=None) -> None:
     """Per-case headline statistics shared by ``run`` and ``sweep``."""
     headers = ["case", "violation rate", "mean top-1 (%)", "energy (J)"]
@@ -547,7 +637,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
-    if _backend_workers_conflict(args):
+    if _backend_workers_conflict(args) or _resume_store_conflict(args):
         return 2
 
     duplicates = find_duplicates(spec.label for spec in specs)
@@ -565,9 +655,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     # byte-identical across worker counts under the default dispatch.
     backend_note = f"backend={args.backend}, " if args.backend else ""
     print(f"run: {len(specs)} {plural} from {source} ({backend_note}workers={args.workers})")
-    batch = run_many(specs, backend=args.backend, workers=args.workers, validate=False)
-    spec_ids = {spec.label: spec.spec_id() for spec in specs}
-    _print_case_table(batch.traces, show_spec_ids=spec_ids)
+    store = ResultsStore(args.store) if args.store is not None else None
+    try:
+        batch = run_many(
+            specs,
+            backend=args.backend,
+            workers=args.workers,
+            validate=False,
+            store=store,
+            resume=args.resume,
+        )
+        spec_ids = {spec.label: spec.spec_id() for spec in specs if spec.label in batch.traces}
+        _print_case_table(batch.traces, show_spec_ids=spec_ids)
+        if store is not None:
+            _report_store_outcome(store, args, batch, specs)
+    finally:
+        if store is not None:
+            store.close()
 
     if batch.errors:
         print(f"\n{len(batch.errors)} experiment(s) failed:", file=sys.stderr)
@@ -614,7 +718,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
-    if _backend_workers_conflict(args):
+    if _backend_workers_conflict(args) or _resume_store_conflict(args):
         return 2
 
     specs, seeds, seeds_for = _sweep_specs(args)
@@ -628,16 +732,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.dump_spec is not None:
         return _dump_specs_and_exit(specs, args.dump_spec)
 
-    result = run_many(specs, backend=args.backend, workers=args.workers, validate=False)
+    store = ResultsStore(args.store) if args.store is not None else None
+    try:
+        result = run_many(
+            specs,
+            backend=args.backend,
+            workers=args.workers,
+            validate=False,
+            store=store,
+            resume=args.resume,
+        )
 
-    # Named only when explicitly chosen (see cmd_run): the CLI byte-parity
-    # invariant says worker count must not change the output.
-    backend_note = f" (backend={args.backend})" if args.backend else ""
-    print(
-        f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
-        f"x {len(seeds)} seeds on {args.platform}{backend_note}"
-    )
-    _print_case_table(result.traces)
+        # Named only when explicitly chosen (see cmd_run): the CLI byte-parity
+        # invariant says worker count must not change the output.
+        backend_note = f" (backend={args.backend})" if args.backend else ""
+        print(
+            f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
+            f"x {len(seeds)} seeds on {args.platform}{backend_note}"
+        )
+        _print_case_table(result.traces)
+        if store is not None:
+            _report_store_outcome(store, args, result, specs)
+    finally:
+        if store is not None:
+            store.close()
 
     # Aggregate across seeds per (scenario, manager) pair.
     aggregate_rows = []
@@ -718,6 +836,16 @@ BATCHED_BENCH_SMOKE_MANAGERS = ["rtm", "governor_only"]
 
 def _cmd_bench_batched(args: argparse.Namespace) -> int:
     """Benchmark the batched engine against the serial reference backend."""
+    if args.resume:
+        # The batched comparison times one monolithic engine pass; there is
+        # no per-case unit to resume, unlike the decision-kernel grid.
+        print(
+            "--resume applies to the per-case decision-kernel bench; the batched "
+            "comparison is a single timed pass (drop --resume, keep --store to "
+            "append the run)",
+            file=sys.stderr,
+        )
+        return 2
     scenarios = args.scenarios or (
         BATCHED_BENCH_SMOKE_SCENARIOS if args.smoke else BENCH_DEFAULT_SCENARIOS
     )
@@ -790,18 +918,26 @@ def _cmd_bench_batched(args: argparse.Namespace) -> int:
         # batched comparison tracks its own trajectory.
         output = DEFAULT_BATCHED_BENCH_PATH
     if output is not None:
-        write_batched_bench_file(
-            output,
-            result,
-            repeats=repeats,
-            platform_name=args.platform,
-            grid={
-                "scenarios": list(scenarios),
-                "managers": list(managers),
-                "seeds": seeds_count,
-            },
-        )
+        store = ResultsStore(args.store) if args.store is not None else None
+        try:
+            write_batched_bench_file(
+                output,
+                result,
+                repeats=repeats,
+                platform_name=args.platform,
+                grid={
+                    "scenarios": list(scenarios),
+                    "managers": list(managers),
+                    "seeds": seeds_count,
+                },
+                store=store,
+            )
+        finally:
+            if store is not None:
+                store.close()
         print(f"wrote {output}")
+        if args.store is not None:
+            print(f"appended batched bench run to {args.store}")
     return exit_code
 
 
@@ -833,80 +969,237 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"bench: {len(scenarios)} scenarios x {len(managers)} managers on "
         f"{args.platform}, best of {repeats}"
     )
-    results = run_bench_specs(specs, repeats=repeats, progress=progress)
-    rows = [
-        [
-            timings.key,
-            timings.decisions,
-            timings.decide_ms_per_epoch_cached,
-            timings.decide_ms_per_epoch_uncached,
-            timings.e2e_s,
-            timings.e2e_s_uncached,
-        ]
-        for timings in results
-    ]
-    print()
-    print(
-        format_table(
-            [
-                "case",
-                "epochs",
-                "decide ms (cached)",
-                "decide ms (uncached)",
-                "e2e s",
-                "e2e s (uncached)",
-            ],
-            rows,
-            precision=4,
-        )
-    )
-
-    exit_code = 0
-    if args.compare is not None:
-        try:
-            baseline = load_bench_file(args.compare)
-        except (OSError, ValueError) as error:
-            print(f"cannot load baseline {args.compare!r}: {error}", file=sys.stderr)
-            return 2
-        regressions = compare_bench(results, baseline, max_regression=args.max_regression)
-        if regressions:
-            print(
-                f"\n{len(regressions)} decide()-per-epoch regression(s) beyond "
-                f"{args.max_regression:.0%} of {args.compare}:",
-                file=sys.stderr,
+    if _resume_store_conflict(args):
+        return 2
+    store = ResultsStore(args.store) if args.store is not None else None
+    try:
+        if args.resume:
+            reused = sum(
+                1
+                for spec in specs
+                if store.get_bench_case(spec.spec_id(), BENCH_KIND_DECISION) is not None
             )
-            for regression in regressions:
-                print(f"  {regression}", file=sys.stderr)
-            exit_code = 1
-        else:
-            print(f"\nno regressions beyond {args.max_regression:.0%} of {args.compare}")
-
-    if args.output is not None:
-        reference = None
-        reference_note = ""
-        try:
-            existing = load_bench_file(args.output)
-            reference = existing.get("reference")
-            reference_note = str(existing.get("reference_note", ""))
-        except (OSError, ValueError):
-            pass
-        document = write_bench_file(
-            args.output,
-            results,
-            repeats=repeats,
-            platform_name=args.platform,
-            reference=reference,
-            reference_note=reference_note,
+            print(f"resume: {reused} of {len(specs)} case(s) already timed in {args.store}")
+        results = run_bench_specs(
+            specs, repeats=repeats, progress=progress, store=store, resume=args.resume
         )
-        print(f"\nwrote {args.output}")
-        speedups = document.get("speedup_vs_reference") or {}
-        for case, entry in speedups.items():
-            if "decide_ms_per_epoch_uncached" in entry:
+        rows = [
+            [
+                timings.key,
+                timings.decisions,
+                timings.decide_ms_per_epoch_cached,
+                timings.decide_ms_per_epoch_uncached,
+                timings.e2e_s,
+                timings.e2e_s_uncached,
+            ]
+            for timings in results
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "case",
+                    "epochs",
+                    "decide ms (cached)",
+                    "decide ms (uncached)",
+                    "e2e s",
+                    "e2e s (uncached)",
+                ],
+                rows,
+                precision=4,
+            )
+        )
+
+        exit_code = 0
+        if args.compare is not None:
+            try:
+                baseline = load_bench_file(args.compare)
+            except (OSError, ValueError) as error:
+                print(f"cannot load baseline {args.compare!r}: {error}", file=sys.stderr)
+                return 2
+            regressions = compare_bench(results, baseline, max_regression=args.max_regression)
+            if regressions:
                 print(
-                    f"  {case}: {entry['decide_ms_per_epoch_uncached']}x faster uncached "
-                    f"decide, {entry.get('e2e_s', '?')}x faster e2e vs reference"
+                    f"\n{len(regressions)} decide()-per-epoch regression(s) beyond "
+                    f"{args.max_regression:.0%} of {args.compare}:",
+                    file=sys.stderr,
                 )
-    return exit_code
+                for regression in regressions:
+                    print(f"  {regression}", file=sys.stderr)
+                exit_code = 1
+            else:
+                print(f"\nno regressions beyond {args.max_regression:.0%} of {args.compare}")
+
+        if args.output is not None:
+            reference = None
+            reference_note = ""
+            try:
+                existing = load_bench_file(args.output)
+                reference = existing.get("reference")
+                reference_note = str(existing.get("reference_note", ""))
+            except (OSError, ValueError):
+                pass
+            document = write_bench_file(
+                args.output,
+                results,
+                repeats=repeats,
+                platform_name=args.platform,
+                reference=reference,
+                reference_note=reference_note,
+                store=store,
+            )
+            print(f"\nwrote {args.output}")
+            if args.store is not None:
+                print(f"appended bench run to {args.store}")
+            speedups = document.get("speedup_vs_reference") or {}
+            for case, entry in speedups.items():
+                if "decide_ms_per_epoch_uncached" in entry:
+                    print(
+                        f"  {case}: {entry['decide_ms_per_epoch_uncached']}x faster uncached "
+                        f"decide, {entry.get('e2e_s', '?')}x faster e2e vs reference"
+                    )
+        return exit_code
+    finally:
+        if store is not None:
+            store.close()
+
+
+# --------------------------------------------------------------- store verbs
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    """List every result in a store: spec ids, labels, headline metrics."""
+    store = _open_existing_store(args.store)
+    if store is None:
+        return 2
+    try:
+        results = store.results()
+        if not results:
+            bench_counts = store.bench_run_counts()
+            if bench_counts:
+                runs = ", ".join(f"{kind}={count}" for kind, count in bench_counts.items())
+                print(f"{args.store}: no results; bench runs: {runs}")
+            else:
+                print(f"{args.store}: empty store")
+            return 0
+        headers = ["spec id", "case", "fingerprint", "violation rate", "wall s"]
+        rows = [
+            [
+                record.spec_id,
+                record.label,
+                record.fingerprint,
+                round(float(record.metrics.get("violation_rate", 0.0)), 4),
+                round(record.wall_time_s, 3) if record.wall_time_s is not None else "-",
+            ]
+            for record in results
+        ]
+        print(format_table(headers, rows, precision=4))
+        bench_counts = store.bench_run_counts()
+        summary = f"{len(results)} result(s)"
+        if bench_counts:
+            summary += ", bench runs: " + ", ".join(
+                f"{kind}={count}" for kind, count in bench_counts.items()
+            )
+        print(f"{args.store}: {summary}")
+        print(f"combined fingerprint digest: {store.fingerprint_digest()}")
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_store_show(args: argparse.Namespace) -> int:
+    """Print one stored result in full: metrics, timing and the spec TOML."""
+    store = _open_existing_store(args.store)
+    if store is None:
+        return 2
+    try:
+        record = store.get(args.spec_id)
+    finally:
+        store.close()
+    if record is None:
+        print(f"no result for spec id {args.spec_id!r} in {args.store}", file=sys.stderr)
+        return 1
+    print(f"spec id:     {record.spec_id}")
+    print(f"label:       {record.label}")
+    print(f"fingerprint: {record.fingerprint}")
+    wall = f"{record.wall_time_s:.3f} s" if record.wall_time_s is not None else "-"
+    print(f"wall time:   {wall}")
+    print("metrics:")
+    for name in sorted(record.metrics):
+        print(f"  {name} = {record.metrics[name]}")
+    print("spec:")
+    for line in record.spec_toml.rstrip("\n").splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def cmd_store_export(args: argparse.Namespace) -> int:
+    """Export a store to jsonl/csv rows or a replayable TOML spec batch."""
+    store = _open_existing_store(args.store)
+    if store is None:
+        return 2
+    try:
+        count = store.export(args.out, format=args.format)
+    finally:
+        store.close()
+    noun = "spec(s)" if args.format == "toml" else "row(s)"
+    print(f"exported {count} {noun} to {args.out} ({args.format})")
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    """Prune a store to its newest ``--keep-latest`` results and compact it."""
+    store = _open_existing_store(args.store)
+    if store is None:
+        return 2
+    try:
+        deleted = store.gc(args.keep_latest)
+        remaining = len(store)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    print(f"gc: deleted {deleted} result(s), kept {remaining} (newest first)")
+    return 0
+
+
+def cmd_store_diff(args: argparse.Namespace) -> int:
+    """Re-execute a stored spec and compare fingerprints (regression oracle).
+
+    The store is append-only, so the stored fingerprint is the *first* run's
+    behaviour; a mismatch on re-execution means the codebase's behaviour has
+    drifted since the result was recorded.  Exit 1 on mismatch.
+    """
+    store = _open_existing_store(args.store)
+    if store is None:
+        return 2
+    try:
+        record = store.get(args.spec_id)
+    finally:
+        store.close()
+    if record is None:
+        print(f"no result for spec id {args.spec_id!r} in {args.store}", file=sys.stderr)
+        return 1
+    try:
+        spec = record.spec()
+    except SpecError as error:
+        print(f"stored spec is unreadable: {error}", file=sys.stderr)
+        return 2
+    from repro.experiments import run
+
+    recomputed = run(spec).trace.fingerprint()
+    if recomputed == record.fingerprint:
+        print(f"{record.spec_id} ({record.label}): fingerprints match ({recomputed})")
+        return 0
+    print(
+        f"{record.spec_id} ({record.label}): fingerprint mismatch\n"
+        f"  stored:     {record.fingerprint}\n"
+        f"  recomputed: {recomputed}\n"
+        "behaviour has drifted since this result was recorded",
+        file=sys.stderr,
+    )
+    return 1
 
 
 # -------------------------------------------------------------------- parser
@@ -1055,6 +1348,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--workers", type=int, default=1, help="worker processes (process backend only)"
     )
+    _add_store_arguments(run)
     run.set_defaults(func=cmd_run)
 
     sweep = subparsers.add_parser(
@@ -1102,6 +1396,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the sweep's experiment specs to FILE ('-' for stdout) instead of running",
     )
+    _add_store_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     bench = subparsers.add_parser(
@@ -1176,7 +1471,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the bench grid's experiment specs to FILE ('-' for stdout) instead of running",
     )
+    _add_store_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    store = subparsers.add_parser(
+        "store", help="inspect and maintain a results store (SQLite warehouse)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_ls = store_sub.add_parser("ls", help="list stored results and bench runs")
+    store_ls.add_argument("store", metavar="STORE", help="path to the results store")
+    store_ls.set_defaults(func=cmd_store_ls)
+
+    store_show = store_sub.add_parser("show", help="print one stored result in full")
+    store_show.add_argument("store", metavar="STORE", help="path to the results store")
+    store_show.add_argument("spec_id", metavar="SPEC_ID", help="spec id of the result")
+    store_show.set_defaults(func=cmd_store_show)
+
+    store_export = store_sub.add_parser(
+        "export", help="export results to jsonl/csv rows or a replayable TOML batch"
+    )
+    store_export.add_argument("store", metavar="STORE", help="path to the results store")
+    store_export.add_argument(
+        "--format",
+        default="jsonl",
+        choices=["jsonl", "csv", "toml"],
+        help="jsonl/csv: one flat row per result; toml: a replayable spec batch",
+    )
+    store_export.add_argument(
+        "--out", required=True, metavar="FILE", help="file to write (atomically)"
+    )
+    store_export.set_defaults(func=cmd_store_export)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="prune to the newest N results and compact the file"
+    )
+    store_gc.add_argument("store", metavar="STORE", help="path to the results store")
+    store_gc.add_argument(
+        "--keep-latest",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of newest results to keep",
+    )
+    store_gc.set_defaults(func=cmd_store_gc)
+
+    store_diff = store_sub.add_parser(
+        "diff", help="re-run a stored spec and compare fingerprints (exit 1 on drift)"
+    )
+    store_diff.add_argument("store", metavar="STORE", help="path to the results store")
+    store_diff.add_argument("spec_id", metavar="SPEC_ID", help="spec id of the result")
+    store_diff.set_defaults(func=cmd_store_diff)
 
     return parser
 

@@ -28,11 +28,12 @@ submission order.
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Sequence
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.spec import ExperimentSpec
-from repro.registry import Registry
+from repro.registry import Registry, find_duplicates
 
 __all__ = [
     "ExecutionBackend",
@@ -51,8 +52,14 @@ class ExecutionBackend(abc.ABC):
     name: str = "base"
 
     @abc.abstractmethod
-    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1, store=None):
         """Run the (already validated) specs; returns an ``ExperimentBatch``.
+
+        ``store`` is an optional :class:`~repro.store.ResultsStore`: every
+        backend streams each completed result to it *as the result finishes*
+        (not in a final flush), so a batch killed mid-run has everything
+        completed so far on disk and ``run_many(..., resume=True)`` picks up
+        where it died.
 
         Backends that are single-process by construction reject
         ``workers > 1`` with a ``ValueError`` rather than silently ignoring
@@ -66,17 +73,55 @@ class ExecutionBackend(abc.ABC):
                 f"workers={workers}; use backend='process' to run on a worker pool"
             )
 
+    def _reject_duplicate_labels(self, specs: Sequence[ExperimentSpec]) -> None:
+        """Shared duplicate-label guard: identical across all backends.
+
+        Batches are keyed by label, so two specs sharing one would silently
+        drop a submission and misattribute results; every backend rejects
+        the batch up front instead (give repeats explicit ``name``\\ s).
+        """
+        duplicates = find_duplicates(spec.label for spec in specs)
+        if duplicates:
+            raise ValueError(
+                f"duplicate experiment labels: {duplicates}; give repeated "
+                "entries distinct 'name' keys"
+            )
+
+
+def _store_result(store, result, wall_time_s: Optional[float]) -> None:
+    """Stream one completed result to the store (no-op without a store)."""
+    if store is not None:
+        store.put_result(result, wall_time_s=wall_time_s)
+
+
+def _index_failures(specs, *label_failures):
+    """Re-key label-keyed failure maps by submission index for ``_assemble``."""
+    merged: Dict[str, str] = {}
+    for failures in label_failures:
+        merged.update(failures)
+    return {
+        index: merged[spec.label]
+        for index, spec in enumerate(specs)
+        if spec.label in merged
+    }
+
 
 def _assemble(specs, outcomes, failures):
-    """Reassemble per-spec outcomes into a batch, in submission order."""
+    """Reassemble per-index outcomes into a batch, in submission order.
+
+    ``outcomes``/``failures`` are keyed by submission index — never by
+    label, which is display-only identity (labels are guaranteed unique by
+    ``_reject_duplicate_labels``, but indices are what execution is tracked
+    by).
+    """
     from repro.experiments.runner import ExperimentBatch
 
     batch = ExperimentBatch()
-    for spec in specs:
-        if spec.label in outcomes:
-            batch.results[spec.label] = outcomes[spec.label]
+    for index, spec in enumerate(specs):
+        if index in outcomes:
+            batch.results[spec.label] = outcomes[index]
         else:
-            batch.errors[spec.label] = failures[spec.label]
+            batch.errors[spec.label] = failures[index]
     return batch
 
 
@@ -85,16 +130,21 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1, store=None):
         from repro.experiments.runner import _run_one
 
         self._require_single_worker(workers)
+        self._reject_duplicate_labels(specs)
         outcomes, failures = {}, {}
-        for spec in specs:
+        for index, spec in enumerate(specs):
             try:
-                outcomes[spec.label] = _run_one(spec)
+                start = time.perf_counter()
+                result = _run_one(spec)
+                outcomes[index] = result
             except Exception as exc:  # noqa: BLE001 - per-spec isolation
-                failures[spec.label] = f"{type(exc).__name__}: {exc}"
+                failures[index] = f"{type(exc).__name__}: {exc}"
+            else:
+                _store_result(store, result, time.perf_counter() - start)
         return _assemble(specs, outcomes, failures)
 
 
@@ -109,20 +159,32 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
-        from repro.experiments.runner import _run_one
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1, store=None):
+        from repro.experiments.runner import _run_one_timed
 
+        self._reject_duplicate_labels(specs)
         if workers == 1:
-            return SerialBackend().execute(specs, workers=1)
+            return SerialBackend().execute(specs, workers=1, store=store)
         outcomes, failures = {}, {}
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {spec.label: executor.submit(_run_one, spec) for spec in specs}
-            for label, future in futures.items():
+            # Futures are keyed by submission *index*: keying by label would
+            # collapse specs that share one, silently dropping submissions
+            # and misattributing results.
+            futures = {
+                executor.submit(_run_one_timed, spec): index
+                for index, spec in enumerate(specs)
+            }
+            # Completion order, so each result reaches the store the moment
+            # its worker finishes — not when the whole pool drains.
+            for future in as_completed(futures):
+                index = futures[future]
                 exc = future.exception()
                 if exc is not None:
-                    failures[label] = f"{type(exc).__name__}: {exc}"
+                    failures[index] = f"{type(exc).__name__}: {exc}"
                 else:
-                    outcomes[label] = future.result()
+                    result, wall_time_s = future.result()
+                    outcomes[index] = result
+                    _store_result(store, result, wall_time_s)
         return _assemble(specs, outcomes, failures)
 
 
@@ -156,7 +218,7 @@ class BatchedBackend(ExecutionBackend):
             content,
         )
 
-    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1):
+    def execute(self, specs: Sequence[ExperimentSpec], workers: int = 1, store=None):
         from repro.experiments.runner import (
             ExperimentResult,
             build_manager_from_spec,
@@ -166,8 +228,10 @@ class BatchedBackend(ExecutionBackend):
         from repro.sim.batched import BatchedCase, BatchedEngine
 
         self._require_single_worker(workers)
+        self._reject_duplicate_labels(specs)
         cases = []
         build_failures: Dict[str, str] = {}
+        spec_by_label = {spec.label: spec for spec in specs}
         for spec in specs:
             try:
                 scenario = build_scenario_from_spec(spec)
@@ -183,12 +247,20 @@ class BatchedBackend(ExecutionBackend):
             except Exception as exc:  # noqa: BLE001 - per-spec isolation
                 build_failures[spec.label] = f"{type(exc).__name__}: {exc}"
 
-        traces, run_failures = BatchedEngine().run(cases)
+        def on_complete(label: str, trace) -> None:
+            # Stream each replica to the store the stride it finishes.  Wall
+            # time is not separable per spec inside the lock-step engine, so
+            # the row stores NULL there.
+            _store_result(store, ExperimentResult(spec=spec_by_label[label], trace=trace), None)
+
+        traces, run_failures = BatchedEngine().run(
+            cases, on_complete=None if store is None else on_complete
+        )
         outcomes = {}
-        for spec in specs:
+        for index, spec in enumerate(specs):
             if spec.label in traces:
-                outcomes[spec.label] = ExperimentResult(spec=spec, trace=traces[spec.label])
-        return _assemble(specs, outcomes, {**build_failures, **run_failures})
+                outcomes[index] = ExperimentResult(spec=spec, trace=traces[spec.label])
+        return _assemble(specs, outcomes, _index_failures(specs, build_failures, run_failures))
 
 
 #: Named execution backends, enumerable like every other component axis.

@@ -68,11 +68,26 @@ class ExperimentBatch:
 
     ``results`` is keyed by spec label in submission order; specs whose
     execution raised are absent from ``results`` and recorded in ``errors``
-    as ``label -> message``.
+    as ``label -> message``.  Under ``run_many(..., store=..., resume=True)``
+    specs whose spec_id was already in the store are not executed at all:
+    their durable records land in ``skipped`` (``label ->``
+    :class:`~repro.store.StoredResult`), so ``skipped_count`` vs
+    ``computed_count`` reports how incremental the batch actually was.
     """
 
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    skipped: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def computed_count(self) -> int:
+        """Specs executed by this batch (successes only)."""
+        return len(self.results)
+
+    @property
+    def skipped_count(self) -> int:
+        """Specs skipped because their spec_id was already stored."""
+        return len(self.skipped)
 
     @property
     def traces(self) -> Dict[str, SimulationTrace]:
@@ -191,11 +206,27 @@ def _run_one(spec: ExperimentSpec) -> ExperimentResult:
     return run(spec, validate=False)
 
 
+def _run_one_timed(spec: ExperimentSpec):
+    """Worker entry point returning ``(result, wall_seconds)``.
+
+    The wall time is measured inside the worker, so it is the spec's own
+    execution time — not submission-to-completion latency, which would fold
+    in pool queueing.
+    """
+    import time
+
+    start = time.perf_counter()
+    result = run(spec, validate=False)
+    return result, time.perf_counter() - start
+
+
 def run_many(
     specs: Sequence[ExperimentSpec],
     backend: Optional[str] = None,
     workers: int = 1,
     validate: bool = True,
+    store=None,
+    resume: bool = False,
 ) -> ExperimentBatch:
     """Execute specs through a named execution backend.
 
@@ -209,6 +240,13 @@ def run_many(
     ``run_many(specs, workers=N)`` behaviour.  All backends produce
     bit-identical traces; they differ only in wall-clock time.
 
+    ``store`` (a :class:`~repro.store.ResultsStore` or a path to one) makes
+    the batch durable: every backend streams each completed result into it
+    as the result finishes.  With ``resume=True`` specs whose spec_id is
+    already stored are not executed — their stored records land in
+    ``ExperimentBatch.skipped`` — so a killed sweep re-invoked with the same
+    store completes exactly the missing work.
+
     Results are keyed by :attr:`ExperimentSpec.label` and reassembled in
     submission order, so aggregates are byte-identical for any backend and
     worker count.  One failing spec does not abort the batch: its error
@@ -220,6 +258,8 @@ def run_many(
 
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if resume and store is None:
+        raise ValueError("resume=True requires a results store")
     duplicates = find_duplicates(spec.label for spec in specs)
     if duplicates:
         raise ValueError(f"duplicate experiment labels: {duplicates}")
@@ -228,7 +268,31 @@ def run_many(
             spec.validate()
     if backend is None:
         backend = "process" if workers > 1 else "serial"
-    return make_execution_backend(backend).execute(specs, workers=workers)
+
+    owns_store = False
+    if store is not None and not hasattr(store, "put_result"):
+        from repro.store import ResultsStore
+
+        store = ResultsStore(store)
+        owns_store = True
+    try:
+        to_run = list(specs)
+        skipped: Dict[str, object] = {}
+        if resume:
+            present = store.ids()
+            to_run = []
+            for spec in specs:
+                stored = store.get(spec.spec_id()) if spec.spec_id() in present else None
+                if stored is not None:
+                    skipped[spec.label] = stored
+                else:
+                    to_run.append(spec)
+        batch = make_execution_backend(backend).execute(to_run, workers=workers, store=store)
+        batch.skipped = skipped
+        return batch
+    finally:
+        if owns_store:
+            store.close()
 
 
 def grid_specs(

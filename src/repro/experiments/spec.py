@@ -52,6 +52,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.ioutils import atomic_write_text
+
 __all__ = [
     "ExperimentSpec",
     "SpecError",
@@ -308,12 +310,16 @@ class ExperimentSpec:
         return specs[0]
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the spec to a file (TOML unless the suffix is ``.json``)."""
+        """Write the spec to a file (TOML unless the suffix is ``.json``).
+
+        The write is atomic (same-directory temp file + rename), so a crash
+        mid-save can never truncate a previously-good spec file.
+        """
         path = Path(path)
         if path.suffix.lower() == ".json":
-            path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+            atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
         else:
-            path.write_text(self.to_toml(), encoding="utf-8")
+            atomic_write_text(path, self.to_toml())
 
     def to_toml(self) -> str:
         """TOML form of the spec (a single top-level experiment)."""
@@ -374,16 +380,16 @@ def dump_specs(specs: Sequence[ExperimentSpec], path: Union[str, Path]) -> None:
 
     One spec is written as a single-experiment file; several as a
     ``[[experiment]]`` batch.  Either form round-trips through
-    :func:`load_specs`.
+    :func:`load_specs`.  Writes are atomic (temp file + rename).
     """
     path = Path(path)
     if path.suffix.lower() == ".json":
         payload = (
             specs[0].to_dict() if len(specs) == 1 else [spec.to_dict() for spec in specs]
         )
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     else:
-        path.write_text(specs_to_toml(specs), encoding="utf-8")
+        atomic_write_text(path, specs_to_toml(specs))
 
 
 def specs_to_toml(specs: Sequence[ExperimentSpec]) -> str:
@@ -400,13 +406,37 @@ def specs_to_toml(specs: Sequence[ExperimentSpec]) -> str:
 # emitter is simpler than depending on an external writer.
 
 
+# TOML basic strings give \b \t \n \f \r dedicated escapes; every other
+# control character (U+0000-U+001F, U+007F) must be a \uXXXX escape — emitted
+# raw they make the document unparseable, so a spec with e.g. a newline in a
+# string param would fail its own save -> load round-trip.
+_TOML_SHORT_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\b": "\\b",
+    "\t": "\\t",
+    "\n": "\\n",
+    "\f": "\\f",
+    "\r": "\\r",
+}
+
+
+def _toml_escape_char(char: str) -> str:
+    short = _TOML_SHORT_ESCAPES.get(char)
+    if short is not None:
+        return short
+    if ord(char) < 0x20 or ord(char) == 0x7F:
+        return f"\\u{ord(char):04X}"
+    return char
+
+
 def _toml_value(value: object) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return repr(value)
     if isinstance(value, str):
-        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = "".join(_toml_escape_char(char) for char in value)
         return f'"{escaped}"'
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(item) for item in value) + "]"

@@ -1,0 +1,46 @@
+"""Crash-safe file writing shared by every artefact writer in the repo.
+
+A plain ``Path.write_text`` truncates the destination before writing, so a
+crash (or ``kill -9``) mid-write leaves a half-file that the corresponding
+loader then reports as corrupt — for spec files, arrival traces and store
+exports that means a previously-good artefact is destroyed by the failed
+refresh.  :func:`atomic_write_text` writes to a temporary file *in the same
+directory* (so the final rename never crosses a filesystem boundary) and
+``os.replace``\\ s it into place: readers observe either the complete old
+content or the complete new content, never a truncation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace).
+
+    The temporary file is flushed and fsynced before the rename, so after
+    the function returns the new content survives a power cut; if anything
+    raises mid-write the temporary file is removed and the destination is
+    untouched.
+    """
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or Path(".")
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

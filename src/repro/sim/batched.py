@@ -598,9 +598,15 @@ class BatchedEngine:
         self.stores = stores or SharedSimulationStores()
 
     def run(
-        self, cases: List[BatchedCase]
+        self, cases: List[BatchedCase], on_complete=None
     ) -> Tuple[Dict[str, SimulationTrace], Dict[str, str]]:
         """Run every case; returns (label -> trace, label -> error message).
+
+        ``on_complete(label, trace)``, when given, fires the moment a
+        replica's timeline ends — replicas finish on different lock-step
+        strides, so a consumer (e.g. a results store) receives completed
+        traces progressively rather than when the whole batch drains.  A
+        deduplicated group fires once per member label.
 
         Garbage collection is suspended for the duration of the batch:
         hundreds of simultaneously-live replicas make cyclic-GC scans the
@@ -611,13 +617,13 @@ class BatchedEngine:
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            return self._run(cases)
+            return self._run(cases, on_complete)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
     def _run(
-        self, cases: List[BatchedCase]
+        self, cases: List[BatchedCase], on_complete=None
     ) -> Tuple[Dict[str, SimulationTrace], Dict[str, str]]:
         traces: Dict[str, SimulationTrace] = {}
         errors: Dict[str, str] = {}
@@ -675,6 +681,8 @@ class BatchedEngine:
                     if now >= duration_ms:
                         for label in labels:
                             traces[label] = simulator.trace
+                            if on_complete is not None:
+                                on_complete(label, simulator.trace)
                     else:
                         still_running.append((labels, simulator, duration_ms))
                 active = still_running

@@ -1,0 +1,26 @@
+"""Persistent experiment warehouse: spec-keyed, append-only, resumable.
+
+The package exposes :class:`ResultsStore` — an append-only SQLite store of
+experiment results keyed by spec_id (a content hash), written through a
+single writer thread so any number of execution backends can stream results
+in concurrently.  ``run_many(specs, store=..., resume=True)`` and the
+``repro-experiments`` CLI (``--store/--resume`` plus the ``store`` verbs)
+build on it; see :mod:`repro.store.results` for the write contract and the
+schema.
+"""
+
+from repro.store.results import (
+    MIGRATIONS,
+    STORE_SCHEMA_VERSION,
+    ResultsStore,
+    StoredResult,
+    StoreError,
+)
+
+__all__ = [
+    "MIGRATIONS",
+    "STORE_SCHEMA_VERSION",
+    "ResultsStore",
+    "StoredResult",
+    "StoreError",
+]

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.dnn.training import IncrementalTrainer, TrainedDynamicDNN
 from repro.dnn.zoo import make_dynamic_cifar_dnn
+from repro.ioutils import atomic_write_text
 from repro.platforms.core import CoreType
 from repro.workloads.requirements import Requirements
 from repro.workloads.scenarios import (
@@ -170,7 +171,12 @@ class ArrivalTrace:
     # --------------------------------------------------------------- file I/O
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the trace as JSONL: header, application records, events."""
+        """Write the trace as JSONL: header, application records, events.
+
+        The write is atomic (same-directory temp file + rename): a crash
+        mid-save leaves any existing file untouched instead of a truncated
+        JSONL that :meth:`load` then rejects as corrupt.
+        """
         lines = [
             json.dumps(
                 {
@@ -187,7 +193,7 @@ class ArrivalTrace:
             lines.append(json.dumps({"record": "application", **record}, sort_keys=True))
         for record in self.events:
             lines.append(json.dumps({"record": "event", **record}, sort_keys=True))
-        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ArrivalTrace":

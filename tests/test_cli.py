@@ -645,3 +645,129 @@ class TestBenchCommand:
             == 2
         )
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    """The results-store surface: --store/--resume plus the ``store`` verbs."""
+
+    def _sweep(self, db, extra=()):
+        return main(
+            ["sweep", "--scenarios", "steady", "--managers", "rtm", "--store", str(db), *extra]
+        )
+
+    def test_resume_without_store_fails(self, capsys):
+        assert main(["sweep", "--scenarios", "steady", "--managers", "rtm", "--resume"]) == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_sweep_store_then_resume_skips_everything(self, capsys, tmp_path):
+        db = tmp_path / "results.db"
+        assert self._sweep(db) == 0
+        first = capsys.readouterr().out
+        assert "store: 1 result(s) streamed" in first
+        assert self._sweep(db, ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resume: 1 skipped (already stored), 0 computed" in second
+
+        def digest(output: str) -> str:
+            for line in output.splitlines():
+                if line.startswith("combined fingerprint digest"):
+                    return line.split(":")[1].strip()
+            raise AssertionError(f"no digest line in {output!r}")
+
+        assert digest(first) == digest(second)
+
+    def test_store_ls_show_and_diff(self, capsys, tmp_path):
+        db = tmp_path / "results.db"
+        assert self._sweep(db) == 0
+        capsys.readouterr()
+
+        assert main(["store", "ls", str(db)]) == 0
+        listing = capsys.readouterr().out
+        assert "steady/rtm/seed0" in listing and "1 result(s)" in listing
+        spec_id = listing.splitlines()[2].split()[0]
+
+        assert main(["store", "show", str(db), spec_id]) == 0
+        shown = capsys.readouterr().out
+        assert f"spec id:     {spec_id}" in shown
+        assert 'scenario = "steady"' in shown and "violation_rate" in shown
+
+        assert main(["store", "diff", str(db), spec_id]) == 0
+        assert "fingerprints match" in capsys.readouterr().out
+
+    def test_store_diff_detects_drift(self, capsys, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "results.db"
+        assert self._sweep(db) == 0
+        connection = sqlite3.connect(db)
+        connection.execute("UPDATE results SET fingerprint = 'deadbeefdeadbeef'")
+        connection.commit()
+        spec_id = connection.execute("SELECT spec_id FROM results").fetchone()[0]
+        connection.close()
+        capsys.readouterr()
+        assert main(["store", "diff", str(db), spec_id]) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_store_show_unknown_spec_id_fails(self, capsys, tmp_path):
+        db = tmp_path / "results.db"
+        assert self._sweep(db) == 0
+        capsys.readouterr()
+        assert main(["store", "show", str(db), "0" * 16]) == 1
+        assert "no result for spec id" in capsys.readouterr().err
+
+    def test_store_verbs_refuse_missing_files(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.db")
+        assert main(["store", "ls", missing]) == 2
+        assert "no results store" in capsys.readouterr().err
+        # Read verbs must not create an empty store as a side effect.
+        assert not (tmp_path / "absent.db").exists()
+
+    def test_store_export_toml_replays_through_run(self, capsys, tmp_path):
+        db = tmp_path / "results.db"
+        assert self._sweep(db) == 0
+        out = tmp_path / "replay.toml"
+        assert main(["store", "export", str(db), "--format", "toml", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(out), "--store", str(db), "--resume"]) == 0
+        replay = capsys.readouterr().out
+        assert "resume: 1 skipped (already stored), 0 computed" in replay
+
+    def test_store_gc_prunes_to_keep_latest(self, capsys, tmp_path):
+        db = tmp_path / "results.db"
+        assert (
+            main(
+                ["sweep", "--scenarios", "steady", "--managers", "rtm", "governor_only",
+                 "--store", str(db)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["store", "gc", str(db), "--keep-latest", "1"]) == 0
+        assert "deleted 1 result(s), kept 1" in capsys.readouterr().out
+
+    def test_run_store_reports_digest(self, capsys, tmp_path):
+        spec = tmp_path / "spec.toml"
+        spec.write_text('scenario = "steady"\n')
+        db = tmp_path / "results.db"
+        assert main(["run", str(spec), "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "store: 1 result(s) streamed" in out
+        assert "combined fingerprint digest over this batch:" in out
+
+    def test_bench_smoke_appends_to_store(self, capsys, tmp_path):
+        db = tmp_path / "bench.db"
+        args = ["bench", "--smoke", "--no-write", "--store", str(db)]
+        assert main(args) == 0
+        assert "appended" not in capsys.readouterr().out  # no JSON file, no document
+        assert main([*args, "--resume"]) == 0
+        assert "resume: 1 of 1 case(s) already timed" in capsys.readouterr().out
+
+    def test_bench_batched_rejects_resume(self, capsys, tmp_path):
+        assert (
+            main(
+                ["bench", "--backend", "batched", "--smoke", "--no-write",
+                 "--store", str(tmp_path / "b.db"), "--resume"]
+            )
+            == 2
+        )
+        assert "single timed pass" in capsys.readouterr().err

@@ -323,6 +323,21 @@ class TestArrivalTraceRoundTrip:
         assert trace.events[0]["kind"] == "requirement_change"
         assert trace.events[0]["requirements"]["min_accuracy_percent"] == 56.0
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # Regression: a crash mid-save used to leave a truncated trace at the
+        # destination; the same-directory-temp + os.replace scheme keeps the
+        # original readable through any failure before the final rename.
+        import os
+
+        path = tmp_path / "trace.jsonl"
+        ArrivalTrace.from_scenario(build_scenario("fig2")).save(path)
+        original = path.read_text()
+        monkeypatch.setattr(os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("boom")))
+        with pytest.raises(OSError):
+            ArrivalTrace.from_scenario(build_scenario("bursty", seed=1)).save(path)
+        assert path.read_text() == original
+        assert ArrivalTrace.load(path) is not None
+
 
 class TestArrivalTraceErrors:
     def test_empty_file_rejected(self, tmp_path):

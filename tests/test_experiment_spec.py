@@ -151,6 +151,102 @@ class TestSpecRoundTrip:
         assert FULL_SPEC.label == "custom"
 
 
+class TestTomlStringEscaping:
+    """Regression: ``_toml_value`` used to emit raw control characters.
+
+    A spec whose name held a newline (or tab, carriage return, any
+    U+0000-U+001F) serialised to a TOML basic string with the character
+    embedded verbatim — invalid TOML that ``tomllib`` refused to parse back,
+    breaking save/load round-trips.  Strings must escape per the TOML
+    basic-string rules (short escapes where they exist, ``\\uXXXX``
+    otherwise).
+    """
+
+    def _round_trip(self, tmp_path, name: str) -> ExperimentSpec:
+        spec = ExperimentSpec(scenario="steady", name=name)
+        path = tmp_path / "spec.toml"
+        spec.save(path)
+        return ExperimentSpec.load(path)
+
+    def test_newline_in_name_round_trips(self, tmp_path):
+        # The original failure mode: "line1\nline2" produced unparseable TOML.
+        reloaded = self._round_trip(tmp_path, "line1\nline2")
+        assert reloaded.name == "line1\nline2"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["tab\there", "cr\rhere", "bell\x07", "nul\x00", "del\x7f", 'quote" and \\ slash'],
+        ids=["tab", "carriage-return", "bell", "nul", "del", "quote-backslash"],
+    )
+    def test_control_and_special_chars_round_trip(self, tmp_path, name):
+        assert self._round_trip(tmp_path, name).name == name
+
+    def test_hypothesis_arbitrary_strings_round_trip(self, tmp_path):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            name=st.text(
+                alphabet=st.characters(
+                    codec="utf-8", categories=("L", "N", "P", "S", "Z", "Cc")
+                ),
+                min_size=1,
+                max_size=40,
+            )
+        )
+        @settings(max_examples=80, deadline=None)
+        def check(name: str) -> None:
+            spec = ExperimentSpec(scenario="steady", name=name)
+            path = tmp_path / "hypothesis_spec.toml"
+            spec.save(path)
+            reloaded = ExperimentSpec.load(path)
+            assert reloaded.name == name
+            assert reloaded.spec_id() == spec.spec_id()
+
+        check()
+
+    def test_control_chars_in_scenario_params_round_trip(self, tmp_path):
+        spec = ExperimentSpec(
+            scenario="steady", scenario_params={"note": "a\tb\nc"}
+        )
+        path = tmp_path / "params.toml"
+        dump_specs([spec], path)
+        assert load_specs(path)[0].scenario_params["note"] == "a\tb\nc"
+
+
+class TestAtomicSpecWrites:
+    """``save``/``dump_specs`` must replace files atomically.
+
+    A crash mid-write used to leave a truncated file at the destination;
+    with the same-directory-temp + ``os.replace`` scheme the original
+    survives any failure before the final rename.
+    """
+
+    def test_failed_save_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "spec.toml"
+        ExperimentSpec(scenario="steady").save(path)
+        original = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            ExperimentSpec(scenario="bursty").save(path)
+        assert path.read_text() == original
+        # The aborted temp file must not linger next to the destination.
+        assert [p.name for p in tmp_path.iterdir()] == ["spec.toml"]
+
+    def test_failed_dump_specs_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "batch.toml"
+        dump_specs([ExperimentSpec(scenario="steady")], path)
+        original = path.read_text()
+        monkeypatch.setattr(os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("boom")))
+        with pytest.raises(OSError):
+            dump_specs([FULL_SPEC], path)
+        assert path.read_text() == original
+
+
 class TestSpecValidation:
     def test_unknown_top_level_key_rejected(self):
         with pytest.raises(SpecError, match="unknown experiment spec keys \\['senario'\\]"):
