@@ -13,8 +13,10 @@ terminal without going through pytest:
 * ``scenarios``  — list the registered named scenarios;
 * ``managers``   — list the registered runtime managers;
 * ``platforms``  — list the platform presets with their cluster topology;
+* ``faults``     — list the fault-event vocabulary and the chaos scenarios;
 * ``run``        — execute experiment spec files (TOML/JSON) through a
-  chosen execution backend (``--backend serial|process|batched``);
+  chosen execution backend (``--backend serial|process|batched``); with
+  ``--faults PLAN`` overlay a fault plan on every spec;
 * ``sweep``      — run a (scenario, manager, seed) grid through a chosen
   execution backend and print per-case and aggregate statistics;
 * ``bench``      — time decide()-per-epoch and end-to-end simulation across
@@ -29,7 +31,10 @@ terminal without going through pytest:
 into a persistent :class:`~repro.store.ResultsStore` as they finish, and
 ``--resume`` to skip spec_ids (bench: per-case timings) the store already
 holds — a killed sweep re-invoked with the same flags completes exactly the
-missing work.
+missing work.  ``run`` and ``sweep`` also take ``--retries``/
+``--retry-backoff`` (re-run failed specs) and ``--spec-timeout`` (process
+backend: abandon the batch when no spec completes in time); failures are
+recorded in the store's ``errors`` table and shown by ``store ls``.
 
 The ``scenario``, ``sweep`` and ``bench`` commands are thin front-ends over
 :mod:`repro.experiments`: they assemble :class:`ExperimentSpec` objects and
@@ -524,6 +529,31 @@ def cmd_platforms_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults_list(args: argparse.Namespace) -> int:
+    """List fault event kinds and the registered chaos scenarios."""
+    from repro.sim.faults import FAULT_EVENT_KINDS, JobCrashProfile
+
+    print(f"{len(FAULT_EVENT_KINDS)} fault event kinds (plan tables: [[events]]):")
+    width = max(len(kind) for kind in FAULT_EVENT_KINDS)
+    for kind in sorted(FAULT_EVENT_KINDS):
+        event_class = FAULT_EVENT_KINDS[kind]
+        summary = (event_class.__doc__ or "").strip().splitlines()[0]
+        print(f"  {kind:<{width}}  {summary}")
+    crash_summary = (JobCrashProfile.__doc__ or "").strip().splitlines()[0]
+    print(f"\njob crashes ([job_crashes] table): {crash_summary}")
+    chaos = {
+        name: summary
+        for name, summary in scenario_summaries().items()
+        if name.startswith("chaos_")
+    }
+    print(f"\n{len(chaos)} chaos scenarios (fault plans baked in; see 'scenarios list'):")
+    width = max(len(name) for name in chaos)
+    for name, summary in chaos.items():
+        marker = "*" if scenario_is_seeded(name) else " "
+        print(f"  {name:<{width}} {marker} {summary}")
+    return 0
+
+
 def _add_store_arguments(subparser: argparse.ArgumentParser) -> None:
     """``--store PATH --resume/--no-resume``, shared by run/sweep/bench."""
     subparser.add_argument(
@@ -537,6 +567,32 @@ def _add_store_arguments(subparser: argparse.ArgumentParser) -> None:
         action=argparse.BooleanOptionalAction,
         default=False,
         help="skip specs whose spec_id is already in --store (default: --no-resume)",
+    )
+
+
+def _add_robustness_arguments(subparser: argparse.ArgumentParser) -> None:
+    """``--retries/--retry-backoff/--spec-timeout``, shared by run/sweep."""
+    subparser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run failed specs up to N extra times (default 0)",
+    )
+    subparser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep SECONDS * 2^attempt between retry rounds (default 0)",
+    )
+    subparser.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon the batch when no spec finishes for SECONDS "
+        "(process backend only; single-process backends ignore it)",
     )
 
 
@@ -623,6 +679,22 @@ def _print_case_table(traces, show_spec_ids=None) -> None:
     print(format_table(headers, rows, precision=4))
 
 
+def _load_faults_overlay(path: str) -> "tuple[Optional[dict], Optional[str]]":
+    """Load ``--faults FILE`` into the dict form specs carry.
+
+    Returns ``(faults_dict, error_message)``; exactly one is ``None``.
+    """
+    from repro.sim.faults import FaultPlan, FaultPlanError
+
+    try:
+        plan = FaultPlan.from_file(path)
+    except (OSError, FaultPlanError) as error:
+        return None, f"cannot load fault plan {path!r}: {error}"
+    if plan.is_empty:
+        return None, f"fault plan {path!r} declares no events and no job crashes"
+    return plan.to_dict(), None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute experiment spec files through the spec runner."""
     specs: List[ExperimentSpec] = []
@@ -634,6 +706,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     except SpecError as error:
         print(f"invalid spec: {error}", file=sys.stderr)
         return 2
+    if args.faults is not None:
+        import dataclasses
+
+        faults, error = _load_faults_overlay(args.faults)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        # The overlay replaces any per-spec faults table: one plan file, one
+        # behaviour, for every spec in the batch.  Spec ids change with it.
+        specs = [dataclasses.replace(spec, faults=faults) for spec in specs]
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
@@ -664,6 +746,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             validate=False,
             store=store,
             resume=args.resume,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            spec_timeout=args.spec_timeout,
         )
         spec_ids = {spec.label: spec.spec_id() for spec in specs if spec.label in batch.traces}
         _print_case_table(batch.traces, show_spec_ids=spec_ids)
@@ -741,6 +826,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             validate=False,
             store=store,
             resume=args.resume,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            spec_timeout=args.spec_timeout,
         )
 
         # Named only when explicitly chosen (see cmd_run): the CLI byte-parity
@@ -1074,7 +1162,8 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
         return 2
     try:
         results = store.results()
-        if not results:
+        errors = store.errors()
+        if not results and not errors:
             bench_counts = store.bench_run_counts()
             if bench_counts:
                 runs = ", ".join(f"{kind}={count}" for kind, count in bench_counts.items())
@@ -1082,20 +1171,34 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
             else:
                 print(f"{args.store}: empty store")
             return 0
-        headers = ["spec id", "case", "fingerprint", "violation rate", "wall s"]
-        rows = [
-            [
-                record.spec_id,
-                record.label,
-                record.fingerprint,
-                round(float(record.metrics.get("violation_rate", 0.0)), 4),
-                round(record.wall_time_s, 3) if record.wall_time_s is not None else "-",
+        if results:
+            headers = ["spec id", "case", "fingerprint", "violation rate", "wall s"]
+            rows = [
+                [
+                    record.spec_id,
+                    record.label,
+                    record.fingerprint,
+                    round(float(record.metrics.get("violation_rate", 0.0)), 4),
+                    round(record.wall_time_s, 3) if record.wall_time_s is not None else "-",
+                ]
+                for record in results
             ]
-            for record in results
-        ]
-        print(format_table(headers, rows, precision=4))
+            print(format_table(headers, rows, precision=4))
+        if errors:
+            # Unresolved failures: a later successful run of the same spec_id
+            # deletes its error row, so everything here still needs attention.
+            print(f"\n{len(errors)} failed spec(s) (resolved by a successful re-run):")
+            print(
+                format_table(
+                    ["spec id", "case", "error"],
+                    [[e.spec_id, e.label, e.summary] for e in errors],
+                    precision=4,
+                )
+            )
         bench_counts = store.bench_run_counts()
         summary = f"{len(results)} result(s)"
+        if errors:
+            summary += f", {len(errors)} error(s)"
         if bench_counts:
             summary += ", bench runs: " + ", ".join(
                 f"{kind}={count}" for kind, count in bench_counts.items()
@@ -1114,9 +1217,19 @@ def cmd_store_show(args: argparse.Namespace) -> int:
         return 2
     try:
         record = store.get(args.spec_id)
+        error = store.get_error(args.spec_id) if record is None else None
     finally:
         store.close()
     if record is None:
+        if error is not None:
+            # No result, but the spec failed: print the full stored message
+            # (including any truncated traceback) instead of "not found".
+            print(f"spec id: {error.spec_id}")
+            print(f"label:   {error.label}")
+            print("error:")
+            for line in error.message.rstrip("\n").splitlines():
+                print(f"  {line}")
+            return 1
         print(f"no result for spec id {args.spec_id!r} in {args.store}", file=sys.stderr)
         return 1
     print(f"spec id:     {record.spec_id}")
@@ -1335,6 +1448,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     platforms_list.set_defaults(func=cmd_platforms_list)
 
+    faults = subparsers.add_parser(
+        "faults", help="inspect the fault-injection vocabulary"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="list fault event kinds and chaos scenarios"
+    )
+    faults_list.set_defaults(func=cmd_faults_list)
+
     run = subparsers.add_parser(
         "run", help="execute experiment spec files (TOML or JSON)"
     )
@@ -1348,6 +1470,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--workers", type=int, default=1, help="worker processes (process backend only)"
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="overlay this fault plan (TOML/JSON) on every spec in the batch",
+    )
+    _add_robustness_arguments(run)
     _add_store_arguments(run)
     run.set_defaults(func=cmd_run)
 
@@ -1396,6 +1525,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the sweep's experiment specs to FILE ('-' for stdout) instead of running",
     )
+    _add_robustness_arguments(sweep)
     _add_store_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 

@@ -40,6 +40,7 @@ __all__ = [
     "build_scenario_from_spec",
     "build_manager_from_spec",
     "build_simulator_config",
+    "build_fault_plan_from_spec",
     "run",
     "run_many",
     "grid_specs",
@@ -181,6 +182,20 @@ def build_simulator_config(spec: ExperimentSpec) -> Optional[SimulatorConfig]:
     return SimulatorConfig(**spec.simulator) if spec.simulator else None
 
 
+def build_fault_plan_from_spec(spec: ExperimentSpec):
+    """The spec's fault plan (``None`` when the spec injects no faults).
+
+    A non-empty plan overrides any plan attached to the scenario itself
+    (e.g. by a ``chaos_*`` registry scenario); an empty ``faults`` table
+    leaves the scenario's own plan in force.
+    """
+    if not spec.faults:
+        return None
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan.from_dict(spec.faults)
+
+
 # ----------------------------------------------------------------- execution
 
 
@@ -197,7 +212,12 @@ def run(spec: ExperimentSpec, validate: bool = True) -> ExperimentResult:
         spec.validate()
     scenario = build_scenario_from_spec(spec)
     manager = build_manager_from_spec(spec)
-    trace = simulate_scenario(scenario, manager, config=build_simulator_config(spec))
+    trace = simulate_scenario(
+        scenario,
+        manager,
+        config=build_simulator_config(spec),
+        fault_plan=build_fault_plan_from_spec(spec),
+    )
     return ExperimentResult(spec=spec, trace=trace)
 
 
@@ -227,6 +247,9 @@ def run_many(
     validate: bool = True,
     store=None,
     resume: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+    spec_timeout: Optional[float] = None,
 ) -> ExperimentBatch:
     """Execute specs through a named execution backend.
 
@@ -253,13 +276,28 @@ def run_many(
     message lands in ``ExperimentBatch.errors`` under the label and the
     remaining specs still run.  Duplicate labels are rejected up front (give
     batch entries explicit ``name``\\ s to disambiguate repeats).
+
+    ``retries`` re-executes specs that errored (transient crashes, lost
+    workers) up to that many extra rounds, waiting ``retry_backoff * 2**i``
+    seconds before round ``i``; specs recovered by a retry move from
+    ``errors`` to ``results``.  ``spec_timeout`` (seconds, process backend
+    only) is a per-spec watchdog: when no spec completes for that long, the
+    stuck pending specs are recorded as errors instead of hanging the sweep.
     """
+    import time as _time
+
     from repro.experiments.backends import make_execution_backend
 
     if workers < 1:
         raise ValueError("workers must be at least 1")
     if resume and store is None:
         raise ValueError("resume=True requires a results store")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be non-negative")
+    if spec_timeout is not None and spec_timeout <= 0:
+        raise ValueError("spec_timeout must be positive")
     duplicates = find_duplicates(spec.label for spec in specs)
     if duplicates:
         raise ValueError(f"duplicate experiment labels: {duplicates}")
@@ -287,7 +325,31 @@ def run_many(
                     skipped[spec.label] = stored
                 else:
                     to_run.append(spec)
-        batch = make_execution_backend(backend).execute(to_run, workers=workers, store=store)
+        execution_backend = make_execution_backend(backend)
+        batch = execution_backend.execute(
+            to_run, workers=workers, store=store, spec_timeout=spec_timeout
+        )
+        for attempt in range(retries):
+            if not batch.errors:
+                break
+            if retry_backoff > 0:
+                _time.sleep(retry_backoff * 2**attempt)
+            by_label = {spec.label: spec for spec in to_run}
+            retry_specs = [by_label[label] for label in batch.errors if label in by_label]
+            if not retry_specs:
+                break
+            retry_batch = execution_backend.execute(
+                retry_specs, workers=workers, store=store, spec_timeout=spec_timeout
+            )
+            for label, result in retry_batch.results.items():
+                batch.results[label] = result
+                batch.errors.pop(label, None)
+            batch.errors.update(retry_batch.errors)
+        # Keep results in submission order even when retries filled gaps.
+        order = {spec.label: index for index, spec in enumerate(to_run)}
+        batch.results = dict(
+            sorted(batch.results.items(), key=lambda item: order.get(item[0], len(order)))
+        )
         batch.skipped = skipped
         return batch
     finally:

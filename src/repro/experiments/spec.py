@@ -110,6 +110,12 @@ class ExperimentSpec:
         Whether the manager keeps its operating-point cache.  Cached and
         uncached runs produce identical traces; the flag exists for parity
         tests and benchmarking.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` in dict form (the
+        ``FaultPlan.to_dict()`` shape), injected on top of whatever plan the
+        scenario itself carries.  Content-hashed into :meth:`spec_id`; an
+        empty table is omitted from :meth:`to_dict`, so fault-free spec ids
+        are identical to those minted before fault injection existed.
     """
 
     scenario: str
@@ -123,13 +129,14 @@ class ExperimentSpec:
     rtm: Dict[str, object] = field(default_factory=dict)
     simulator: Dict[str, object] = field(default_factory=dict)
     use_op_cache: bool = True
+    faults: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Normalise override tables to their JSON/TOML-canonical form (tuples
         # become lists) at construction, so a spec built with tuple values
         # compares equal to its file round-trip and to_dict() needs no copy
         # logic of its own.
-        for key in ("policy_overrides", "scenario_params", "rtm", "simulator"):
+        for key in ("policy_overrides", "scenario_params", "rtm", "simulator", "faults"):
             value = getattr(self, key)
             if isinstance(value, dict):
                 object.__setattr__(self, key, _normalise(value))
@@ -155,10 +162,17 @@ class ExperimentSpec:
     # -------------------------------------------------------- serialisation
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form: every field, JSON/TOML-ready."""
+        """Plain-dict form: every field, JSON/TOML-ready.
+
+        An empty ``faults`` table is omitted entirely (``from_dict`` restores
+        the default), keeping the spec ids of every fault-free spec identical
+        to those minted before the ``faults`` field existed.
+        """
         result: Dict[str, object] = {}
         for spec_field in dataclasses.fields(self):
             value = getattr(self, spec_field.name)
+            if spec_field.name == "faults" and not value:
+                continue
             if isinstance(value, dict):
                 value = dict(value)
             result[spec_field.name] = value
@@ -199,7 +213,7 @@ class ExperimentSpec:
             raise SpecError("spec field 'policy' must be a string")
         if not isinstance(self.use_op_cache, bool):
             raise SpecError("spec field 'use_op_cache' must be a boolean")
-        for key in ("policy_overrides", "scenario_params", "rtm", "simulator"):
+        for key in ("policy_overrides", "scenario_params", "rtm", "simulator", "faults"):
             if not isinstance(getattr(self, key), dict):
                 raise SpecError(f"spec field {key!r} must be a table/dict")
         for app_id, policy in self.policy_overrides.items():
@@ -252,6 +266,13 @@ class ExperimentSpec:
                 f"manager {self.manager!r} is not configurable: it accepts no "
                 "policy/policy_overrides/rtm overrides"
             )
+        if self.faults:
+            from repro.sim.faults import FaultPlan, FaultPlanError
+
+            try:
+                FaultPlan.from_dict(self.faults)
+            except (FaultPlanError, ValueError) as error:
+                raise SpecError(f"invalid faults table: {error}") from None
         for config_cls, overrides, key in (
             (RTMConfig, self.rtm, "rtm"),
             (SimulatorConfig, self.simulator, "simulator"),
@@ -440,6 +461,13 @@ def _toml_value(value: object) -> str:
         return f'"{escaped}"'
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    if isinstance(value, dict):
+        # Inline table, used for structured sub-values such as the fault
+        # events of a [faults] table.  tomllib parses these natively.
+        pairs = ", ".join(
+            f"{_toml_key(key)} = {_toml_value(item)}" for key, item in value.items()
+        )
+        return "{" + pairs + "}"
     raise SpecError(f"cannot serialise {type(value).__name__} value {value!r} to TOML")
 
 

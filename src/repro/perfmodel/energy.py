@@ -111,12 +111,16 @@ class EnergyModel:
             else cluster.opp_table.point_at(frequency_mhz).voltage_v
         )
         frequency = cluster.frequency_mhz if frequency_mhz is None else frequency_mhz
+        # Pricing is hypothetical: evaluating "what if this inference ran on
+        # cores_used cores" presumes at least that many cores online, even
+        # when faults have forced some offline right now.  Fault-free the
+        # max() is the plain online count (allocations never exceed it).
         return cluster.power_model.cluster_power_mw(
             voltage_v=voltage,
             frequency_mhz=frequency,
             core_utilisations=[self.busy_utilisation] * cores_used,
             temperature_c=temperature_c,
-            online_cores=len(cluster.online_cores),
+            online_cores=max(len(cluster.online_cores), cores_used),
         )
 
     def cost(
@@ -184,6 +188,8 @@ class EnergyModel:
         latency = self.latency_model.latency_grid_ms(
             network, cluster, frequencies, core_counts, soc_name=soc_name
         )
+        # Rows with count > online are priced hypothetically (grid clips idle
+        # cores at zero), matching inference_power_mw's max(online, cores_used).
         power = cluster.power_model.cluster_power_grid_mw(
             voltages,
             frequencies,

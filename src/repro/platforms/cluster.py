@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.errors import PlatformError
 from repro.platforms.core import Core, CoreType
 from repro.platforms.dvfs import FrequencyDomain, OPPTable
 from repro.platforms.power import ClusterPowerModel, PowerModelParams
@@ -177,12 +178,12 @@ class Cluster:
 
         Raises
         ------
-        RuntimeError
+        PlatformError
             If fewer than ``count`` cores are free.
         """
         free = self.free_cores
         if len(free) < count:
-            raise RuntimeError(
+            raise PlatformError(
                 f"cluster {self.name!r} has {len(free)} free cores, {count} requested"
             )
         granted = free[:count]

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from repro.errors import PlatformError
+
 __all__ = ["CoreType", "Core"]
 
 
@@ -74,13 +76,14 @@ class Core:
 
         Raises
         ------
-        RuntimeError
+        PlatformError
             If the core is offline or already reserved by a different owner.
+            (``PlatformError`` subclasses ``RuntimeError`` for compatibility.)
         """
         if not self.online:
-            raise RuntimeError(f"core {self.core_id} is offline and cannot be reserved")
+            raise PlatformError(f"core {self.core_id} is offline and cannot be reserved")
         if self.reserved_by is not None and self.reserved_by != owner:
-            raise RuntimeError(
+            raise PlatformError(
                 f"core {self.core_id} is already reserved by {self.reserved_by!r}"
             )
         self.reserved_by = owner
@@ -93,10 +96,10 @@ class Core:
         owner:
             If given, the release is only honoured when the core is currently
             reserved by this owner; releasing someone else's reservation
-            raises ``RuntimeError``.
+            raises ``PlatformError``.
         """
         if owner is not None and self.reserved_by not in (None, owner):
-            raise RuntimeError(
+            raise PlatformError(
                 f"core {self.core_id} is reserved by {self.reserved_by!r}, not {owner!r}"
             )
         self.reserved_by = None

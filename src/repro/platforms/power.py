@@ -179,10 +179,14 @@ class ClusterPowerModel:
         order per core count instead of multiplying once — float addition is
         not associative and the operating-point kernel must be bit-identical
         to the per-point path it replaces.
+
+        Rows whose busy count exceeds ``online_cores`` are priced
+        hypothetically — as if the missing cores were brought back online for
+        the inference — drawing no idle-core power, matching a scalar call
+        with ``online_cores=max(online_cores, count)``.  This keeps grid
+        pricing usable while core-failure faults hold cores offline.
         """
         params = self.params
-        if any(count > online_cores for count in busy_core_counts):
-            raise ValueError("more utilisation samples than online cores")
         # Scalar static_power_mw uses math.exp; the temperature term is a
         # scalar, so it is computed with math.exp here too (np.exp may differ
         # in the last ulp).

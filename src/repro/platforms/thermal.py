@@ -73,20 +73,70 @@ class ThermalModel:
 
     def __init__(self, params: ThermalParams | None = None, initial_temperature_c: float | None = None) -> None:
         self.params = params or ThermalParams()
-        self.temperature_c = (
+        self._temperature_c = (
             initial_temperature_c if initial_temperature_c is not None else self.params.ambient_c
         )
+        self._sensor_bias_c = 0.0
+        self._sensor_frozen_c: float | None = None
         self.throttling = False
-        self.peak_temperature_c = self.temperature_c
+        self.peak_temperature_c = self._temperature_c
         self.history: List[Tuple[float, float]] = []
 
+    # ---------------------------------------------------------------- sensor
+
+    @property
+    def temperature_c(self) -> float:
+        """The *sensed* temperature — what the governor and RTM observe.
+
+        Equal to the true junction temperature unless a sensor fault is
+        active (frozen reading or constant bias).  The fault-free path
+        returns the raw attribute unchanged, keeping fingerprints
+        bit-identical to pre-fault-injection builds.
+        """
+        if self._sensor_frozen_c is not None:
+            return self._sensor_frozen_c
+        if self._sensor_bias_c:
+            return self._temperature_c + self._sensor_bias_c
+        return self._temperature_c
+
+    @temperature_c.setter
+    def temperature_c(self, value: float) -> None:
+        self._temperature_c = value
+
+    @property
+    def true_temperature_c(self) -> float:
+        """The physical junction temperature the RC model integrates."""
+        return self._temperature_c
+
+    @property
+    def sensor_faulted(self) -> bool:
+        """True while a sensor bias or dropout is active."""
+        return self._sensor_frozen_c is not None or bool(self._sensor_bias_c)
+
+    def set_sensor_bias(self, bias_c: float) -> None:
+        """Offset every sensed reading by ``bias_c`` degrees (0 clears it)."""
+        self._sensor_bias_c = bias_c
+
+    def freeze_sensor(self) -> float:
+        """Freeze the sensor at its current sensed reading; returns it."""
+        self._sensor_frozen_c = self.temperature_c
+        return self._sensor_frozen_c
+
+    def restore_sensor(self) -> None:
+        """Unfreeze the sensor (any bias stays until cleared separately)."""
+        self._sensor_frozen_c = None
+
+    # ----------------------------------------------------------------- state
+
     def reset(self, temperature_c: float | None = None) -> None:
-        """Reset state to ambient (or a given temperature) and clear history."""
-        self.temperature_c = (
+        """Reset state to ambient (or a given temperature), clear history and sensor faults."""
+        self._temperature_c = (
             temperature_c if temperature_c is not None else self.params.ambient_c
         )
+        self._sensor_bias_c = 0.0
+        self._sensor_frozen_c = None
         self.throttling = False
-        self.peak_temperature_c = self.temperature_c
+        self.peak_temperature_c = self._temperature_c
         self.history.clear()
 
     def step(self, power_mw: float, duration_ms: float, time_ms: float | None = None) -> float:
@@ -117,19 +167,22 @@ class ThermalModel:
         # intervals: limit each step to a tenth of the RC time constant.
         tau_s = params.thermal_resistance_c_per_w * params.thermal_capacitance_j_per_c
         max_step_s = max(tau_s / 10.0, 1e-6)
-        temperature = self.temperature_c
+        # Integrate the TRUE junction temperature; sensor faults only distort
+        # what temperature_c reports, never the physics.
+        temperature = self._temperature_c
         while remaining_s > 1e-12:
             step_s = min(remaining_s, max_step_s)
             flow_out_w = (temperature - params.ambient_c) / params.thermal_resistance_c_per_w
             d_temp = (power_w - flow_out_w) / params.thermal_capacitance_j_per_c * step_s
             temperature += d_temp
             remaining_s -= step_s
-        self.temperature_c = temperature
+        self._temperature_c = temperature
         self.peak_temperature_c = max(self.peak_temperature_c, temperature)
         self._update_throttle()
+        sensed = self.temperature_c
         if time_ms is not None:
-            self.history.append((time_ms, temperature))
-        return temperature
+            self.history.append((time_ms, sensed))
+        return sensed
 
     def _update_throttle(self) -> None:
         if self.temperature_c >= self.params.throttle_threshold_c:

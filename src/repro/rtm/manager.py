@@ -33,6 +33,7 @@ from repro.rtm.cache import (
     OperatingPointCache,
     temperature_bucket_c,
 )
+from repro.rtm.monitors import Monitor, MonitorRegistry
 from repro.rtm.multi_app import AllocationResult, MultiAppAllocator
 from repro.rtm.operating_points import OperatingPoint, OperatingPointSpace
 from repro.rtm.policies import MaxAccuracyUnderBudget, SelectionPolicy
@@ -145,6 +146,13 @@ class RuntimeManager:
             temperature_bucket_width_c=self.config.temperature_bucket_width_c,
         )
         self.decisions: List[RTMDecision] = []
+        # Device monitors (Fig 5): per-cluster online-core gauges, registered
+        # lazily on the first decision epoch (clusters are only known from
+        # the system state).  Fault-injected core failures surface here — the
+        # RTM *observes* degraded capacity through its monitors and remaps,
+        # rather than trusting the core counts it last requested.
+        self.monitors = MonitorRegistry()
+        self._cluster_refs: Dict[str, object] = {}
         # Structural snapshots used to invalidate the cache between epochs.
         self._last_online: Optional[tuple] = None
         self._last_bucket: Optional[float] = None
@@ -161,16 +169,45 @@ class RuntimeManager:
         """Hit/miss statistics of the operating-point cache, if one is attached."""
         return self.cache.stats if self.cache is not None else None
 
+    def _ensure_core_monitors(self, state: SystemState) -> None:
+        """Register (once) an online-core device monitor per cluster.
+
+        The cluster reference is refreshed every call so a manager re-used
+        against a rebuilt platform reads the live objects, not stale ones.
+        """
+        for cluster in state.soc.clusters:
+            self._cluster_refs[cluster.name] = cluster
+            if not any(m.owner == cluster.name for m in self.monitors.for_owner(cluster.name)):
+                self.monitors.register(
+                    Monitor(
+                        name="online_cores",
+                        owner=cluster.name,
+                        reader=lambda name=cluster.name: float(
+                            len(self._cluster_refs[name].online_cores)
+                        ),
+                        unit="cores",
+                        description="cores currently online (drops under core-failure faults)",
+                    )
+                )
+
     def _invalidate_on_structural_change(self, state: SystemState) -> None:
         """Flush the cache when the platform or application set changed shape.
+
+        Core-loss detection goes through the device monitors: the snapshot
+        below reads each cluster's ``online_cores`` monitor, so a fault that
+        forces cores offline is observed exactly like an administrative
+        hotplug — the cache is flushed (``cores_offline``) and the next
+        allocation remaps onto the surviving cores.
 
         Keys are complete, so these flushes bound staleness and memory rather
         than guard correctness (see :mod:`repro.rtm.cache`).
         """
+        self._ensure_core_monitors(state)
         if self.cache is None:
             return
         online = tuple(
-            (cluster.name, len(cluster.online_cores)) for cluster in state.soc.clusters
+            (cluster.name, int(self.monitors.get(cluster.name, "online_cores").read()))
+            for cluster in state.soc.clusters
         )
         bucket = temperature_bucket_c(
             state.soc.thermal.temperature_c, self.config.temperature_bucket_width_c

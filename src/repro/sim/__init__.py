@@ -7,7 +7,28 @@ decision-level traces.
 
 from repro.sim.engine import ManagerProtocol, Simulator, SimulatorConfig, simulate_scenario
 from repro.sim.events import EventQueue
-from repro.sim.trace import DecisionRecord, JobRecord, PowerSample, SimulationTrace
+from repro.sim.faults import (
+    FAULT_EVENT_KINDS,
+    CoreFailure,
+    CoreRecovery,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FrequencyCap,
+    FrequencyCapRelease,
+    JobCrashProfile,
+    SensorBias,
+    SensorDropout,
+    SensorRestore,
+)
+from repro.sim.trace import (
+    DecisionRecord,
+    FaultRecord,
+    JobRecord,
+    PowerSample,
+    SimulationTrace,
+)
 
 __all__ = [
     "ManagerProtocol",
@@ -16,7 +37,21 @@ __all__ = [
     "simulate_scenario",
     "EventQueue",
     "DecisionRecord",
+    "FaultRecord",
     "JobRecord",
     "PowerSample",
     "SimulationTrace",
+    "FAULT_EVENT_KINDS",
+    "CoreFailure",
+    "CoreRecovery",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FrequencyCap",
+    "FrequencyCapRelease",
+    "JobCrashProfile",
+    "SensorBias",
+    "SensorDropout",
+    "SensorRestore",
 ]

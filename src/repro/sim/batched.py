@@ -52,6 +52,7 @@ from repro.rtm.manager import RuntimeManager
 from repro.rtm.state import Action, SetCoresOnline
 from repro.sim.engine import ManagerProtocol, Simulator, SimulatorConfig
 from repro.sim.events import EVENT_PRIORITY_DEFAULT
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import SimulationTrace
 from repro.workloads.scenarios import Scenario
 from repro.workloads.tasks import DNNApplication, GenericApplication
@@ -229,6 +230,7 @@ class _BatchedSimulator(Simulator):
         stores: SharedSimulationStores,
         energy_model: Optional[EnergyModel] = None,
         config: Optional[SimulatorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._stores = stores
         # Memoise pricing only for the shared default model: its latency
@@ -240,6 +242,7 @@ class _BatchedSimulator(Simulator):
             manager,
             energy_model=energy_model or stores.energy_model,
             config=config,
+            fault_plan=fault_plan,
         )
         memo_key_fn = getattr(manager, "decision_memo_key", None)
         self._decision_memo_key = memo_key_fn() if callable(memo_key_fn) else None
@@ -374,16 +377,19 @@ class _BatchedSimulator(Simulator):
         memo = self._cluster_power_memo
         total = 0.0
         for name, cluster in self.soc._clusters.items():
+            # Like the serial path, the true online count can be 0 when every
+            # core of the cluster has failed: stranded busy time then yields
+            # no utilisation samples (the power model rejects more samples
+            # than online cores).  Identical to the serial expressions.
             count = self._online_core_count(cluster)
-            online = count if count > 1 else 1
             avg_busy_cores = busy_core_ms.get(name, 0.0) / interval_ms
-            online_f = float(online)
-            if avg_busy_cores > online_f:
-                avg_busy_cores = online_f
-            cluster_utilisation[name] = avg_busy_cores / online
+            count_f = float(count)
+            if avg_busy_cores > count_f:
+                avg_busy_cores = count_f
+            cluster_utilisation[name] = avg_busy_cores / (count if count > 0 else 1)
             full_cores = int(avg_busy_cores)
             fraction = avg_busy_cores - full_cores
-            has_fraction = fraction > 1e-3 and full_cores < online
+            has_fraction = fraction > 1e-3 and full_cores < count
             listed = full_cores + 1 if has_fraction else full_cores
             if type(cluster.power_model) is not ClusterPowerModel or listed > count:
                 # Custom power model, or more listed cores than online ones —
@@ -553,11 +559,13 @@ def scenario_content_key(scenario: Scenario) -> Optional[tuple]:
         )
         for event in scenario.events()
     )
+    fault_plan = getattr(scenario, "fault_plan", None)
     return (
         scenario.platform_name,
         scenario.duration_ms,
         tuple(applications),
         events,
+        fault_plan.content_key() if fault_plan is not None else None,
     )
 
 
@@ -575,6 +583,7 @@ class BatchedCase:
     manager: ManagerProtocol
     config: Optional[SimulatorConfig] = None
     energy_model: Optional[EnergyModel] = None
+    fault_plan: Optional[FaultPlan] = None
     dedup_key: Optional[tuple] = field(default=None, compare=False)
 
 
@@ -649,6 +658,7 @@ class BatchedEngine:
                     stores=self.stores,
                     energy_model=primary.energy_model,
                     config=primary.config,
+                    fault_plan=primary.fault_plan,
                 )
                 simulator.prime()
             except Exception as exc:  # noqa: BLE001 - isolate per replica

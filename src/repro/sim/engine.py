@@ -33,7 +33,25 @@ from repro.rtm.state import (
     UnmapApplication,
 )
 from repro.sim.events import EVENT_PRIORITY_STRUCTURAL, EventQueue
-from repro.sim.trace import DecisionRecord, JobRecord, PowerSample, SimulationTrace
+from repro.sim.faults import (
+    CoreFailure,
+    CoreRecovery,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FrequencyCap,
+    FrequencyCapRelease,
+    SensorBias,
+    SensorDropout,
+    SensorRestore,
+)
+from repro.sim.trace import (
+    DecisionRecord,
+    FaultRecord,
+    JobRecord,
+    PowerSample,
+    SimulationTrace,
+)
 from repro.workloads.requirements import MetricSample
 from repro.workloads.scenarios import Scenario, ScenarioEvent, ScenarioEventKind
 from repro.workloads.tasks import Application, DNNApplication, GenericApplication
@@ -124,6 +142,9 @@ class Simulator:
         Table-I-calibrated model.
     config:
         Simulation tunables.
+    fault_plan:
+        Faults to inject during the run; defaults to the scenario's attached
+        plan (``scenario.fault_plan``), if any.
     """
 
     def __init__(
@@ -132,12 +153,21 @@ class Simulator:
         manager: ManagerProtocol,
         energy_model: Optional[EnergyModel] = None,
         config: Optional[SimulatorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.scenario = scenario
         self.manager = manager
         self.energy_model = energy_model or EnergyModel(CalibratedLatencyModel())
         self.config = config or SimulatorConfig()
         self.soc: Soc = scenario.build_platform()
+        plan = fault_plan if fault_plan is not None else getattr(scenario, "fault_plan", None)
+        if plan is not None and plan.is_empty:
+            plan = None
+        self.fault_plan: Optional[FaultPlan] = plan
+        self._fault_injector: Optional[FaultInjector] = (
+            FaultInjector(plan, self.soc) if plan is not None else None
+        )
+        self._crash_profile = plan.job_crashes if plan is not None else None
         self.queue = self._make_queue()
         self.trace = SimulationTrace(duration_ms=scenario.duration_ms)
         self._primed = False
@@ -170,6 +200,16 @@ class Simulator:
                 lambda e=event: self._handle_scenario_event(e),
                 priority=EVENT_PRIORITY_STRUCTURAL,
             )
+        # Fault events are scheduled after the scenario's, so equal-time
+        # scenario/fault pairs replay in a fixed order (scenario first) in
+        # both the serial and the batched engine.
+        if self.fault_plan is not None:
+            for fault in sorted(self.fault_plan.events, key=lambda f: (f.time_ms, f.kind)):
+                self.queue.schedule(
+                    fault.time_ms,
+                    lambda f=fault: self._handle_fault_event(f),
+                    priority=EVENT_PRIORITY_STRUCTURAL,
+                )
         self._schedule_thermal_sample(self.config.thermal_sample_interval_ms)
         self._schedule_decision_epoch(self.config.decision_interval_ms)
 
@@ -318,6 +358,64 @@ class Simulator:
             return
         state.application.requirements = event.new_requirements
 
+    # --------------------------------------------------------- fault events
+
+    def _handle_fault_event(self, fault: FaultEvent) -> None:
+        """Apply one timeline fault, record it, and wake the manager.
+
+        Core and frequency faults are routed through :meth:`_apply_actions`
+        so the batched engine's online-count and pricing memos invalidate
+        exactly as they do for RTM-issued actions.
+        """
+        injector = self._fault_injector
+        assert injector is not None
+        now = self.queue.now_ms
+        trace = self.trace
+        if isinstance(fault, CoreFailure):
+            cluster = self.soc.cluster(fault.cluster)
+            online_before = len(cluster.online_cores)
+            delta = injector.fail_cores(cluster, fault.cores)
+            self._apply_actions(
+                [SetCoresOnline(cluster_name=cluster.name, online_cores=online_before)]
+            )
+            trace.record_fault(FaultRecord(now, fault.kind, cluster.name, float(delta)))
+        elif isinstance(fault, CoreRecovery):
+            cluster = self.soc.cluster(fault.cluster)
+            online_before = len(cluster.online_cores)
+            recovered = injector.recover_cores(cluster, fault.cores)
+            self._apply_actions(
+                [
+                    SetCoresOnline(
+                        cluster_name=cluster.name,
+                        online_cores=online_before + recovered,
+                    )
+                ]
+            )
+            trace.record_fault(FaultRecord(now, fault.kind, cluster.name, float(recovered)))
+        elif isinstance(fault, FrequencyCap):
+            cluster = self.soc.cluster(fault.cluster)
+            resolved = injector.set_cap(cluster, fault.max_frequency_mhz)
+            if cluster.frequency_mhz > resolved:
+                self._apply_actions(
+                    [SetFrequency(cluster_name=cluster.name, frequency_mhz=resolved)]
+                )
+            trace.record_fault(FaultRecord(now, fault.kind, cluster.name, resolved))
+        elif isinstance(fault, FrequencyCapRelease):
+            injector.release_cap(fault.cluster)
+            trace.record_fault(FaultRecord(now, fault.kind, fault.cluster))
+        elif isinstance(fault, SensorBias):
+            self.soc.thermal.set_sensor_bias(fault.bias_c)
+            trace.record_fault(FaultRecord(now, fault.kind, "", fault.bias_c))
+        elif isinstance(fault, SensorDropout):
+            frozen = self.soc.thermal.freeze_sensor()
+            trace.record_fault(FaultRecord(now, fault.kind, "", frozen))
+        elif isinstance(fault, SensorRestore):
+            self.soc.thermal.restore_sensor()
+            trace.record_fault(FaultRecord(now, fault.kind))
+        # The manager reacts immediately: detect the loss, invalidate caches,
+        # remap displaced apps, fall back to degraded operating points.
+        self._run_decision(trigger="fault")
+
     # ------------------------------------------------------------ decisions
 
     def _schedule_decision_epoch(self, time_ms: float) -> None:
@@ -363,6 +461,7 @@ class Simulator:
         )
 
     def _apply_actions(self, actions: List[Action]) -> None:
+        injector = self._fault_injector
         # Release first so that applications swapping clusters do not collide.
         for action in actions:
             if isinstance(action, (MapApplication, UnmapApplication)) and action.app_id:
@@ -370,12 +469,21 @@ class Simulator:
         for action in actions:
             if isinstance(action, SetFrequency):
                 if self.soc.has_cluster(action.cluster_name):
-                    self.soc.cluster(action.cluster_name).set_frequency(action.frequency_mhz)
+                    cluster = self.soc.cluster(action.cluster_name)
+                    frequency_mhz = action.frequency_mhz
+                    if injector is not None:
+                        # An active DVFS cap silently clamps every request.
+                        frequency_mhz = injector.clamp_frequency(cluster, frequency_mhz)
+                    cluster.set_frequency(frequency_mhz)
             elif isinstance(action, SetCoresOnline):
                 if self.soc.has_cluster(action.cluster_name):
                     cluster = self.soc.cluster(action.cluster_name)
+                    online_cores = action.online_cores
+                    if injector is not None:
+                        # Failed cores stay dead no matter what the RTM asks.
+                        online_cores = injector.effective_online(cluster, online_cores)
                     for index, core in enumerate(cluster.cores):
-                        core.set_online(index < action.online_cores)
+                        core.set_online(index < online_cores)
             elif isinstance(action, SetConfiguration):
                 self._apply_configuration(action)
             elif isinstance(action, MapApplication):
@@ -447,6 +555,17 @@ class Simulator:
             if period is None:
                 queue.schedule(now + self.config.retry_interval_ms, release_cb)
             return
+        # Graceful degradation under core-failure faults: a job whose mapped
+        # cluster no longer has the online cores its mapping needs is dropped
+        # (reason "cores_offline") instead of crashing the run.  Remapping
+        # managers recover at the fault-triggered decision; static ones keep
+        # dropping until the cores return — degraded, but alive.
+        mapped_cluster = self.soc.cluster(state.mapping.cluster_name)
+        if self._online_core_count(mapped_cluster) < state.mapping.cores:
+            self._record_dropped(state, runtime, now, reason="cores_offline")
+            if period is None:
+                queue.schedule(now + self.config.retry_interval_ms, release_cb)
+            return
         if runtime.busy:
             if runtime.backlog >= self.config.max_backlog:
                 self._record_dropped(state, runtime, now, reason="backlog")
@@ -488,14 +607,68 @@ class Simulator:
         runtime.current_cluster = mapping.cluster_name
         runtime.current_cores = mapping.cores
         job_index = runtime.job_index
-        finish_ms = self.queue.now_ms + latency_ms
+        start_ms = self.queue.now_ms
+        energy_mj = cost.energy_mj
+
+        # Seeded transient crashes: each attempt crashes with a fixed hashed
+        # probability; retries rerun the whole job after a bounded exponential
+        # backoff.  The core stays reserved (busy) across retries.
+        profile = self._crash_profile
+        if profile is not None and profile.applies_to(state.app_id, start_ms):
+            crashes = profile.crashes_before_success(state.app_id, job_index)
+            attempts = (
+                profile.max_retries + 1 if crashes is None else crashes + 1
+            )
+            if attempts > 1 or crashes is None:
+                elapsed_ms = 0.0
+                for attempt in range(attempts - 1 if crashes is None else crashes):
+                    elapsed_ms += latency_ms
+                    self.trace.record_fault(
+                        FaultRecord(
+                            start_ms + elapsed_ms,
+                            "job_crash",
+                            state.app_id,
+                            float(attempt),
+                            detail=f"job {job_index}",
+                        )
+                    )
+                    elapsed_ms += profile.backoff_ms(attempt)
+                if crashes is None:
+                    # Every allowed attempt crashes: the job is lost.
+                    total_ms = elapsed_ms + latency_ms
+                    snapshot = (
+                        mapping.configuration,
+                        mapping.cluster_name,
+                        mapping.cores,
+                        cluster.frequency_mhz,
+                        energy_mj * attempts,
+                        total_ms,
+                    )
+                    self.trace.record_fault(
+                        FaultRecord(
+                            start_ms + total_ms,
+                            "job_lost",
+                            state.app_id,
+                            float(attempts),
+                            detail=f"job {job_index}",
+                        )
+                    )
+                    self.queue.schedule(
+                        start_ms + total_ms,
+                        lambda: self._crash_job(state.app_id, job_index, snapshot),
+                    )
+                    return
+                latency_ms = elapsed_ms + latency_ms
+                energy_mj = energy_mj * attempts
+
+        finish_ms = start_ms + latency_ms
         # (configuration, cluster, cores, frequency_mhz, energy_mj, latency_ms)
         snapshot = (
             mapping.configuration,
             mapping.cluster_name,
             mapping.cores,
             cluster.frequency_mhz,
-            cost.energy_mj,
+            energy_mj,
             latency_ms,
         )
         self.queue.schedule(
@@ -549,6 +722,43 @@ class Simulator:
             # Best-effort applications run back to back.
             self.queue.schedule(now, lambda: self._release_job(app_id))
 
+    def _crash_job(self, app_id: str, job_index: int, snapshot: tuple) -> None:
+        """A job whose every retry attempt crashed: account it as dropped.
+
+        Mirrors :meth:`_complete_job` (busy-time accrual, backlog chaining)
+        but records a dropped job with reason ``"crashed"`` — the energy and
+        elapsed time of the wasted attempts are kept on the record.
+        """
+        state = self._apps.get(app_id)
+        runtime = self._dnn_runtime.get(app_id)
+        if state is None or runtime is None:
+            return
+        application = state.application
+        assert isinstance(application, DNNApplication)
+        runtime.busy = False
+        now = self.queue.now_ms
+        configuration, cluster_name, cores, frequency_mhz, energy_mj, latency_ms = snapshot
+        busy_since_ms = max(runtime.current_start_ms, self._last_sample_ms)
+        if now > busy_since_ms:
+            self._busy_core_ms[cluster_name] = self._busy_core_ms.get(
+                cluster_name, 0.0
+            ) + (now - busy_since_ms) * cores * self.config.busy_utilisation
+        state.violation_count += 1
+        self.trace.record_job(
+            JobRecord(
+                app_id, job_index, runtime.current_release_ms,
+                runtime.current_start_ms, now, latency_ms, energy_mj,
+                configuration, 0.0, cluster_name, cores, frequency_mhz,
+                ("crashed",), True,
+            )
+        )
+        period = application.period_ms()
+        if runtime.backlog > 0 and state.mapping is not None:
+            runtime.backlog -= 1
+            self._start_job(state, runtime, release_ms=now)
+        elif period is None and state.mapping is not None:
+            self.queue.schedule(now, lambda: self._release_job(app_id))
+
     # --------------------------------------------------------------- thermal
 
     def _accrue_interval_busy_time(self, now_ms: float) -> None:
@@ -588,11 +798,16 @@ class Simulator:
         per_cluster_cores: Dict[str, List[float]] = {}
         cluster_utilisation: Dict[str, float] = {}
         for cluster in self.soc.clusters:
-            online = max(self._online_core_count(cluster), 1)
+            # The true online count, which can be 0 when every core of the
+            # cluster has failed: work stranded on a dead cluster contributes
+            # no utilisation samples (the power model rejects more samples
+            # than online cores).  Fault-free this is identical to the old
+            # max(count, 1) form — busy work implies reserved (online) cores.
+            online = self._online_core_count(cluster)
             avg_busy_cores = min(
                 self._busy_core_ms.get(cluster.name, 0.0) / interval_ms, float(online)
             )
-            cluster_utilisation[cluster.name] = avg_busy_cores / online
+            cluster_utilisation[cluster.name] = avg_busy_cores / max(online, 1)
             full_cores = int(avg_busy_cores)
             fraction = avg_busy_cores - full_cores
             utilisations = [1.0] * full_cores
@@ -640,6 +855,9 @@ def simulate_scenario(
     manager: ManagerProtocol,
     energy_model: Optional[EnergyModel] = None,
     config: Optional[SimulatorConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationTrace:
     """Convenience wrapper: build a simulator, run it, return the trace."""
-    return Simulator(scenario, manager, energy_model=energy_model, config=config).run()
+    return Simulator(
+        scenario, manager, energy_model=energy_model, config=config, fault_plan=fault_plan
+    ).run()

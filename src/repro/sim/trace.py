@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["JobRecord", "PowerSample", "DecisionRecord", "SimulationTrace"]
+__all__ = ["JobRecord", "PowerSample", "DecisionRecord", "FaultRecord", "SimulationTrace"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,6 +99,35 @@ class DecisionRecord:
     cache_misses: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class FaultRecord:
+    """One injected fault, recovery, or job crash/retry/loss.
+
+    Attributes
+    ----------
+    time_ms:
+        When the fault took (or will take) effect.
+    kind:
+        Fault kind: a timeline-event kind (``core_failure``, ``freq_cap``,
+        ``sensor_bias``, ...) or a crash-model kind (``job_crash``,
+        ``job_retry``, ``job_lost``).
+    target:
+        The cluster or application the fault acted on (may be empty for
+        SoC-wide faults such as sensor bias).
+    value:
+        Kind-specific magnitude: cores failed/recovered, cap frequency,
+        bias degrees, crash attempt number.
+    detail:
+        Free-form note for humans (not load-bearing for determinism).
+    """
+
+    time_ms: float
+    kind: str
+    target: str = ""
+    value: float = 0.0
+    detail: str = ""
+
+
 @dataclass
 class SimulationTrace:
     """Everything recorded during one simulation run."""
@@ -107,6 +136,7 @@ class SimulationTrace:
     power_samples: List[PowerSample] = field(default_factory=list)
     decisions: List[DecisionRecord] = field(default_factory=list)
     duration_ms: float = 0.0
+    faults: List[FaultRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------ recording
 
@@ -121,6 +151,10 @@ class SimulationTrace:
     def record_decision(self, decision: DecisionRecord) -> None:
         """Append a decision record."""
         self.decisions.append(decision)
+
+    def record_fault(self, fault: FaultRecord) -> None:
+        """Append a fault record."""
+        self.faults.append(fault)
 
     # -------------------------------------------------------------- queries
 
@@ -200,6 +234,15 @@ class SimulationTrace:
             return 0.0
         return sum(1 for s in self.power_samples if s.throttling) / len(self.power_samples)
 
+    def faults_of_kind(self, kind: str) -> List[FaultRecord]:
+        """All fault records of one kind."""
+        return [fault for fault in self.faults if fault.kind == kind]
+
+    def crashed_jobs(self, app_id: Optional[str] = None) -> List[JobRecord]:
+        """Jobs dropped because every retry attempt crashed."""
+        jobs = self.jobs if app_id is None else self.jobs_for(app_id)
+        return [job for job in jobs if job.dropped and "crashed" in job.violations]
+
     def cache_counters(self) -> Dict[str, int]:
         """Cumulative operating-point cache counters at the end of the run.
 
@@ -261,6 +304,11 @@ class SimulationTrace:
             )
         for decision in self.decisions:
             add("decision", decision.time_ms, decision.num_actions, decision.trigger)
+        # Fault records extend the digest only when faults were injected, so
+        # every fault-free fingerprint minted before fault injection existed
+        # is unchanged.
+        for fault in self.faults:
+            add("fault", fault.time_ms, fault.kind, fault.target, fault.value)
         return digest.hexdigest()[:16]
 
     # -------------------------------------------------------------- summary
@@ -289,6 +337,7 @@ class SimulationTrace:
             "peak_temperature_c": round(self.peak_temperature_c(), 1),
             "throttling_fraction": round(self.throttling_fraction(), 4),
             "decisions": len(self.decisions),
+            "faults": len(self.faults),
             "cache": self.cache_counters(),
             "per_app": per_app,
         }

@@ -13,6 +13,7 @@ from repro.store.results import (
     MIGRATIONS,
     STORE_SCHEMA_VERSION,
     ResultsStore,
+    StoredError,
     StoredResult,
     StoreError,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "MIGRATIONS",
     "STORE_SCHEMA_VERSION",
     "ResultsStore",
+    "StoredError",
     "StoredResult",
     "StoreError",
 ]

@@ -35,6 +35,13 @@ Schema (``user_version`` pragma = :data:`STORE_SCHEMA_VERSION`)
     first stored result for a spec_id is the durable record, which is what
     makes the store a standing regression oracle (``store diff`` re-runs a
     stored spec and surfaces fingerprint drift).
+``errors``
+    ``spec_id`` (PK) · ``label`` · ``message`` (the failure text the backend
+    recorded — first line ``"TypeName: message"``, truncated traceback
+    after) · ``created_at``.  Backends stream per-spec failures here as they
+    happen (schema v2).  Error rows are *not* results: ``ids()`` ignores
+    them, so ``resume=True`` recomputes errored specs, and a later success
+    deletes the row — the table always lists the still-unresolved failures.
 ``bench_runs``
     Append-only benchmark documents (the payloads of ``BENCH_*.json``),
     one row per ``repro-experiments bench`` invocation, keyed by ``kind``
@@ -72,16 +79,33 @@ __all__ = [
     "MIGRATIONS",
     "StoreError",
     "StoredResult",
+    "StoredError",
     "ResultsStore",
 ]
 
 #: ``PRAGMA user_version`` written by this module.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
+
+#: Table added by schema v2: per-spec failures streamed by the backends.
+_ERRORS_TABLE = """
+CREATE TABLE IF NOT EXISTS errors (
+    spec_id    TEXT PRIMARY KEY,
+    label      TEXT NOT NULL,
+    message    TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+
+def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
+    """v1 -> v2: add the ``errors`` table (results rows untouched)."""
+    connection.executescript(_ERRORS_TABLE)
+
 
 #: Migration hook: ``from_version -> callable(write_connection)`` upgrading a
 #: store one schema version.  Applied in sequence on open; a gap in the chain
 #: (or a file newer than :data:`STORE_SCHEMA_VERSION`) raises ``StoreError``.
-MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {}
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {1: _migrate_v1_to_v2}
 
 #: Columns of the ``store export --format csv`` / ``jsonl`` row form.
 EXPORT_FIELDS = (
@@ -119,7 +143,7 @@ CREATE TABLE IF NOT EXISTS bench_cases (
     created_at   REAL NOT NULL,
     PRIMARY KEY (spec_id, kind)
 );
-"""
+""" + _ERRORS_TABLE
 
 
 class StoreError(RuntimeError):
@@ -163,6 +187,21 @@ class StoredResult:
         row["wall_time_s"] = self.wall_time_s
         row["created_at"] = self.created_at
         return row
+
+
+@dataclass(frozen=True)
+class StoredError:
+    """One per-spec failure a backend streamed to the store (schema v2)."""
+
+    spec_id: str
+    label: str
+    message: str
+    created_at: float
+
+    @property
+    def summary(self) -> str:
+        """The first line of the message (``"TypeName: message"``)."""
+        return self.message.splitlines()[0] if self.message else ""
 
 
 _STOP = object()
@@ -328,10 +367,31 @@ class ResultsStore:
                         wall_time_s,
                         time.time(),
                     ),
-                )
+                ),
+                # A success resolves any earlier recorded failure: the errors
+                # table always lists the still-unresolved specs.
+                ("DELETE FROM errors WHERE spec_id = ?", (spec_id,)),
             ]
         )
         return spec_id
+
+    def put_error(self, spec_id: str, label: str, message: str) -> None:
+        """Record one per-spec failure (latest failure wins).
+
+        Error rows are diagnostics, not results: they never satisfy
+        ``resume=True`` (which consults :meth:`ids`), so an errored spec is
+        recomputed on the next run — and deleted from the table if that run
+        succeeds.
+        """
+        self._submit(
+            [
+                (
+                    "INSERT OR REPLACE INTO errors "
+                    "(spec_id, label, message, created_at) VALUES (?, ?, ?, ?)",
+                    (spec_id, label, message, time.time()),
+                )
+            ]
+        )
 
     def put_bench_run(self, kind: str, document: Dict[str, object]) -> None:
         """Append one benchmark document (the ``BENCH_*.json`` payload)."""
@@ -447,6 +507,22 @@ class ResultsStore:
             f"SELECT {self._RESULT_COLUMNS} FROM results ORDER BY created_at, spec_id"
         )
         return [self._row_to_result(row) for row in rows]
+
+    def errors(self) -> List[StoredError]:
+        """Every unresolved per-spec failure, oldest first."""
+        rows = self._read(
+            "SELECT spec_id, label, message, created_at FROM errors "
+            "ORDER BY created_at, spec_id"
+        )
+        return [StoredError(*row) for row in rows]
+
+    def get_error(self, spec_id: str) -> Optional[StoredError]:
+        """The unresolved failure for one spec_id, or ``None``."""
+        rows = self._read(
+            "SELECT spec_id, label, message, created_at FROM errors WHERE spec_id = ?",
+            (spec_id,),
+        )
+        return StoredError(*rows[0]) if rows else None
 
     def get_bench_case(self, spec_id: str, kind: str) -> Optional[Dict[str, object]]:
         """The stored bench payload for ``(spec_id, kind)``, or ``None``."""

@@ -12,6 +12,7 @@ families, the named composites, the ``trace`` replay scenario and the
 ``fuzzed`` scenario.
 """
 
+import repro.workloads.chaos  # noqa: F401  (registers the chaos_* scenarios)
 from repro.workloads.compose import COMPOSE_OPS, mix, perturb, scale, splice, with_platform
 from repro.workloads.fuzzer import ScenarioFuzzer
 from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig

@@ -90,7 +90,12 @@ class ScenarioEvent:
 
 @dataclass
 class Scenario:
-    """A platform, a set of applications and a timeline of events."""
+    """A platform, a set of applications and a timeline of events.
+
+    ``fault_plan`` optionally attaches a
+    :class:`~repro.sim.faults.FaultPlan`; the simulator injects it by
+    default, which is how the ``chaos_*`` registry scenarios are built.
+    """
 
     name: str
     platform_name: str
@@ -98,6 +103,7 @@ class Scenario:
     duration_ms: float
     extra_events: List[ScenarioEvent] = field(default_factory=list)
     description: str = ""
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:

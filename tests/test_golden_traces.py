@@ -43,6 +43,30 @@ GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("bursty_x2_exynos", "rtm"): "e148b21026d85302",
     ("bursty_x2_exynos", "rtm_min_energy"): "722b06ae811223da",
     ("bursty_x2_exynos", "static_deployment"): "9facc33d4e73720d",
+    ("chaos_bursty_transient_crashes", "governor_only"): "a50a2cd395f758dd",
+    ("chaos_bursty_transient_crashes", "rtm"): "7c64c29387087595",
+    ("chaos_bursty_transient_crashes", "rtm_min_energy"): "31952d2206959697",
+    ("chaos_bursty_transient_crashes", "static_deployment"): "73551e0bc5ec1b0c",
+    ("chaos_double_fault", "governor_only"): "4f16461a367b4526",
+    ("chaos_double_fault", "rtm"): "1e1c989c5cee885b",
+    ("chaos_double_fault", "rtm_min_energy"): "6ea90e3cd729f701",
+    ("chaos_double_fault", "static_deployment"): "d2096afe9d019d65",
+    ("chaos_flaky_npu", "governor_only"): "799e4e89cd1b2fe1",
+    ("chaos_flaky_npu", "rtm"): "5ff574336e027afa",
+    ("chaos_flaky_npu", "rtm_min_energy"): "4d48614432db0c1c",
+    ("chaos_flaky_npu", "static_deployment"): "871b9d34fb5cbd64",
+    ("chaos_overload_freq_cap", "governor_only"): "d489e2463251fb31",
+    ("chaos_overload_freq_cap", "rtm"): "1d7b75145cc93b6b",
+    ("chaos_overload_freq_cap", "rtm_min_energy"): "4845001eecf43eb0",
+    ("chaos_overload_freq_cap", "static_deployment"): "d89a713cf38e3f4c",
+    ("chaos_rush_hour_core_failure", "governor_only"): "e233ee351364d5eb",
+    ("chaos_rush_hour_core_failure", "rtm"): "975ba1e5d9f65662",
+    ("chaos_rush_hour_core_failure", "rtm_min_energy"): "aa44c97a9dbf4b32",
+    ("chaos_rush_hour_core_failure", "static_deployment"): "092bd5d0bb18d79f",
+    ("chaos_thermal_sensor_dropout", "governor_only"): "b147b96574823c66",
+    ("chaos_thermal_sensor_dropout", "rtm"): "aaaacd49da60ac50",
+    ("chaos_thermal_sensor_dropout", "rtm_min_energy"): "a675e3492d8e8829",
+    ("chaos_thermal_sensor_dropout", "static_deployment"): "803b0b73f8507938",
     ("compose", "governor_only"): "28567e4707cef379",
     ("compose", "rtm"): "86f7fc946685f69a",
     ("compose", "rtm_min_energy"): "7597df3aa69fd193",

@@ -115,6 +115,41 @@ class TestRegistryGridInvariants:
         for label, trace in registry_grid_cached.traces.items():
             assert trace.jobs, f"{label} simulated no jobs at all"
 
+    def test_fault_records_only_under_fault_plans(self, registry_grid_cached):
+        """Fault records appear exactly on the chaos scenarios, time-ordered.
+
+        The registry grid includes the ``chaos_*`` scenarios, so this pins
+        both directions: fault-free scenarios must not record faults (their
+        fingerprints predate the subsystem), and every chaos trace must
+        carry its injections, inside the horizon, in schedule order.
+        """
+        from repro.sim.faults import FAULT_EVENT_KINDS
+
+        for label, trace in registry_grid_cached.traces.items():
+            if label.startswith("chaos_"):
+                assert trace.faults, f"{label} injected no faults"
+                assert all(fault.time_ms >= 0.0 for fault in trace.faults), label
+                # Timeline events (core failures, caps, sensor faults) fire in
+                # schedule order inside the horizon.  Crash-model records are
+                # exempt: they are written at job start with their *projected*
+                # crash/retry timestamps, which interleave across apps.
+                timeline = [
+                    fault.time_ms
+                    for fault in trace.faults
+                    if fault.kind in FAULT_EVENT_KINDS
+                ]
+                assert timeline == sorted(timeline), label
+                assert all(t <= trace.duration_ms for t in timeline), label
+            else:
+                assert not trace.faults, f"{label} recorded unexpected faults"
+
+    def test_crashed_jobs_are_conserved_drops(self, registry_grid_cached):
+        """Jobs lost to transient crashes stay inside job conservation."""
+        for label, trace in registry_grid_cached.traces.items():
+            for job in trace.crashed_jobs():
+                assert job.dropped, (label, job)
+            assert len(trace.crashed_jobs()) == len(trace.faults_of_kind("job_lost")), label
+
 
 # -------------------------------------------------------- fuzzed cache parity
 

@@ -97,6 +97,66 @@ class TestStoreBasics:
         assert len(store) == 1
 
 
+class TestErrorsTable:
+    def test_put_error_round_trip(self, store):
+        store.put_error("a" * 16, "steady/rtm/seed0", "RuntimeError: boom\ntrace...")
+        store.flush()
+        (error,) = store.errors()
+        assert error.spec_id == "a" * 16
+        assert error.label == "steady/rtm/seed0"
+        assert error.summary == "RuntimeError: boom"
+        assert store.get_error("a" * 16).message == "RuntimeError: boom\ntrace..."
+        assert store.get_error("b" * 16) is None
+
+    def test_errors_never_count_as_results(self, store):
+        store.put_error("a" * 16, "case", "failed")
+        store.flush()
+        assert len(store) == 0
+        assert "a" * 16 not in store.ids()
+
+    def test_error_is_replaced_on_rewrite_and_resolved_by_success(
+        self, store, executed
+    ):
+        spec_id = executed[0].spec.spec_id()
+        store.put_error(spec_id, executed[0].spec.label, "first failure")
+        store.put_error(spec_id, executed[0].spec.label, "second failure")
+        store.flush()
+        assert store.get_error(spec_id).message == "second failure"
+        # A successful run of the same spec deletes the error row.
+        store.put_result(executed[0])
+        store.flush()
+        assert store.get_error(spec_id) is None
+        assert not store.errors()
+
+    def test_erroring_spec_recomputes_on_resume(self, tmp_path):
+        """End to end: a failed spec lands in ``errors``, not ``results``,
+        so ``resume=True`` re-runs it once the cause is fixed."""
+        from repro.workloads import ArrivalTrace, build_scenario
+
+        trace_path = tmp_path / "late.jsonl"
+        spec = ExperimentSpec(
+            scenario="trace",
+            manager="rtm",
+            scenario_params={"path": str(trace_path)},
+        )
+        store_path = tmp_path / "errors.db"
+        batch = run_many([spec], validate=False, store=store_path)
+        assert spec.label in batch.errors
+        with ResultsStore(store_path) as store:
+            assert store.ids() == set()
+            (error,) = store.errors()
+            assert error.spec_id == spec.spec_id()
+            assert "TraceFormatError" in error.summary
+
+        ArrivalTrace.from_scenario(build_scenario("steady")).save(trace_path)
+        resumed = run_many([spec], validate=False, store=store_path, resume=True)
+        assert not resumed.errors
+        assert resumed.computed_count == 1
+        with ResultsStore(store_path) as store:
+            assert store.ids() == {spec.spec_id()}
+            assert not store.errors()
+
+
 class TestSchemaVersioning:
     def test_fresh_store_is_stamped_with_the_current_version(self, tmp_path):
         path = tmp_path / "fresh.db"
