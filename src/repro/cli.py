@@ -17,6 +17,10 @@ terminal without going through pytest:
 * ``run``        — execute experiment spec files (TOML/JSON) through a
   chosen execution backend (``--backend serial|process|batched``); with
   ``--faults PLAN`` overlay a fault plan on every spec;
+* ``fleet``      — orchestrate many-device fleets: ``run`` fleet spec files
+  (or one flag-built fleet), ``sweep`` placement policies on one fleet
+  scenario, ``bench`` a 1000-device fleet against the static baseline
+  (``BENCH_fleet.json``), and list the ``policies`` / ``scenarios``;
 * ``sweep``      — run a (scenario, manager, seed) grid through a chosen
   execution backend and print per-case and aggregate statistics;
 * ``bench``      — time decide()-per-epoch and end-to-end simulation across
@@ -26,6 +30,10 @@ terminal without going through pytest:
   and write/refresh ``BENCH_batched_engine.json``;
 * ``store``      — inspect the persistent results warehouse (``ls``,
   ``show``, ``export``, ``gc``, ``diff``).
+
+``trace`` additionally offers ``stats`` to summarise a recorded JSONL trace
+(arrival counts, per-kind histogram, inter-arrival percentiles) without
+running anything.
 
 ``run``, ``sweep`` and ``bench`` accept ``--store PATH`` to stream results
 into a persistent :class:`~repro.store.ResultsStore` as they finish, and
@@ -47,7 +55,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.analysis import (
     BENCH_KIND_DECISION,
@@ -83,6 +92,20 @@ from repro.experiments import (
     load_specs,
     run_many,
     specs_to_toml,
+)
+from repro.fleet import (
+    BENCH_KIND_FLEET,
+    DEFAULT_FLEET_BENCH_PATH,
+    FLEET_BACKENDS,
+    FLEET_POLICY_REGISTRY,
+    FleetSpec,
+    FleetSpecError,
+    compare_fleet_bench,
+    fleet_scenario_summaries,
+    load_fleet_specs,
+    run_fleet,
+    run_fleet_bench,
+    write_fleet_bench_file,
 )
 from repro.perfmodel import CalibratedLatencyModel, EnergyModel
 from repro.platforms import (
@@ -502,6 +525,68 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    """Summarise a JSONL arrival trace without simulating anything."""
+    try:
+        trace = ArrivalTrace.load(args.file)
+    except TraceFormatError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    applications = trace.applications
+    print(f"trace:    {args.file}")
+    print(f"scenario: {trace.scenario_name} on {trace.platform_name}")
+    print(f"duration: {trace.duration_ms:g} ms")
+    print(
+        f"arrivals: {len(applications)} application(s), "
+        f"{len(trace.events)} scheduled event(s)"
+    )
+    if not applications:
+        return 0
+
+    by_kind: Dict[str, int] = {}
+    departures = 0
+    for record in applications:
+        kind = str(record.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if record.get("departure_ms") is not None:
+            departures += 1
+    print()
+    print(
+        format_table(
+            ["kind", "apps", "share"],
+            [
+                [kind, count, f"{100.0 * count / len(applications):.1f}%"]
+                for kind, count in sorted(by_kind.items())
+            ],
+            precision=4,
+        )
+    )
+    print(f"{departures} of {len(applications)} application(s) also depart")
+
+    arrivals = sorted(float(record["arrival_ms"]) for record in applications)
+    print(f"first arrival {arrivals[0]:g} ms, last {arrivals[-1]:g} ms")
+    gaps = sorted(b - a for a, b in zip(arrivals, arrivals[1:]))
+    if gaps:
+        print(
+            "inter-arrival ms: "
+            f"min {gaps[0]:.1f}  p50 {_percentile(gaps, 0.5):.1f}  "
+            f"p90 {_percentile(gaps, 0.9):.1f}  p99 {_percentile(gaps, 0.99):.1f}  "
+            f"max {gaps[-1]:.1f}"
+        )
+    return 0
+
+
 def cmd_managers_list(args: argparse.Namespace) -> int:
     """List the registered runtime managers with their one-line descriptions."""
     entries = MANAGER_REGISTRY.list()
@@ -530,7 +615,9 @@ def cmd_platforms_list(args: argparse.Namespace) -> int:
 
 
 def cmd_faults_list(args: argparse.Namespace) -> int:
-    """List fault event kinds and the registered chaos scenarios."""
+    """List fault event kinds (with their accepted keys) and chaos scenarios."""
+    import dataclasses
+
     from repro.sim.faults import FAULT_EVENT_KINDS, JobCrashProfile
 
     print(f"{len(FAULT_EVENT_KINDS)} fault event kinds (plan tables: [[events]]):")
@@ -538,9 +625,15 @@ def cmd_faults_list(args: argparse.Namespace) -> int:
     for kind in sorted(FAULT_EVENT_KINDS):
         event_class = FAULT_EVENT_KINDS[kind]
         summary = (event_class.__doc__ or "").strip().splitlines()[0]
+        keys = ", ".join(spec_field.name for spec_field in dataclasses.fields(event_class))
         print(f"  {kind:<{width}}  {summary}")
+        print(f"  {'':<{width}}  keys: kind, {keys}")
     crash_summary = (JobCrashProfile.__doc__ or "").strip().splitlines()[0]
+    crash_keys = ", ".join(
+        spec_field.name for spec_field in dataclasses.fields(JobCrashProfile)
+    )
     print(f"\njob crashes ([job_crashes] table): {crash_summary}")
+    print(f"  keys: {crash_keys}")
     chaos = {
         name: summary
         for name, summary in scenario_summaries().items()
@@ -594,6 +687,46 @@ def _add_robustness_arguments(subparser: argparse.ArgumentParser) -> None:
         help="abandon the batch when no spec finishes for SECONDS "
         "(process backend only; single-process backends ignore it)",
     )
+
+
+@contextmanager
+def _store_session(args: argparse.Namespace) -> "Iterator[Optional[ResultsStore]]":
+    """Open ``--store`` (or yield ``None``) and always close it.
+
+    The one shared implementation of the open/try/finally/close dance every
+    result-streaming verb (``run``, ``sweep``, ``bench``, ``fleet``) used to
+    copy-paste.
+    """
+    store = ResultsStore(args.store) if getattr(args, "store", None) is not None else None
+    try:
+        yield store
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _execute_spec_batch(args: argparse.Namespace, specs, report: Callable):
+    """Shared ``run``/``sweep`` execution path.
+
+    One store session around :func:`run_many`, the verb-specific ``report``
+    callback (headers and case tables), then the common store epilogue.
+    """
+    with _store_session(args) as store:
+        batch = run_many(
+            specs,
+            backend=args.backend,
+            workers=args.workers,
+            validate=False,
+            store=store,
+            resume=args.resume,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            spec_timeout=args.spec_timeout,
+        )
+        report(batch)
+        if store is not None:
+            _report_store_outcome(store, args, batch, specs)
+    return batch
 
 
 def _resume_store_conflict(args: argparse.Namespace) -> bool:
@@ -737,26 +870,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     # byte-identical across worker counts under the default dispatch.
     backend_note = f"backend={args.backend}, " if args.backend else ""
     print(f"run: {len(specs)} {plural} from {source} ({backend_note}workers={args.workers})")
-    store = ResultsStore(args.store) if args.store is not None else None
-    try:
-        batch = run_many(
-            specs,
-            backend=args.backend,
-            workers=args.workers,
-            validate=False,
-            store=store,
-            resume=args.resume,
-            retries=args.retries,
-            retry_backoff=args.retry_backoff,
-            spec_timeout=args.spec_timeout,
-        )
+
+    def report(batch) -> None:
         spec_ids = {spec.label: spec.spec_id() for spec in specs if spec.label in batch.traces}
         _print_case_table(batch.traces, show_spec_ids=spec_ids)
-        if store is not None:
-            _report_store_outcome(store, args, batch, specs)
-    finally:
-        if store is not None:
-            store.close()
+
+    batch = _execute_spec_batch(args, specs, report)
 
     if batch.errors:
         print(f"\n{len(batch.errors)} experiment(s) failed:", file=sys.stderr)
@@ -817,20 +936,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.dump_spec is not None:
         return _dump_specs_and_exit(specs, args.dump_spec)
 
-    store = ResultsStore(args.store) if args.store is not None else None
-    try:
-        result = run_many(
-            specs,
-            backend=args.backend,
-            workers=args.workers,
-            validate=False,
-            store=store,
-            resume=args.resume,
-            retries=args.retries,
-            retry_backoff=args.retry_backoff,
-            spec_timeout=args.spec_timeout,
-        )
-
+    def report(batch) -> None:
         # Named only when explicitly chosen (see cmd_run): the CLI byte-parity
         # invariant says worker count must not change the output.
         backend_note = f" (backend={args.backend})" if args.backend else ""
@@ -838,12 +944,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"sweep: {len(args.scenarios)} scenarios x {len(args.managers)} managers "
             f"x {len(seeds)} seeds on {args.platform}{backend_note}"
         )
-        _print_case_table(result.traces)
-        if store is not None:
-            _report_store_outcome(store, args, result, specs)
-    finally:
-        if store is not None:
-            store.close()
+        _print_case_table(batch.traces)
+
+    result = _execute_spec_batch(args, specs, report)
 
     # Aggregate across seeds per (scenario, manager) pair.
     aggregate_rows = []
@@ -1006,8 +1109,7 @@ def _cmd_bench_batched(args: argparse.Namespace) -> int:
         # batched comparison tracks its own trajectory.
         output = DEFAULT_BATCHED_BENCH_PATH
     if output is not None:
-        store = ResultsStore(args.store) if args.store is not None else None
-        try:
+        with _store_session(args) as store:
             write_batched_bench_file(
                 output,
                 result,
@@ -1020,9 +1122,6 @@ def _cmd_bench_batched(args: argparse.Namespace) -> int:
                 },
                 store=store,
             )
-        finally:
-            if store is not None:
-                store.close()
         print(f"wrote {output}")
         if args.store is not None:
             print(f"appended batched bench run to {args.store}")
@@ -1059,8 +1158,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     if _resume_store_conflict(args):
         return 2
-    store = ResultsStore(args.store) if args.store is not None else None
-    try:
+    with _store_session(args) as store:
         if args.resume:
             reused = sum(
                 1
@@ -1147,9 +1245,283 @@ def cmd_bench(args: argparse.Namespace) -> int:
                         f"decide, {entry.get('e2e_s', '?')}x faster e2e vs reference"
                     )
         return exit_code
-    finally:
+
+
+# --------------------------------------------------------------- fleet verbs
+
+
+def _parse_device_mix(entries: Sequence[str]) -> Dict[str, int]:
+    """Parse ``--devices PRESET=COUNT`` pairs into a device-mix table."""
+    devices: Dict[str, int] = {}
+    for entry in entries:
+        preset, separator, count_text = entry.partition("=")
+        if not separator or not preset:
+            raise ValueError(f"--devices wants PRESET=COUNT, got {entry!r}")
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise ValueError(f"--devices count must be an integer, got {entry!r}") from None
+        if count < 1:
+            raise ValueError(f"--devices count must be positive, got {entry!r}")
+        if preset in devices:
+            raise ValueError(f"--devices names preset {preset!r} twice")
+        devices[preset] = count
+    return devices
+
+
+def _print_fleet_table(payloads: Sequence[Dict[str, object]]) -> None:
+    """Per-fleet headline table shared by ``fleet run`` and ``fleet sweep``."""
+    rows = [
+        [
+            payload["label"],
+            payload["fleet_id"],
+            payload["devices"],
+            round(float(payload["violation_rate"]), 4),
+            payload["total_jobs"],
+            len(payload["migrations"]),
+            payload["fingerprint"],
+        ]
+        for payload in payloads
+    ]
+    print(
+        format_table(
+            ["fleet", "fleet id", "devices", "viol rate", "jobs", "migr", "fingerprint"],
+            rows,
+            precision=4,
+        )
+    )
+
+
+def _run_fleet_specs(args: argparse.Namespace, specs: Sequence[FleetSpec]) -> List[Dict[str, object]]:
+    """Execute fleet specs under the shared store session and print the table.
+
+    With ``--store`` each fleet's aggregate payload is streamed to the
+    store's bench-case table keyed by its fleet_id (first write wins); with
+    ``--resume`` already-stored fleets are reported instead of re-run.
+    """
+    trained = IncrementalTrainer().train(make_dynamic_cifar_dnn())
+    payloads: List[Dict[str, object]] = []
+    computed = skipped = 0
+    with _store_session(args) as store:
+        for spec in specs:
+            fleet_id = spec.fleet_id()
+            payload = (
+                store.get_bench_case(fleet_id, BENCH_KIND_FLEET)
+                if store is not None and args.resume
+                else None
+            )
+            if payload is None:
+                result = run_fleet(spec, backend=args.backend, trained=trained)
+                payload = result.to_payload()
+                computed += 1
+                if store is not None:
+                    store.put_bench_case(fleet_id, BENCH_KIND_FLEET, payload)
+            else:
+                skipped += 1
+            payloads.append(payload)
+        _print_fleet_table(payloads)
         if store is not None:
-            store.close()
+            print(
+                f"resume: {skipped} fleet(s) skipped (already stored), {computed} computed"
+                if args.resume
+                else f"store: {computed} fleet result(s) streamed to {args.store}"
+            )
+    return payloads
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run fleet spec files (TOML/JSON), or one fleet assembled from flags."""
+    specs: List[FleetSpec] = []
+    try:
+        if args.specs:
+            for path in args.specs:
+                specs.extend(load_fleet_specs(path))
+        else:
+            specs.append(
+                FleetSpec(
+                    scenario=args.scenario,
+                    policy=args.policy,
+                    seed=args.seed,
+                    devices=_parse_device_mix(args.devices or []),
+                )
+            )
+        for spec in specs:
+            spec.validate()
+    except (FleetSpecError, ValueError) as error:
+        print(f"invalid fleet spec: {error}", file=sys.stderr)
+        return 2
+    duplicates = find_duplicates(spec.label for spec in specs)
+    if duplicates:
+        print(
+            f"duplicate fleet labels {duplicates}; give repeated entries "
+            "distinct 'name' keys",
+            file=sys.stderr,
+        )
+        return 2
+    if _resume_store_conflict(args):
+        return 2
+    plural = "fleet" if len(specs) == 1 else "fleets"
+    source = ", ".join(args.specs) if args.specs else "flags"
+    print(f"fleet run: {len(specs)} {plural} from {source} (backend={args.backend})")
+    _run_fleet_specs(args, specs)
+    return 0
+
+
+def cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    """Compare placement policies (x seeds) on one fleet scenario."""
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    try:
+        devices = _parse_device_mix(args.devices or [])
+        specs = [
+            FleetSpec(scenario=args.scenario, policy=policy, seed=seed, devices=devices)
+            for policy in args.policies
+            for seed in seeds
+        ]
+        for spec in specs:
+            spec.validate()
+    except (FleetSpecError, ValueError) as error:
+        print(f"invalid fleet sweep: {error}", file=sys.stderr)
+        return 2
+    duplicates = find_duplicates(spec.label for spec in specs)
+    if duplicates:
+        print(f"duplicate fleet cases {duplicates}; list each policy once", file=sys.stderr)
+        return 2
+    if _resume_store_conflict(args):
+        return 2
+    print(
+        f"fleet sweep: {args.scenario} x {len(args.policies)} policies x "
+        f"{len(seeds)} seeds (backend={args.backend})"
+    )
+    payloads = _run_fleet_specs(args, specs)
+
+    # Mean violation rate per policy, with the delta against the static
+    # baseline when it is part of the sweep.
+    by_policy: Dict[str, List[float]] = {}
+    for spec, payload in zip(specs, payloads):
+        by_policy.setdefault(spec.policy, []).append(float(payload["violation_rate"]))
+    means = {policy: sum(rates) / len(rates) for policy, rates in by_policy.items()}
+    if len(means) > 1:
+        static_mean = means.get("static")
+        rows = [
+            [
+                policy,
+                len(by_policy[policy]),
+                round(mean, 4),
+                round(static_mean - mean, 4) if static_mean is not None else "-",
+            ]
+            for policy, mean in sorted(means.items(), key=lambda item: (item[1], item[0]))
+        ]
+        print()
+        print("policies by mean fleet-wide violation rate:")
+        print(
+            format_table(
+                ["policy", "runs", "mean viol", "vs static"], rows, precision=4
+            )
+        )
+    return 0
+
+
+def cmd_fleet_bench(args: argparse.Namespace) -> int:
+    """Benchmark a large orchestrated fleet against the static baseline."""
+    if args.resume:
+        print(
+            "--resume applies to per-case verbs; the fleet benchmark is a "
+            "single timed pass (drop --resume, keep --store to append the run)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.devices < 1:
+        print("--devices must be at least 1", file=sys.stderr)
+        return 2
+    check_serial = not args.no_serial_check
+    print(
+        f"fleet bench: {args.devices} devices on {args.scenario}, "
+        f"{args.policy} vs static (batched"
+        + (", serial identity check)" if check_serial else ")")
+    )
+    result = run_fleet_bench(
+        devices=args.devices,
+        scenario=args.scenario,
+        policy=args.policy,
+        seed=args.seed,
+        check_serial=check_serial,
+        progress=lambda line: print(f"  {line}"),
+    )
+    print()
+    print(
+        f"orchestrated ({result.policy}) {result.orchestrated_s:.2f} s vs "
+        f"static {result.static_s:.2f} s over {result.devices} devices"
+    )
+    if check_serial:
+        if not result.fingerprints_identical:
+            print(
+                "fleet fingerprint mismatch: the batched backend diverged from "
+                "the serial reference — do not trust the timing",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serial reference {result.serial_s:.2f} s; "
+            "fleet fingerprints identical across backends"
+        )
+    print(
+        f"violation rate: {result.orchestrated_violation_rate:.4f} orchestrated vs "
+        f"{result.static_violation_rate:.4f} static "
+        f"(improvement {result.violation_improvement:+.4f}, "
+        f"{result.migrations} migration(s))"
+    )
+
+    exit_code = 0
+    if args.compare is not None:
+        try:
+            baseline = load_bench_file(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline {args.compare!r}: {error}", file=sys.stderr)
+            return 2
+        regressions = compare_fleet_bench(result, baseline, max_regression=args.max_regression)
+        if regressions:
+            print(
+                f"\n{len(regressions)} fleet regression(s) beyond "
+                f"{args.max_regression:.0%} of {args.compare}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"no regressions beyond {args.max_regression:.0%} of {args.compare}")
+
+    if args.output is not None:
+        with _store_session(args) as store:
+            write_fleet_bench_file(args.output, result, seed=args.seed, store=store)
+        print(f"wrote {args.output}")
+        if args.store is not None:
+            print(f"appended fleet bench run to {args.store}")
+    return exit_code
+
+
+def cmd_fleet_policies_list(args: argparse.Namespace) -> int:
+    """List the registered fleet placement policies."""
+    entries = FLEET_POLICY_REGISTRY.list()
+    width = max(len(entry.name) for entry in entries)
+    print(f"{len(entries)} fleet placement policies (* = rebalances/evicts):")
+    for entry in entries:
+        marker = "*" if entry.metadata.get("rebalances") else " "
+        print(f"  {entry.name:<{width}} {marker} {entry.summary}")
+    return 0
+
+
+def cmd_fleet_scenarios_list(args: argparse.Namespace) -> int:
+    """List the registered fleet scenarios."""
+    pairs = fleet_scenario_summaries()
+    width = max(len(name) for name, _ in pairs)
+    print(f"{len(pairs)} fleet scenarios (device mixes scale via --devices):")
+    for name, summary in pairs:
+        print(f"  {name:<{width}}  {summary}")
+    return 0
 
 
 # --------------------------------------------------------------- store verbs
@@ -1435,6 +1807,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the equivalent experiment spec to FILE ('-' for stdout) instead",
     )
     trace_replay.set_defaults(func=cmd_trace_replay)
+    trace_stats = trace_sub.add_parser(
+        "stats", help="summarise a trace file: arrivals, kinds, inter-arrival gaps"
+    )
+    trace_stats.add_argument("file", metavar="FILE", help="JSONL trace file to summarise")
+    trace_stats.set_defaults(func=cmd_trace_stats)
 
     managers = subparsers.add_parser("managers", help="inspect the manager registry")
     managers_sub = managers.add_subparsers(dest="managers_command", required=True)
@@ -1603,6 +1980,146 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="orchestrate many-device fleets: placement, migration, benchmarks",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run fleet spec files (TOML/JSON), or one fleet built from flags"
+    )
+    fleet_run.add_argument(
+        "specs",
+        nargs="*",
+        metavar="SPEC",
+        help="fleet spec files ([[fleet]] batch tables); omit to build one from flags",
+    )
+    fleet_run.add_argument(
+        "--scenario",
+        default="fleet_mixed_platforms",
+        help="fleet scenario (see 'fleet scenarios list'; ignored with SPEC files)",
+    )
+    fleet_run.add_argument(
+        "--policy",
+        default="least_loaded",
+        help="placement policy (see 'fleet policies list'; ignored with SPEC files)",
+    )
+    fleet_run.add_argument(
+        "--devices",
+        nargs="+",
+        default=None,
+        metavar="PRESET=COUNT",
+        help="device mix override (default: the scenario's own mix)",
+    )
+    fleet_run.add_argument("--seed", type=int, default=0, help="fleet scenario seed")
+    fleet_run.add_argument(
+        "--backend",
+        default="batched",
+        choices=list(FLEET_BACKENDS),
+        help="per-device execution backend (identical fingerprints; default batched)",
+    )
+    _add_store_arguments(fleet_run)
+    fleet_run.set_defaults(func=cmd_fleet_run)
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep", help="compare placement policies on one fleet scenario"
+    )
+    fleet_sweep.add_argument(
+        "--scenario", default="fleet_rush_hour_regional", help="fleet scenario name"
+    )
+    fleet_sweep.add_argument(
+        "--policies",
+        nargs="+",
+        default=["static", "least_loaded", "thermal_headroom"],
+        help="placement policies to compare (see 'fleet policies list')",
+    )
+    fleet_sweep.add_argument(
+        "--devices",
+        nargs="+",
+        default=None,
+        metavar="PRESET=COUNT",
+        help="device mix override (default: the scenario's own mix)",
+    )
+    fleet_sweep.add_argument("--seeds", type=int, default=1, help="seeds per policy")
+    fleet_sweep.add_argument("--seed-base", type=int, default=0, help="first seed")
+    fleet_sweep.add_argument(
+        "--backend",
+        default="batched",
+        choices=list(FLEET_BACKENDS),
+        help="per-device execution backend (identical fingerprints; default batched)",
+    )
+    _add_store_arguments(fleet_sweep)
+    fleet_sweep.set_defaults(func=cmd_fleet_sweep)
+
+    fleet_bench = fleet_sub.add_parser(
+        "bench",
+        help="time a large orchestrated fleet vs static placement; track in JSON",
+    )
+    fleet_bench.add_argument(
+        "--devices", type=int, default=1000, help="fleet size (weighted preset mix)"
+    )
+    fleet_bench.add_argument(
+        "--scenario", default="fleet_mixed_platforms", help="fleet scenario name"
+    )
+    fleet_bench.add_argument(
+        "--policy", default="least_loaded", help="orchestrated policy to time vs static"
+    )
+    fleet_bench.add_argument("--seed", type=int, default=0, help="fleet scenario seed")
+    fleet_bench.add_argument(
+        "--no-serial-check",
+        action="store_true",
+        help="skip the serial re-run and its fingerprint identity check",
+    )
+    fleet_bench.add_argument(
+        "--output",
+        default=DEFAULT_FLEET_BENCH_PATH,
+        help=f"JSON file to write (default {DEFAULT_FLEET_BENCH_PATH})",
+    )
+    fleet_bench.add_argument(
+        "--no-write",
+        dest="output",
+        action="store_const",
+        const=None,
+        help="measure and print only; do not write the JSON file",
+    )
+    fleet_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="gate the orchestrated wall time against this committed baseline",
+    )
+    fleet_bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed orchestrated slowdown vs --compare (fraction, default 0.25)",
+    )
+    _add_store_arguments(fleet_bench)
+    fleet_bench.set_defaults(func=cmd_fleet_bench)
+
+    fleet_policies = fleet_sub.add_parser(
+        "policies", help="inspect the placement-policy registry"
+    )
+    fleet_policies_sub = fleet_policies.add_subparsers(
+        dest="fleet_policies_command", required=True
+    )
+    fleet_policies_list = fleet_policies_sub.add_parser(
+        "list", help="list registered placement policies"
+    )
+    fleet_policies_list.set_defaults(func=cmd_fleet_policies_list)
+
+    fleet_scenarios = fleet_sub.add_parser(
+        "scenarios", help="inspect the fleet-scenario registry"
+    )
+    fleet_scenarios_sub = fleet_scenarios.add_subparsers(
+        dest="fleet_scenarios_command", required=True
+    )
+    fleet_scenarios_list = fleet_scenarios_sub.add_parser(
+        "list", help="list registered fleet scenarios"
+    )
+    fleet_scenarios_list.set_defaults(func=cmd_fleet_scenarios_list)
 
     store = subparsers.add_parser(
         "store", help="inspect and maintain a results store (SQLite warehouse)"

@@ -62,6 +62,7 @@ __all__ = [
     "BatchedEngine",
     "SharedSimulationStores",
     "SharedOperatingPointCache",
+    "make_batched_simulator",
     "scenario_content_key",
 ]
 
@@ -566,6 +567,36 @@ def scenario_content_key(scenario: Scenario) -> Optional[tuple]:
         tuple(applications),
         events,
         fault_plan.content_key() if fault_plan is not None else None,
+    )
+
+
+def make_batched_simulator(
+    scenario: Scenario,
+    manager: ManagerProtocol,
+    stores: SharedSimulationStores,
+    energy_model: Optional[EnergyModel] = None,
+    config: Optional[SimulatorConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Simulator:
+    """One lock-step replica on shared stores, for external drivers.
+
+    The fleet orchestrator (:mod:`repro.fleet`) steers many simulators
+    itself (placing and migrating applications between ``advance_to``
+    strides), so it cannot go through :meth:`BatchedEngine.run`; this
+    factory applies the same construction rules — attach a
+    :class:`SharedOperatingPointCache` to cache-bearing runtime managers,
+    then build the memoised replica — so externally-driven replicas stay
+    bit-identical to serial simulators.
+    """
+    if isinstance(manager, RuntimeManager) and manager.cache is not None:
+        manager.set_operating_point_cache(SharedOperatingPointCache(stores))
+    return _BatchedSimulator(
+        scenario,
+        manager,
+        stores=stores,
+        energy_model=energy_model,
+        config=config,
+        fault_plan=fault_plan,
     )
 
 

@@ -231,6 +231,45 @@ class Simulator:
         self.queue.run_until(self.scenario.duration_ms)
         return self.trace
 
+    # ----------------------------------------------------- external injection
+    #
+    # Entry points for drivers that steer a simulator from outside its
+    # scenario — the fleet orchestrator (:mod:`repro.fleet`) places and
+    # migrates applications across many devices by injecting arrivals and
+    # departures between ``advance_to`` strides.  Injected events go through
+    # the same structural priority and the same arrival/departure/decision
+    # path as scenario events, so traces stay on the determinism lattice.
+
+    def inject_arrival(self, application: Application, time_ms: float) -> None:
+        """Schedule an externally-placed application to arrive at ``time_ms``.
+
+        Times in the past are clamped to the queue's current time (the event
+        queue's contract); events beyond the scenario duration never execute.
+        """
+        self.prime()
+
+        def _arrive(app: Application = application) -> None:
+            self._on_arrival(app)
+            self._run_decision(trigger=ScenarioEventKind.APP_ARRIVAL.value)
+
+        self.queue.schedule(time_ms, _arrive, priority=EVENT_PRIORITY_STRUCTURAL)
+
+    def inject_departure(self, app_id: str, time_ms: float) -> None:
+        """Schedule an externally-requested departure (eviction) at ``time_ms``.
+
+        A no-op at fire time when the application is not resident (it may
+        have departed on its own in the meantime).
+        """
+        self.prime()
+
+        def _depart() -> None:
+            if app_id not in self._apps:
+                return
+            self._on_departure(app_id)
+            self._run_decision(trigger=ScenarioEventKind.APP_DEPARTURE.value)
+
+        self.queue.schedule(time_ms, _depart, priority=EVENT_PRIORITY_STRUCTURAL)
+
     # ---------------------------------------------------------------- hooks
     #
     # Single-call-site indirections over the hot paths.  The serial engine

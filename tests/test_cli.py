@@ -214,6 +214,19 @@ class TestCommands:
         assert "a15:4xcpu_big" in output
         assert "a57:4xcpu_big" in output
 
+    def test_faults_list_prints_accepted_keys_per_kind(self, capsys):
+        assert main(["faults", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "fault event kinds" in output
+        # Every [[events]] kind line is followed by its accepted keys, so a
+        # plan author never has to read the dataclass source to spell one.
+        assert "keys: kind, time_ms, cluster, cores" in output
+        assert "keys: kind, time_ms, cluster, max_frequency_mhz" in output
+        assert "keys: kind, time_ms, bias_c" in output
+        # The job-crash table's keys are listed too.
+        assert "probability" in output and "backoff_base_ms" in output
+        assert "chaos scenarios" in output
+
     def test_sweep_unknown_scenario_fails(self, capsys):
         assert main(["sweep", "--scenarios", "not_a_scenario"]) == 2
         assert "unknown scenarios" in capsys.readouterr().err
@@ -496,6 +509,23 @@ class TestTraceCommands:
             == 2
         )
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_stats_summarises_a_recorded_trace(self, capsys, tmp_path):
+        path = tmp_path / "rush.jsonl"
+        assert main(["trace", "record", "--scenario", "rush_hour", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "rush_hour_seed0 on odroid_xu3" in output
+        assert "5 application(s)" in output
+        assert "dnn_inference" in output and "background" in output
+        assert "inter-arrival ms:" in output and "p99" in output
+
+    def test_stats_invalid_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["trace", "stats", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
 
 
 class TestBenchCommand:
