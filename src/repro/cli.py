@@ -32,8 +32,10 @@ terminal without going through pytest:
   ``show``, ``export``, ``gc``, ``diff``).
 
 ``trace`` additionally offers ``stats`` to summarise a recorded JSONL trace
-(arrival counts, per-kind histogram, inter-arrival percentiles) without
-running anything.
+(arrival counts, per-kind histogram, inter-arrival percentiles) in one
+streaming pass — optionally under a ``--max-peak-mb`` tracemalloc assertion —
+and ``generate`` to write a multi-hour diurnal traffic trace straight to
+disk through the streaming writer without building a scenario in memory.
 
 ``run``, ``sweep`` and ``bench`` accept ``--store PATH`` to stream results
 into a persistent :class:`~repro.store.ResultsStore` as they finish, and
@@ -128,11 +130,15 @@ from repro.workloads import (
     COMPOSE_OPS,
     SCENARIO_REGISTRY,
     ArrivalTrace,
+    DiurnalConfig,
     Requirements,
     TraceFormatError,
     build_scenario,
+    compute_trace_stats,
+    config_for_arrivals,
     scenario_is_seeded,
     scenario_summaries,
+    write_diurnal_trace,
 )
 
 __all__ = ["main", "build_parser", "resolve_managers", "resolve_scenarios"]
@@ -470,11 +476,39 @@ def cmd_scenarios_compose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_overrides(entries: Optional[Sequence[str]]) -> Dict[str, object]:
+    """Parse repeated ``--param KEY=VALUE`` flags into a params dict.
+
+    Values are decoded as JSON when possible (numbers, booleans, lists) and
+    kept as strings otherwise, so ``--param duration_ms=60000`` arrives as a
+    number while ``--param source=rush_hour`` stays a string.
+    """
+    import json
+
+    params: Dict[str, object] = {}
+    for entry in entries or ():
+        key, separator, raw = entry.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param needs KEY=VALUE, got {entry!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
 def cmd_trace_record(args: argparse.Namespace) -> int:
     """Record a registry scenario's workload timeline to a JSONL arrival trace."""
     if not resolve_scenarios([args.scenario]) or not _resolve_platform(args.platform):
         return 2
-    scenario = build_scenario(args.scenario, seed=args.seed, platform_name=args.platform)
+    try:
+        params = _parse_param_overrides(args.param)
+        scenario = build_scenario(
+            args.scenario, seed=args.seed, platform_name=args.platform, **params
+        )
+    except (ValueError, TypeError) as error:
+        print(f"invalid scenario parameters: {error}", file=sys.stderr)
+        return 2
     trace = ArrivalTrace.from_scenario(scenario)
     trace.save(args.out)
     print(
@@ -485,19 +519,45 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """Generate a diurnal traffic trace straight to disk via the streaming writer."""
+    if not _resolve_platform(args.platform):
+        return 2
+    duration_ms = args.duration_ms if args.duration_ms is not None else args.hours * 3_600_000.0
+    try:
+        overrides = _parse_param_overrides(args.param)
+        if args.arrivals is not None:
+            config = config_for_arrivals(args.arrivals, duration_ms=duration_ms, **overrides)
+        else:
+            config = DiurnalConfig(duration_ms=duration_ms, **overrides)  # type: ignore[arg-type]
+        written = write_diurnal_trace(
+            args.out, config, seed=args.seed, platform_name=args.platform
+        )
+    except (ValueError, TypeError, TraceFormatError) as error:
+        print(f"invalid diurnal config: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"generated {written} arrival(s) over {config.duration_ms / 3_600_000.0:g} h "
+        f"(base rate {config.base_rate_per_s:g}/s, {config.flash_crowds} flash "
+        f"crowd(s)) to {args.out}"
+    )
+    print(f"summarise with: repro-experiments trace stats {args.out}")
+    return 0
+
+
 def cmd_trace_replay(args: argparse.Namespace) -> int:
     """Replay a JSONL arrival trace under a manager and print the outcome."""
     try:
-        arrival_trace = ArrivalTrace.load(args.file)
-        platform = args.platform or arrival_trace.platform_name
+        header = ArrivalTrace.read_header(args.file)
+        platform = args.platform or header.platform_name
         if not resolve_managers([args.manager]) or not _resolve_platform(platform):
             return 2
-        scenario = arrival_trace.to_scenario(platform_name=platform)
+        scenario = ArrivalTrace.stream_scenario(args.file, platform_name=platform)
     except TraceFormatError as error:
         print(f"invalid trace: {error}", file=sys.stderr)
         return 2
     spec = ExperimentSpec(
-        name=f"replay_{arrival_trace.scenario_name}",
+        name=f"replay_{header.scenario_name}",
         scenario="trace",
         manager=args.manager,
         platform=platform,
@@ -513,7 +573,7 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         params: dict = {"path": str(Path(args.file).resolve())}
-        if platform != arrival_trace.platform_name:
+        if platform != header.platform_name:
             params["replatform"] = True
         spec = dataclasses.replace(spec, scenario_params=params)
         return _dump_specs_and_exit([spec], args.dump_spec)
@@ -525,65 +585,75 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending sequence."""
-    if not sorted_values:
-        return 0.0
-    position = fraction * (len(sorted_values) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(sorted_values) - 1)
-    weight = position - lower
-    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
-
-
 def cmd_trace_stats(args: argparse.Namespace) -> int:
-    """Summarise a JSONL arrival trace without simulating anything."""
+    """Summarise a JSONL arrival trace without simulating anything.
+
+    Streams the file through :func:`compute_trace_stats`, so a
+    million-arrival trace is summarised in one pass with memory bounded by
+    the compact arrival-time array (8 bytes per arrival), never the record
+    dicts.  ``--max-peak-mb`` turns that bound into an enforced assertion
+    via :mod:`tracemalloc` (exit 1 on exceed) — the CI trace job runs under
+    it to keep the pipeline honestly streaming.
+    """
+    tracker = None
+    if args.max_peak_mb is not None:
+        import tracemalloc
+
+        tracker = tracemalloc
+        tracker.start()
     try:
-        trace = ArrivalTrace.load(args.file)
+        stats = compute_trace_stats(args.file)
     except TraceFormatError as error:
+        if tracker is not None:
+            tracker.stop()
         print(f"invalid trace: {error}", file=sys.stderr)
         return 2
-    applications = trace.applications
+    peak_mb = None
+    if tracker is not None:
+        _, peak = tracker.get_traced_memory()
+        tracker.stop()
+        peak_mb = peak / 1e6
     print(f"trace:    {args.file}")
-    print(f"scenario: {trace.scenario_name} on {trace.platform_name}")
-    print(f"duration: {trace.duration_ms:g} ms")
+    print(f"scenario: {stats.scenario_name} on {stats.platform_name}")
+    print(f"duration: {stats.duration_ms:g} ms")
     print(
-        f"arrivals: {len(applications)} application(s), "
-        f"{len(trace.events)} scheduled event(s)"
+        f"arrivals: {stats.num_applications} application(s), "
+        f"{stats.num_events} scheduled event(s)"
     )
-    if not applications:
-        return 0
-
-    by_kind: Dict[str, int] = {}
-    departures = 0
-    for record in applications:
-        kind = str(record.get("kind", "?"))
-        by_kind[kind] = by_kind.get(kind, 0) + 1
-        if record.get("departure_ms") is not None:
-            departures += 1
-    print()
-    print(
-        format_table(
-            ["kind", "apps", "share"],
-            [
-                [kind, count, f"{100.0 * count / len(applications):.1f}%"]
-                for kind, count in sorted(by_kind.items())
-            ],
-            precision=4,
-        )
-    )
-    print(f"{departures} of {len(applications)} application(s) also depart")
-
-    arrivals = sorted(float(record["arrival_ms"]) for record in applications)
-    print(f"first arrival {arrivals[0]:g} ms, last {arrivals[-1]:g} ms")
-    gaps = sorted(b - a for a, b in zip(arrivals, arrivals[1:]))
-    if gaps:
+    if stats.num_applications:
+        print()
         print(
-            "inter-arrival ms: "
-            f"min {gaps[0]:.1f}  p50 {_percentile(gaps, 0.5):.1f}  "
-            f"p90 {_percentile(gaps, 0.9):.1f}  p99 {_percentile(gaps, 0.99):.1f}  "
-            f"max {gaps[-1]:.1f}"
+            format_table(
+                ["kind", "apps", "share"],
+                [
+                    [kind, count, f"{100.0 * count / stats.num_applications:.1f}%"]
+                    for kind, count in sorted(stats.by_kind.items())
+                ],
+                precision=4,
+            )
         )
+        print(
+            f"{stats.num_departures} of {stats.num_applications} application(s) also depart"
+        )
+        print(
+            f"first arrival {stats.first_arrival_ms:g} ms, last {stats.last_arrival_ms:g} ms"
+        )
+        if stats.gap_p50_ms is not None:
+            print(
+                "inter-arrival ms: "
+                f"min {stats.gap_min_ms:.1f}  p50 {stats.gap_p50_ms:.1f}  "
+                f"p90 {stats.gap_p90_ms:.1f}  p99 {stats.gap_p99_ms:.1f}  "
+                f"max {stats.gap_max_ms:.1f}"
+            )
+    if peak_mb is not None:
+        if peak_mb > args.max_peak_mb:
+            print(
+                f"peak memory {peak_mb:.1f} MB exceeds --max-peak-mb "
+                f"{args.max_peak_mb:g}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"peak memory {peak_mb:.1f} MB (within --max-peak-mb {args.max_peak_mb:g})")
     return 0
 
 
@@ -1789,7 +1859,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace_record.add_argument("--seed", type=int, default=0, help="seed for seeded scenarios")
     trace_record.add_argument("--platform", default="odroid_xu3", help="platform preset")
     trace_record.add_argument("--out", required=True, metavar="FILE", help="JSONL file to write")
+    trace_record.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable), e.g. --param duration_ms=60000",
+    )
     trace_record.set_defaults(func=cmd_trace_record)
+    trace_generate = trace_sub.add_parser(
+        "generate",
+        help="generate a diurnal traffic trace straight to disk (streaming writer)",
+    )
+    trace_generate.add_argument("--out", required=True, metavar="FILE", help="trace file to write")
+    trace_generate.add_argument("--seed", type=int, default=0, help="traffic seed")
+    trace_generate.add_argument("--platform", default="odroid_xu3", help="platform preset")
+    trace_generate.add_argument(
+        "--hours", type=float, default=6.0, help="trace length in hours (default 6)"
+    )
+    trace_generate.add_argument(
+        "--duration-ms", type=float, default=None, help="trace length in ms (overrides --hours)"
+    )
+    trace_generate.add_argument(
+        "--arrivals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size the base rate so the trace holds at least N arrivals",
+    )
+    trace_generate.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="DiurnalConfig override (repeatable), e.g. --param flash_crowds=3",
+    )
+    trace_generate.set_defaults(func=cmd_trace_generate)
     trace_replay = trace_sub.add_parser(
         "replay", help="replay a trace file under a manager and print the outcome"
     )
@@ -1811,6 +1914,13 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarise a trace file: arrivals, kinds, inter-arrival gaps"
     )
     trace_stats.add_argument("file", metavar="FILE", help="JSONL trace file to summarise")
+    trace_stats.add_argument(
+        "--max-peak-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="assert (tracemalloc) that summarising stays under MB of peak memory; exit 1 if not",
+    )
     trace_stats.set_defaults(func=cmd_trace_stats)
 
     managers = subparsers.add_parser("managers", help="inspect the manager registry")

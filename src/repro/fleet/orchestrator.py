@@ -427,6 +427,11 @@ class FleetOrchestrator:
     def run(self) -> FleetResult:
         """Execute the fleet run and return the aggregated result."""
         spec = self.spec
+        # The shared trained model carries its active configuration as
+        # mutable state; a previous run that ended compressed would leak
+        # into this one, making results depend on run order.  Reset to the
+        # full network (the state a freshly-trained model starts in).
+        self._trained.dynamic_dnn.set_configuration(1.0)
         duration = self.scenario.duration_ms
         arrivals = sorted(
             self._apps.values(), key=lambda s: (s.template.arrival_ms, s.template.app_id)

@@ -373,3 +373,75 @@ def fleet_mixed_platforms(
         arrivals=tuple(arrivals),
         description="Heterogeneous presets under a steady mixed stream.",
     )
+
+
+@register_fleet_scenario(
+    "fleet_diurnal",
+    seeded=True,
+    summary="A compressed diurnal day: sinusoidal load plus a flash crowd over the fleet.",
+)
+def fleet_diurnal(
+    seed: int = 0, devices: Optional[Dict[str, int]] = None
+) -> FleetScenario:
+    """Population traffic on a fleet: the diurnal model's stream, placed on devices.
+
+    One full day/night cycle is compressed into the run (the sinusoid's
+    period equals the duration) with a single flash crowd, using the same
+    inhomogeneous-Poisson generator that writes million-arrival trace files
+    (:mod:`repro.workloads.diurnal`) — so the fleet layer sees the identical
+    traffic *shape* the single-device pipeline records and replays.  The
+    arrival volume scales with the device count (~1.5 apps per device).
+    """
+    from repro.workloads.diurnal import DiurnalConfig, DiurnalTraffic
+
+    mix = _mix(devices, {"generic_quad": 6, "jetson_nano": 4, "odroid_xu3": 6})
+    total = sum(count for _, count in mix)
+    duration_ms = 8000.0
+    config = DiurnalConfig(
+        duration_ms=duration_ms,
+        base_rate_per_s=1.5 * total / (duration_ms / 1000.0),
+        diurnal_amplitude=0.6,
+        period_ms=duration_ms,
+        flash_crowds=1,
+        flash_magnitude=3.0,
+        flash_duration_fraction=0.1,
+        num_archetypes=4,
+        dnn_fraction=0.75,
+    )
+    traffic = DiurnalTraffic(config, seed=seed)
+    arrivals: List[FleetAppTemplate] = []
+    for _, record in traffic.iter_records():
+        requirements = record.get("requirements") or {}
+        if record["kind"] == "dnn_inference":
+            arrivals.append(
+                FleetAppTemplate(
+                    app_id=str(record["app_id"]),
+                    kind="dnn",
+                    arrival_ms=float(record["arrival_ms"]),
+                    departure_ms=float(record["departure_ms"]),
+                    target_fps=float(requirements.get("target_fps", 10.0)),
+                    min_accuracy_percent=float(
+                        requirements.get("min_accuracy_percent", 60.0)
+                    ),
+                    priority=int(requirements.get("priority", 5)),
+                )
+            )
+        else:
+            demand = record.get("demand") or {}
+            arrivals.append(
+                FleetAppTemplate(
+                    app_id=str(record["app_id"]),
+                    kind="background",
+                    arrival_ms=float(record["arrival_ms"]),
+                    departure_ms=float(record["departure_ms"]),
+                    cores=int(demand.get("cores", 1)),
+                    utilisation=float(demand.get("utilisation", 0.6)),
+                )
+            )
+    return FleetScenario(
+        name="fleet_diurnal",
+        devices=mix,
+        duration_ms=duration_ms,
+        arrivals=tuple(arrivals),
+        description="Compressed day/night cycle with one flash crowd over the fleet.",
+    )

@@ -8,39 +8,95 @@ refresh.  :func:`atomic_write_text` writes to a temporary file *in the same
 directory* (so the final rename never crosses a filesystem boundary) and
 ``os.replace``\\ s it into place: readers observe either the complete old
 content or the complete new content, never a truncation.
+
+Durability is two-step: the temp file is fsynced before the rename (the
+*content* is on disk), and the parent directory is fsynced after it (the
+*rename itself* is on disk — without this a power cut shortly after the
+replace can roll the directory entry back to the old file, or to nothing for
+a first write).  :func:`fsync_directory` is best-effort because some
+platforms (notably Windows) do not allow opening directories.
+
+:func:`atomic_binary_writer` exposes the same temp-write/fsync/replace/
+dir-fsync sequence as a context manager yielding the raw binary stream, for
+writers that produce output incrementally (the streaming arrival-trace
+writer) instead of as one in-memory string.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterator, Union
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "atomic_binary_writer", "fsync_directory"]
 
 
-def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
-    """Write ``text`` to ``path`` atomically (same-directory temp + replace).
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Fsync a directory so a completed rename inside it survives a power cut.
 
-    The temporary file is flushed and fsynced before the rename, so after
-    the function returns the new content survives a power cut; if anything
-    raises mid-write the temporary file is removed and the destination is
-    untouched.
+    Best-effort: platforms that refuse to open a directory read-only (or to
+    fsync the resulting descriptor — Windows, some network filesystems)
+    degrade to a no-op rather than failing the write that already succeeded.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_binary_writer(path: Union[str, Path]) -> Iterator[IO[bytes]]:
+    """Yield a binary stream that atomically becomes ``path`` on clean exit.
+
+    The stream writes to a same-directory temporary file.  When the ``with``
+    body completes, the temp file is flushed, fsynced, renamed over ``path``
+    with ``os.replace`` and the parent directory fsynced, so the new content
+    (and the rename) survive a power cut.  If the body raises, the temp file
+    is removed and the destination is untouched.
+
+    Callers that wrap the stream (gzip members, text encoders) must close
+    their wrappers *inside* the body so buffered data reaches the raw stream
+    before the commit; wrappers built on ``fileobj=`` leave the underlying
+    stream open.
     """
     path = Path(path)
-    handle, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or Path(".")
-    )
+    directory = path.parent or Path(".")
+    handle, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=directory)
+    stream = os.fdopen(handle, "wb")
     try:
-        with os.fdopen(handle, "w", encoding=encoding) as stream:
-            stream.write(text)
-            stream.flush()
-            os.fsync(stream.fileno())
+        yield stream
+        stream.flush()
+        os.fsync(stream.fileno())
+        stream.close()
         os.replace(tmp_name, path)
+        fsync_directory(directory)
     except BaseException:
+        try:
+            stream.close()
+        except OSError:
+            pass
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace).
+
+    The temporary file is flushed and fsynced before the rename and the
+    parent directory fsynced after it, so after the function returns the new
+    content survives a power cut; if anything raises mid-write the temporary
+    file is removed and the destination is untouched.
+    """
+    with atomic_binary_writer(path) as stream:
+        stream.write(text.encode(encoding))

@@ -2,9 +2,10 @@
 
 Applications (DNN inference, AR/VR, background tasks), their performance
 requirements, the paper's Fig 2 runtime timeline, random scenario generators,
-the scenario composition algebra (:mod:`repro.workloads.compose`), arrival
-trace record/replay (:mod:`repro.workloads.traces`) and the seeded scenario
-fuzzer (:mod:`repro.workloads.fuzzer`).
+the scenario composition algebra (:mod:`repro.workloads.compose`), streaming
+arrival-trace record/replay (:mod:`repro.workloads.traces`), the diurnal
+population-traffic generator (:mod:`repro.workloads.diurnal`) and the seeded
+scenario fuzzer (:mod:`repro.workloads.fuzzer`).
 
 Importing this package populates the scenario registry with every named
 scenario: the hand-written paper timelines, the generator-backed synthetic
@@ -14,6 +15,12 @@ families, the named composites, the ``trace`` replay scenario and the
 
 import repro.workloads.chaos  # noqa: F401  (registers the chaos_* scenarios)
 from repro.workloads.compose import COMPOSE_OPS, mix, perturb, scale, splice, with_platform
+from repro.workloads.diurnal import (
+    DiurnalConfig,
+    DiurnalTraffic,
+    config_for_arrivals,
+    write_diurnal_trace,
+)
 from repro.workloads.fuzzer import ScenarioFuzzer
 from repro.workloads.generator import WorkloadGenerator, WorkloadGeneratorConfig
 from repro.workloads.requirements import MetricSample, Requirements, Violation
@@ -43,7 +50,16 @@ from repro.workloads.tasks import (
     make_background_application,
     make_dnn_application,
 )
-from repro.workloads.traces import ArrivalTrace, TraceFormatError
+from repro.workloads.traces import (
+    ArrivalTrace,
+    TraceFormatError,
+    TraceHeader,
+    TraceStats,
+    TraceStream,
+    TraceWriter,
+    compute_trace_stats,
+    scenario_from_records,
+)
 
 __all__ = [
     "WorkloadGenerator",
@@ -73,6 +89,16 @@ __all__ = [
     "perturb",
     "ArrivalTrace",
     "TraceFormatError",
+    "TraceHeader",
+    "TraceStats",
+    "TraceStream",
+    "TraceWriter",
+    "compute_trace_stats",
+    "scenario_from_records",
+    "DiurnalConfig",
+    "DiurnalTraffic",
+    "config_for_arrivals",
+    "write_diurnal_trace",
     "ScenarioFuzzer",
     "Application",
     "DNNApplication",

@@ -1,4 +1,4 @@
-"""Arrival traces: a JSONL record/replay format for workload timelines.
+"""Arrival traces: a streaming JSONL record/replay format for workload timelines.
 
 A scenario's *workload timeline* — which applications arrive when, with which
 requirements, input sizes and scheduled requirement switches — is exactly
@@ -23,18 +23,47 @@ spec/TOML with ``scenario = "trace"`` and ``scenario_params.path`` replays a
 trace file through the standard experiment machinery, and without a path it
 round-trips a named source scenario in memory (a permanent regression check
 that recording is lossless).
+
+Streaming pipeline
+------------------
+A million-arrival day does not fit in memory as a list of dicts, so every
+file-facing path is generator-based and O(1) in trace length:
+
+* :meth:`ArrivalTrace.iter_records` / :meth:`ArrivalTrace.stream_load` read
+  one validated record at a time (the latter also exposes the parsed
+  :class:`TraceHeader`);
+* :class:`TraceWriter` appends records as they are produced, committing the
+  file atomically (same-directory temp + fsync + ``os.replace`` + directory
+  fsync) on close;
+* :meth:`ArrivalTrace.stream_scenario` replays a file into a scenario
+  without materialising the intermediate record lists (the
+  :class:`~repro.workloads.scenarios.Scenario` itself still holds one
+  :class:`~repro.workloads.tasks.Application` per arrival — the simulator
+  needs them — so replay memory is O(arrivals), while recording and
+  :func:`compute_trace_stats` stay O(1));
+* compression is chosen by file suffix: ``.gz`` (stdlib gzip, deterministic
+  ``mtime=0`` members) and ``.zst``/``.zstd`` (optional ``zstandard``
+  package; a clear :class:`TraceFormatError` is raised when it is missing).
+
+Every record is validated at read time (required keys, numeric types), so a
+malformed file surfaces as a :class:`TraceFormatError` with the offending
+record named instead of a ``KeyError`` deep inside a consumer.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import math
+from array import array
 from dataclasses import dataclass, field
+from itertools import chain
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.dnn.training import IncrementalTrainer, TrainedDynamicDNN
 from repro.dnn.zoo import make_dynamic_cifar_dnn
-from repro.ioutils import atomic_write_text
+from repro.ioutils import atomic_binary_writer
 from repro.platforms.core import CoreType
 from repro.workloads.requirements import Requirements
 from repro.workloads.scenarios import (
@@ -52,7 +81,16 @@ from repro.workloads.tasks import (
     TaskKind,
 )
 
-__all__ = ["ArrivalTrace", "TraceFormatError"]
+__all__ = [
+    "ArrivalTrace",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceStream",
+    "TraceWriter",
+    "TraceStats",
+    "compute_trace_stats",
+    "scenario_from_records",
+]
 
 #: Header discriminator of the JSONL format.
 TRACE_FORMAT = "repro-arrival-trace"
@@ -89,6 +127,300 @@ def _requirements_from_dict(payload: Dict[str, object]) -> Requirements:
     return Requirements(**payload)  # type: ignore[arg-type]
 
 
+# ------------------------------------------------------------- file plumbing
+
+
+def _open_trace_text(path: Path) -> IO[str]:
+    """Open a trace for reading, decompressing by suffix (.gz/.zst)."""
+    suffix = path.suffix.lower()
+    if suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    if suffix in (".zst", ".zstd"):
+        try:
+            import zstandard
+        except ImportError:
+            raise TraceFormatError(
+                f"cannot read trace file {path}: .zst traces need the optional "
+                "'zstandard' package, which is not installed"
+            ) from None
+        return zstandard.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _iter_trace_lines(path: Path) -> Iterator[str]:
+    """Yield the non-blank lines of a (possibly compressed) trace file.
+
+    Decompression and decoding errors anywhere in the stream — including a
+    truncated gzip member, whose EOFError only fires mid-iteration — are
+    reported as :class:`TraceFormatError`.
+    """
+    try:
+        with _open_trace_text(path) as stream:
+            for line in stream:
+                if line.strip():
+                    yield line
+    except UnicodeDecodeError as error:
+        raise TraceFormatError(f"cannot read trace file {path}: {error}") from None
+    except EOFError as error:
+        raise TraceFormatError(f"truncated compressed trace file {path}: {error}") from None
+    except OSError as error:
+        raise TraceFormatError(f"cannot read trace file {path}: {error}") from None
+
+
+# ---------------------------------------------------------- record validation
+
+
+def _require_number(
+    payload: Dict[str, object],
+    key: str,
+    context: str,
+    *,
+    optional: bool = False,
+    allow_none: bool = False,
+) -> Optional[float]:
+    """Validate (and return) a numeric field of a record."""
+    if key not in payload:
+        if optional:
+            return None
+        raise TraceFormatError(f"{context} is missing required key {key!r}")
+    value = payload[key]
+    if value is None and allow_none:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceFormatError(f"{context} has non-numeric {key}={value!r}")
+    if not math.isfinite(value):
+        raise TraceFormatError(f"{context} has non-finite {key}={value!r}")
+    return float(value)
+
+
+def _validate_application_record(record: Dict[str, object], location: str) -> None:
+    """Shape-check one application record (required keys, numeric types)."""
+    app_id = record.get("app_id")
+    if not isinstance(app_id, str) or not app_id:
+        raise TraceFormatError(
+            f"application record in {location} needs a non-empty string 'app_id', got {app_id!r}"
+        )
+    where = f"application record {app_id!r} in {location}"
+    kind = record.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise TraceFormatError(f"{where} needs a non-empty string 'kind', got {kind!r}")
+    _require_number(record, "arrival_ms", where)
+    _require_number(record, "departure_ms", where, optional=True, allow_none=True)
+    _require_number(record, "memory_footprint_mb", where, optional=True)
+    requirements = record.get("requirements")
+    if requirements is not None and not isinstance(requirements, dict):
+        raise TraceFormatError(f"{where} has a non-table 'requirements': {requirements!r}")
+
+
+def _validate_event_record(record: Dict[str, object], location: str) -> None:
+    """Shape-check one scheduled-event record."""
+    where = f"event record {record.get('app_id')!r} in {location}"
+    _require_number(record, "time_ms", where)
+    kind = record.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise TraceFormatError(f"{where} needs a non-empty string 'kind', got {kind!r}")
+    if "app_id" not in record or not isinstance(record.get("app_id"), str):
+        raise TraceFormatError(f"{where} needs a string 'app_id'")
+    requirements = record.get("requirements")
+    if requirements is not None and not isinstance(requirements, dict):
+        raise TraceFormatError(f"{where} has a non-table 'requirements': {requirements!r}")
+
+
+# -------------------------------------------------------------------- header
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The parsed first line of a trace file."""
+
+    scenario_name: str
+    platform_name: str
+    duration_ms: float
+    version: int
+
+
+def _parse_header(line: str, path: Path) -> TraceHeader:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"invalid JSON in {path}: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(f"{path} is not a {TRACE_FORMAT} file (missing/unknown header)")
+    if "version" not in header:
+        # A headerless version would silently be read as the oldest format;
+        # external writers must state which revision they produce.
+        raise TraceFormatError(
+            f"invalid trace header in {path}: missing required key 'version' "
+            f"(this writer produces version {TRACE_VERSION})"
+        )
+    try:
+        version = int(header["version"])  # type: ignore[arg-type]
+        duration_ms = float(header["duration_ms"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceFormatError(f"invalid trace header in {path}: {error!r}") from None
+    if version > TRACE_VERSION:
+        raise TraceFormatError(
+            f"{path} has version {header['version']}; this reader supports "
+            f"up to {TRACE_VERSION}"
+        )
+    return TraceHeader(
+        scenario_name=str(header.get("scenario", path.stem)),
+        platform_name=str(header.get("platform", "odroid_xu3")),
+        duration_ms=duration_ms,
+        version=version,
+    )
+
+
+class TraceStream:
+    """A trace header plus a one-shot iterator over its validated records.
+
+    Iterating yields ``(record_type, record)`` pairs where ``record_type`` is
+    ``"application"`` or ``"event"`` — one record at a time, so memory stays
+    O(1) in trace length.  Obtain one via :meth:`ArrivalTrace.stream_load`.
+    """
+
+    def __init__(self, header: TraceHeader, records: Iterator[Tuple[str, Dict[str, object]]]):
+        self.header = header
+        self._records = records
+
+    def __iter__(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        return self._records
+
+
+def _iter_body_records(
+    lines: Iterator[str], path: Path
+) -> Iterator[Tuple[str, Dict[str, object]]]:
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"invalid JSON in {path}: {error}") from None
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"non-table record line {record!r} in {path}")
+        kind = record.pop("record", None)
+        if kind == "application":
+            _validate_application_record(record, str(path))
+        elif kind == "event":
+            _validate_event_record(record, str(path))
+        else:
+            raise TraceFormatError(f"unknown record type {kind!r} in {path}")
+        yield kind, record
+
+
+# -------------------------------------------------------------------- writer
+
+
+class TraceWriter:
+    """Incrementally write an arrival trace: header first, records appended.
+
+    A context manager.  Records are written (and validated) one at a time, so
+    recording a million-arrival day needs O(1) memory — unlike
+    :meth:`ArrivalTrace.save`, nothing is accumulated.  The output file only
+    appears on clean exit, via the shared atomic/durable sequence
+    (:func:`repro.ioutils.atomic_binary_writer`: same-directory temp, fsync,
+    ``os.replace``, directory fsync); an exception mid-write leaves any
+    existing file untouched.  Compression follows the file suffix: ``.gz``
+    writes a deterministic (``mtime=0``) gzip member, ``.zst``/``.zstd``
+    needs the optional ``zstandard`` package.
+
+    Duplicate ``app_id`` detection is deliberately *not* performed here — it
+    would cost O(arrivals) memory; readers enforce it where the scenario is
+    materialised (:meth:`ArrivalTrace.load` / replay).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        scenario_name: str,
+        platform_name: str,
+        duration_ms: float,
+    ) -> None:
+        self.path = Path(path)
+        self.scenario_name = scenario_name
+        self.platform_name = platform_name
+        self.duration_ms = float(duration_ms)
+        self.applications_written = 0
+        self.events_written = 0
+        self._ctx = None
+        self._raw: Optional[IO[bytes]] = None
+        self._sink: Optional[IO[bytes]] = None
+
+    # -- context management
+
+    def __enter__(self) -> "TraceWriter":
+        self._ctx = atomic_binary_writer(self.path)
+        self._raw = self._ctx.__enter__()
+        suffix = self.path.suffix.lower()
+        if suffix == ".gz":
+            # mtime=0 and an empty embedded name keep equal traces byte-equal.
+            self._sink = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0
+            )
+        elif suffix in (".zst", ".zstd"):
+            try:
+                import zstandard
+            except ImportError:
+                self._abort()
+                raise TraceFormatError(
+                    f"cannot write trace file {self.path}: .zst traces need the "
+                    "optional 'zstandard' package, which is not installed"
+                ) from None
+            self._sink = zstandard.ZstdCompressor().stream_writer(self._raw, closefd=False)
+        else:
+            self._sink = self._raw
+        self._write_line(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "scenario": self.scenario_name,
+                "platform": self.platform_name,
+                "duration_ms": self.duration_ms,
+            }
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._ctx is not None
+        if exc_type is None:
+            if self._sink is not self._raw:
+                self._sink.close()  # finalise the compression member
+            self._ctx.__exit__(None, None, None)
+        else:
+            self._abort(exc_type, exc, tb)
+
+    def _abort(self, exc_type=BaseException, exc=None, tb=None) -> None:
+        if self._ctx is not None:
+            try:
+                if self._sink is not None and self._sink is not self._raw:
+                    self._sink.close()
+            except (OSError, ValueError):
+                pass
+            self._ctx.__exit__(exc_type, exc or BaseException(), tb)
+            self._ctx = None
+
+    # -- record appends
+
+    def _write_line(self, payload: Dict[str, object]) -> None:
+        assert self._sink is not None, "TraceWriter must be entered before writing"
+        self._sink.write((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+
+    def write_application(self, record: Dict[str, object]) -> None:
+        """Append one application record (validated before it hits the file)."""
+        _validate_application_record(record, str(self.path))
+        self._write_line({"record": "application", **record})
+        self.applications_written += 1
+
+    def write_event(self, record: Dict[str, object]) -> None:
+        """Append one scheduled-event record."""
+        _validate_event_record(record, str(self.path))
+        self._write_line({"record": "event", **record})
+        self.events_written += 1
+
+
+# ------------------------------------------------------------- arrival trace
+
+
 @dataclass
 class ArrivalTrace:
     """A recorded workload timeline, serialisable to/from JSONL.
@@ -105,6 +437,10 @@ class ArrivalTrace:
     events:
         One plain-dict record per scheduled extra event (requirement
         switches, scripted arrivals/departures).
+
+    This in-memory form is convenient for bounded traces; million-arrival
+    files should use the streaming surface instead (:meth:`stream_load`,
+    :meth:`iter_records`, :meth:`stream_scenario`, :class:`TraceWriter`).
     """
 
     scenario_name: str
@@ -173,74 +509,83 @@ class ArrivalTrace:
     def save(self, path: Union[str, Path]) -> None:
         """Write the trace as JSONL: header, application records, events.
 
-        The write is atomic (same-directory temp file + rename): a crash
-        mid-save leaves any existing file untouched instead of a truncated
-        JSONL that :meth:`load` then rejects as corrupt.
+        Streams through :class:`TraceWriter`, so the write is atomic and
+        durable (same-directory temp + fsync + rename + directory fsync): a
+        crash mid-save leaves any existing file untouched instead of a
+        truncated JSONL that :meth:`load` then rejects as corrupt.
+        Compression follows the suffix (``.gz``/``.zst``).
         """
-        lines = [
-            json.dumps(
-                {
-                    "format": TRACE_FORMAT,
-                    "version": TRACE_VERSION,
-                    "scenario": self.scenario_name,
-                    "platform": self.platform_name,
-                    "duration_ms": self.duration_ms,
-                },
-                sort_keys=True,
-            )
-        ]
-        for record in self.applications:
-            lines.append(json.dumps({"record": "application", **record}, sort_keys=True))
-        for record in self.events:
-            lines.append(json.dumps({"record": "event", **record}, sort_keys=True))
-        atomic_write_text(path, "\n".join(lines) + "\n")
+        with TraceWriter(
+            path,
+            scenario_name=self.scenario_name,
+            platform_name=self.platform_name,
+            duration_ms=self.duration_ms,
+        ) as writer:
+            for record in self.applications:
+                writer.write_application(record)
+            for record in self.events:
+                writer.write_event(record)
+
+    @classmethod
+    def read_header(cls, path: Union[str, Path]) -> TraceHeader:
+        """Parse and validate only the header line of a trace file."""
+        path = Path(path)
+        for line in _iter_trace_lines(path):
+            return _parse_header(line, path)
+        raise TraceFormatError(f"trace file {path} is empty")
+
+    @classmethod
+    def stream_load(cls, path: Union[str, Path]) -> TraceStream:
+        """Open a trace for streaming: validated header + record iterator.
+
+        The returned :class:`TraceStream` yields one validated
+        ``(record_type, record)`` pair at a time — O(1) memory however long
+        the trace is.  The stream is one-shot; call again for a second pass.
+        """
+        path = Path(path)
+        lines = _iter_trace_lines(path)
+        header: Optional[TraceHeader] = None
+        for line in lines:
+            header = _parse_header(line, path)
+            break
+        if header is None:
+            raise TraceFormatError(f"trace file {path} is empty")
+        return TraceStream(header, _iter_body_records(lines, path))
+
+    @classmethod
+    def iter_records(cls, path: Union[str, Path]) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Stream the validated records of a trace file (header skipped)."""
+        return iter(cls.stream_load(path))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
-        """Read a trace written by :meth:`save` (or a compatible tool)."""
+        """Read a whole trace written by :meth:`save` (or a compatible tool).
+
+        Materialises the record lists in memory; use the streaming surface
+        for traces too large for that.  Records are validated as they are
+        read, and duplicate application ids are rejected here (the simulator
+        would silently mis-run a scenario whose ids collide).
+        """
         path = Path(path)
-        try:
-            lines = [
-                line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()
-            ]
-        except (OSError, UnicodeDecodeError) as error:
-            raise TraceFormatError(f"cannot read trace file {path}: {error}") from None
-        if not lines:
-            raise TraceFormatError(f"trace file {path} is empty")
-        try:
-            parsed = [json.loads(line) for line in lines]
-        except json.JSONDecodeError as error:
-            raise TraceFormatError(f"invalid JSON in {path}: {error}") from None
-        header = parsed[0]
-        if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
-            raise TraceFormatError(
-                f"{path} is not a {TRACE_FORMAT} file (missing/unknown header)"
-            )
-        try:
-            version = int(header.get("version", 0))
-            duration_ms = float(header["duration_ms"])
-        except (KeyError, TypeError, ValueError) as error:
-            raise TraceFormatError(f"invalid trace header in {path}: {error!r}") from None
-        if version > TRACE_VERSION:
-            raise TraceFormatError(
-                f"{path} has version {header['version']}; this reader supports "
-                f"up to {TRACE_VERSION}"
-            )
+        stream = cls.stream_load(path)
+        header = stream.header
         trace = cls(
-            scenario_name=str(header.get("scenario", path.stem)),
-            platform_name=str(header.get("platform", "odroid_xu3")),
-            duration_ms=duration_ms,
+            scenario_name=header.scenario_name,
+            platform_name=header.platform_name,
+            duration_ms=header.duration_ms,
         )
-        for record in parsed[1:]:
-            if not isinstance(record, dict):
-                raise TraceFormatError(f"non-table record line {record!r} in {path}")
-            kind = record.pop("record", None)
-            if kind == "application":
+        seen_ids: set = set()
+        for record_type, record in stream:
+            if record_type == "application":
+                app_id = record["app_id"]
+                if app_id in seen_ids:
+                    raise TraceFormatError(
+                        f"duplicate app_id {app_id!r} across application records in {path}"
+                    )
+                seen_ids.add(app_id)
                 trace.applications.append(record)
-            elif kind == "event":
-                trace.events.append(record)
             else:
-                raise TraceFormatError(f"unknown record type {kind!r} in {path}")
+                trace.events.append(record)
         return trace
 
     # ----------------------------------------------------------------- replay
@@ -257,38 +602,39 @@ class ArrivalTrace:
         share one trained instance, exactly like the recording.  The platform
         defaults to the recorded one.
         """
-        trained_by_ref: Dict[object, TrainedDynamicDNN] = {}
-        applications: List[Application] = []
-        for index, record in enumerate(self.applications):
-            try:
-                applications.append(self._application_from(record, trained_by_ref, index))
-            except (KeyError, TypeError, ValueError) as error:
-                raise TraceFormatError(
-                    f"invalid application record {record.get('app_id')!r}: {error}"
-                ) from None
-        events = []
-        for record in self.events:
-            try:
-                payload = record.get("requirements")
-                events.append(
-                    ScenarioEvent(
-                        time_ms=float(record["time_ms"]),
-                        kind=ScenarioEventKind(record["kind"]),
-                        app_id=str(record["app_id"]),
-                        new_requirements=(
-                            None if payload is None else _requirements_from_dict(payload)
-                        ),
-                    )
-                )
-            except (KeyError, TypeError, ValueError) as error:
-                raise TraceFormatError(f"invalid event record {record!r}: {error}") from None
-        return Scenario(
-            name=name or f"trace({self.scenario_name})",
+        records = chain(
+            (("application", record) for record in self.applications),
+            (("event", record) for record in self.events),
+        )
+        return scenario_from_records(
+            records,
+            source_name=self.scenario_name,
             platform_name=platform_name or self.platform_name,
-            applications=applications,
             duration_ms=self.duration_ms,
-            extra_events=events,
-            description=f"Replay of the recorded arrival trace of {self.scenario_name!r}.",
+            name=name,
+        )
+
+    @classmethod
+    def stream_scenario(
+        cls,
+        path: Union[str, Path],
+        platform_name: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Scenario:
+        """Replay a trace file into a scenario, consuming the record stream.
+
+        Equivalent to ``load(path).to_scenario(...)`` but never materialises
+        the intermediate record dict lists: each record becomes its
+        :class:`~repro.workloads.tasks.Application` as it is read.
+        """
+        stream = cls.stream_load(path)
+        header = stream.header
+        return scenario_from_records(
+            iter(stream),
+            source_name=header.scenario_name,
+            platform_name=platform_name or header.platform_name,
+            duration_ms=header.duration_ms,
+            name=name,
         )
 
     @staticmethod
@@ -349,6 +695,171 @@ class ArrivalTrace:
         return GenericApplication(demand=demand, **common)  # type: ignore[arg-type]
 
 
+# ----------------------------------------------------- stream -> scenario
+
+
+def scenario_from_records(
+    records: Iterable[Tuple[str, Dict[str, object]]],
+    *,
+    source_name: str,
+    platform_name: str,
+    duration_ms: float,
+    name: Optional[str] = None,
+    description: Optional[str] = None,
+) -> Scenario:
+    """Build a runnable scenario from a ``(record_type, record)`` stream.
+
+    The shared replay core behind :meth:`ArrivalTrace.to_scenario`,
+    :meth:`ArrivalTrace.stream_scenario` and the diurnal traffic generator:
+    applications are materialised one record at a time, duplicate ids are
+    rejected by name, and malformed records surface as
+    :class:`TraceFormatError` instead of raw ``KeyError`` tracebacks.
+    """
+    trained_by_ref: Dict[object, TrainedDynamicDNN] = {}
+    applications: List[Application] = []
+    events: List[ScenarioEvent] = []
+    seen_ids: set = set()
+    index = 0
+    for record_type, record in records:
+        if record_type == "application":
+            app_id = record.get("app_id")
+            if app_id in seen_ids:
+                raise TraceFormatError(
+                    f"duplicate app_id {app_id!r} across application records of "
+                    f"{source_name!r}; the simulator cannot tell the two apart"
+                )
+            seen_ids.add(app_id)
+            try:
+                applications.append(
+                    ArrivalTrace._application_from(record, trained_by_ref, index)
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                if isinstance(error, TraceFormatError):
+                    raise
+                raise TraceFormatError(
+                    f"invalid application record {record.get('app_id')!r}: {error}"
+                ) from None
+            index += 1
+        elif record_type == "event":
+            try:
+                payload = record.get("requirements")
+                events.append(
+                    ScenarioEvent(
+                        time_ms=float(record["time_ms"]),  # type: ignore[arg-type]
+                        kind=ScenarioEventKind(record["kind"]),
+                        app_id=str(record["app_id"]),
+                        new_requirements=(
+                            None if payload is None else _requirements_from_dict(payload)
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                if isinstance(error, TraceFormatError):
+                    raise
+                raise TraceFormatError(f"invalid event record {record!r}: {error}") from None
+        else:
+            raise TraceFormatError(f"unknown record type {record_type!r}")
+    return Scenario(
+        name=name or f"trace({source_name})",
+        platform_name=platform_name,
+        applications=applications,
+        duration_ms=duration_ms,
+        extra_events=events,
+        description=description
+        or f"Replay of the recorded arrival trace of {source_name!r}.",
+    )
+
+
+# ------------------------------------------------------------- corpus stats
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Streaming summary of one trace file (no simulation involved)."""
+
+    scenario_name: str
+    platform_name: str
+    duration_ms: float
+    version: int
+    num_applications: int
+    num_events: int
+    num_departures: int
+    by_kind: Dict[str, int]
+    first_arrival_ms: Optional[float] = None
+    last_arrival_ms: Optional[float] = None
+    gap_min_ms: Optional[float] = None
+    gap_p50_ms: Optional[float] = None
+    gap_p90_ms: Optional[float] = None
+    gap_p99_ms: Optional[float] = None
+    gap_max_ms: Optional[float] = None
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if len(sorted_values) == 0:
+        return 0.0
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return float(sorted_values[lower]) * (1.0 - weight) + float(sorted_values[upper]) * weight
+
+
+def compute_trace_stats(path: Union[str, Path]) -> TraceStats:
+    """Summarise a trace in one streaming pass.
+
+    Memory is O(arrivals × 8 bytes) — a compact ``array('d')`` of arrival
+    times for the exact inter-arrival percentiles — rather than the O(file)
+    cost of materialising every record dict: a million-arrival trace peaks
+    around tens of megabytes instead of gigabytes.  Everything else (kind
+    histogram, departures, counts) is O(1).
+    """
+    import numpy as np
+
+    stream = ArrivalTrace.stream_load(path)
+    header = stream.header
+    by_kind: Dict[str, int] = {}
+    departures = 0
+    events = 0
+    arrivals = array("d")
+    for record_type, record in stream:
+        if record_type == "event":
+            events += 1
+            continue
+        kind = str(record.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if record.get("departure_ms") is not None:
+            departures += 1
+        arrivals.append(float(record["arrival_ms"]))  # type: ignore[arg-type]
+    stats = {
+        "scenario_name": header.scenario_name,
+        "platform_name": header.platform_name,
+        "duration_ms": header.duration_ms,
+        "version": header.version,
+        "num_applications": len(arrivals),
+        "num_events": events,
+        "num_departures": departures,
+        "by_kind": by_kind,
+    }
+    if not arrivals:
+        return TraceStats(**stats)  # type: ignore[arg-type]
+    times = np.frombuffer(arrivals, dtype=np.float64).copy()
+    times.sort()
+    stats["first_arrival_ms"] = float(times[0])
+    stats["last_arrival_ms"] = float(times[-1])
+    if len(times) > 1:
+        gaps = np.diff(times)
+        gaps.sort()
+        stats.update(
+            gap_min_ms=float(gaps[0]),
+            gap_p50_ms=_percentile(gaps, 0.5),
+            gap_p90_ms=_percentile(gaps, 0.9),
+            gap_p99_ms=_percentile(gaps, 0.99),
+            gap_max_ms=float(gaps[-1]),
+        )
+    return TraceStats(**stats)  # type: ignore[arg-type]
+
+
 # ----------------------------------------------------------------- registry
 
 
@@ -364,9 +875,10 @@ def trace_scenario(
     """Replay an arrival trace: a JSONL file (path), else a round-trip of `source`.
 
     With ``scenario_params.path`` the named JSONL file is loaded and
-    replayed.  A spec cannot express "the platform the trace was recorded
-    on" (its ``platform`` field always has a value), so a platform that
-    differs from the recorded one is rejected unless
+    replayed — through the streaming reader, so the file is never
+    materialised as record lists.  A spec cannot express "the platform the
+    trace was recorded on" (its ``platform`` field always has a value), so a
+    platform that differs from the recorded one is rejected unless
     ``scenario_params.replatform`` is true — otherwise a trace recorded on
     another board would silently replay on the spec's default platform as a
     different experiment.  Without a path, the ``source`` registry scenario
@@ -375,15 +887,15 @@ def trace_scenario(
     directly, which the golden-fingerprint table locks in.
     """
     if path is not None:
-        loaded = ArrivalTrace.load(path)
-        if not replatform and loaded.platform_name != platform_name:
+        header = ArrivalTrace.read_header(path)
+        if not replatform and header.platform_name != platform_name:
             raise TraceFormatError(
-                f"trace {path} was recorded on {loaded.platform_name!r} but the "
+                f"trace {path} was recorded on {header.platform_name!r} but the "
                 f"spec requests {platform_name!r}; set platform = "
-                f"{loaded.platform_name!r} or scenario_params.replatform = true "
+                f"{header.platform_name!r} or scenario_params.replatform = true "
                 "to re-target deliberately"
             )
-        return loaded.to_scenario(platform_name=platform_name)
+        return ArrivalTrace.stream_scenario(path, platform_name=platform_name)
     recorded = ArrivalTrace.from_scenario(
         build_scenario(source, seed=source_seed, platform_name=platform_name)
     )

@@ -1,5 +1,7 @@
 """Tests for the repro-experiments command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -526,6 +528,117 @@ class TestTraceCommands:
         bad.write_text("not json\n", encoding="utf-8")
         assert main(["trace", "stats", str(bad)]) == 2
         assert "invalid trace" in capsys.readouterr().err
+
+    def test_stats_missing_arrival_key_is_not_a_traceback(self, capsys, tmp_path):
+        # Regression: a record without arrival_ms used to escape as a raw
+        # KeyError from deep inside the loader.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"format": "repro-arrival-trace", "version": 1, "duration_ms": 1000.0}\n'
+            '{"record": "application", "app_id": "a1", "kind": "background"}\n',
+            encoding="utf-8",
+        )
+        assert main(["trace", "stats", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err
+        assert "missing required key 'arrival_ms'" in err
+        assert "a1" in err
+
+    def test_replay_duplicate_app_id_names_the_id(self, capsys, tmp_path):
+        bad = tmp_path / "dup.jsonl"
+        record = (
+            '{"record": "application", "app_id": "dup", "kind": "background", '
+            '"arrival_ms": %s, "departure_ms": null, "memory_footprint_mb": 1.0, '
+            '"requirements": {"priority": 0}, '
+            '"demand": {"core_type": "cpu_little", "cores": 1, "utilisation": 0.1}}\n'
+        )
+        bad.write_text(
+            '{"format": "repro-arrival-trace", "version": 1, "duration_ms": 1000.0}\n'
+            + record % "1.0"
+            + record % "2.0",
+            encoding="utf-8",
+        )
+        assert main(["trace", "replay", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err and "duplicate app_id 'dup'" in err
+
+    def test_stats_missing_header_version_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "nover.jsonl"
+        bad.write_text(
+            '{"format": "repro-arrival-trace", "duration_ms": 1000.0}\n',
+            encoding="utf-8",
+        )
+        assert main(["trace", "stats", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err and "missing required key 'version'" in err
+
+    def test_generate_then_stats_and_replay(self, capsys, tmp_path):
+        path = tmp_path / "diurnal.jsonl.gz"
+        assert (
+            main(
+                ["trace", "generate", "--out", str(path), "--duration-ms", "30000",
+                 "--param", "base_rate_per_s=1.0", "--seed", "3"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "generated" in output and str(path) in output
+        assert main(["trace", "stats", str(path)]) == 0
+        assert "application(s)" in capsys.readouterr().out
+        assert main(["trace", "replay", str(path), "--manager", "governor_only"]) == 0
+        assert "trace fingerprint:" in capsys.readouterr().out
+
+    def test_generate_arrivals_target_is_a_lower_bound(self, capsys, tmp_path):
+        path = tmp_path / "sized.jsonl"
+        assert (
+            main(
+                ["trace", "generate", "--out", str(path), "--arrivals", "300",
+                 "--duration-ms", "600000"]
+            )
+            == 0
+        )
+        match = re.search(r"generated (\d+) arrival", capsys.readouterr().out)
+        assert match and int(match.group(1)) >= 300
+
+    def test_generate_rejects_bad_config(self, capsys, tmp_path):
+        assert (
+            main(
+                ["trace", "generate", "--out", str(tmp_path / "x.jsonl"),
+                 "--param", "flash_magnitude=0.1"]
+            )
+            == 2
+        )
+        assert "invalid diurnal config" in capsys.readouterr().err
+
+    def test_stats_max_peak_mb_enforced(self, capsys, tmp_path):
+        path = tmp_path / "rush.jsonl"
+        assert main(["trace", "record", "--scenario", "rush_hour", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "stats", str(path), "--max-peak-mb", "64"]) == 0
+        assert "within --max-peak-mb" in capsys.readouterr().out
+        assert main(["trace", "stats", str(path), "--max-peak-mb", "0.0001"]) == 1
+        assert "exceeds --max-peak-mb" in capsys.readouterr().err
+
+    def test_record_accepts_scenario_params(self, capsys, tmp_path):
+        path = tmp_path / "d.jsonl"
+        assert (
+            main(
+                ["trace", "record", "--scenario", "diurnal", "--out", str(path),
+                 "--param", "duration_ms=20000", "--param", "base_rate_per_s=1.0"]
+            )
+            == 0
+        )
+        assert "recorded" in capsys.readouterr().out
+
+    def test_record_rejects_unknown_scenario_params(self, capsys, tmp_path):
+        assert (
+            main(
+                ["trace", "record", "--scenario", "diurnal",
+                 "--out", str(tmp_path / "d.jsonl"), "--param", "bogus_knob=1"]
+            )
+            == 2
+        )
+        assert "invalid scenario parameters" in capsys.readouterr().err
 
 
 class TestBenchCommand:

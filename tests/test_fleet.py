@@ -41,6 +41,7 @@ SMALL_MIXES: Dict[str, Dict[str, int]] = {
     "fleet_device_churn": {"generic_quad": 4, "odroid_xu3": 4},
     "fleet_stragglers": {"generic_quad": 4, "jetson_nano": 2},
     "fleet_mixed_platforms": {"generic_quad": 2, "jetson_nano": 2, "odroid_xu3": 2},
+    "fleet_diurnal": {"generic_quad": 4, "odroid_xu3": 4},
 }
 
 GRID_POLICIES = ("static", "least_loaded")
@@ -52,6 +53,8 @@ GRID_POLICIES = ("static", "least_loaded")
 GOLDEN_FLEET_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("fleet_device_churn", "least_loaded"): "04355d6ba672e4cd",
     ("fleet_device_churn", "static"): "627f7d23b9bc4039",
+    ("fleet_diurnal", "least_loaded"): "7233d7e898056018",
+    ("fleet_diurnal", "static"): "37195436c2b84ade",
     ("fleet_mixed_platforms", "least_loaded"): "90c6165e479cea91",
     ("fleet_mixed_platforms", "static"): "2459660fbb0946c6",
     ("fleet_rush_hour_regional", "least_loaded"): "6daad25fdebdfa3a",

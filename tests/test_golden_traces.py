@@ -71,6 +71,10 @@ GOLDEN_FINGERPRINTS: Dict[Tuple[str, str], str] = {
     ("compose", "rtm"): "86f7fc946685f69a",
     ("compose", "rtm_min_energy"): "7597df3aa69fd193",
     ("compose", "static_deployment"): "eed2edaa3d4e9a91",
+    ("diurnal", "governor_only"): "e5e1bcb3e6ee18f6",
+    ("diurnal", "rtm"): "f0711c79f50e3783",
+    ("diurnal", "rtm_min_energy"): "17a31875012742e1",
+    ("diurnal", "static_deployment"): "70fb34d19f0db117",
     ("double_rush_hour", "governor_only"): "f2a5331c52a11950",
     ("double_rush_hour", "rtm"): "50de5cadd431f113",
     ("double_rush_hour", "rtm_min_energy"): "902057663c1d8745",
